@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation bench: sweep Dysta's hyperparameters (eta, beta, predictor
+ * strategy) on both workloads. This is the design-choice ablation
+ * DESIGN.md calls out; it also documents how the defaults were
+ * selected. SJF and Planaria rows anchor the trade-off space.
+ *
+ * Usage: ablation_hyperparams [--requests N] [--seeds K]
+ */
+
+#include <cstdio>
+
+#include "exp/experiments.hh"
+#include "sched/planaria.hh"
+#include "sched/sjf.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 800);
+    int seeds = argInt(argc, argv, "--seeds", 3);
+
+    auto ctx = makeBenchContext();
+
+    const double etas[] = {0.0, 0.02, 0.05, 0.1, 0.3, 1.0};
+    const double betas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+    for (WorkloadKind kind :
+         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
+        WorkloadConfig wl;
+        wl.kind = kind;
+        wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+        wl.numRequests = requests;
+        wl.seed = 42;
+
+        AsciiTable table("Dysta eta sweep, " + toString(kind));
+        table.setHeader({"config", "ANTT", "violation [%]"});
+
+        for (const char* anchor : {"SJF", "Planaria"}) {
+            Metrics m = runAveraged(*ctx, wl, anchor, seeds);
+            table.addRow({anchor, AsciiTable::num(m.antt, 3),
+                          AsciiTable::num(m.violationRate * 100, 2)});
+        }
+
+        for (double eta : etas) {
+            DystaConfig cfg;
+            cfg.eta = eta;
+            DystaScheduler dysta(ctx->lut, cfg);
+            Metrics avg;
+            for (int s = 0; s < seeds; ++s) {
+                WorkloadConfig w = wl;
+                w.seed = wl.seed + static_cast<uint64_t>(s);
+                EngineResult r = runOne(*ctx, w, dysta);
+                avg.antt += r.metrics.antt;
+                avg.violationRate += r.metrics.violationRate;
+            }
+            avg.antt /= seeds;
+            avg.violationRate /= seeds;
+            table.addRow({"Dysta eta=" + AsciiTable::num(eta, 2),
+                          AsciiTable::num(avg.antt, 3),
+                          AsciiTable::num(avg.violationRate * 100, 2)});
+        }
+        table.print();
+
+        AsciiTable btable("Dysta-w/o-sparse beta sweep (static level), " +
+                          toString(kind));
+        btable.setHeader({"config", "ANTT", "violation [%]"});
+        for (double beta : betas) {
+            DystaConfig cfg = dystaWithoutSparseConfig();
+            cfg.beta = beta;
+            DystaScheduler dysta(ctx->lut, cfg);
+            Metrics avg;
+            for (int s = 0; s < seeds; ++s) {
+                WorkloadConfig w = wl;
+                w.seed = wl.seed + static_cast<uint64_t>(s);
+                EngineResult r = runOne(*ctx, w, dysta);
+                avg.antt += r.metrics.antt;
+                avg.violationRate += r.metrics.violationRate;
+            }
+            avg.antt /= seeds;
+            avg.violationRate /= seeds;
+            btable.addRow({"beta=" + AsciiTable::num(beta, 2),
+                           AsciiTable::num(avg.antt, 3),
+                           AsciiTable::num(avg.violationRate * 100, 2)});
+        }
+        btable.print();
+    }
+    return 0;
+}

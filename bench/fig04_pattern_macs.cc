@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fig. 4 reproduction: impact of the weight sparsity pattern on the
+ * valid (effectual) MAC operations. For identical inputs and the
+ * same overall sparsity ratio, point-wise random and channel-wise
+ * pruning yield different valid-MAC distributions: channel pruning
+ * keeps the channels whose activations fire most, shifting and
+ * widening the distribution (up to ~40% difference in the paper).
+ *
+ * Configurations follow the paper: ResNet-50 at 95% sparsity,
+ * MobileNet at 80%.
+ *
+ * Usage: fig04_pattern_macs [--samples N]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/experiments.hh"
+#include "models/zoo.hh"
+#include "sparsity/activation_model.hh"
+#include "sparsity/weight_sparsity.hh"
+#include "util/histogram.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+namespace {
+
+/** Whole-network valid MACs for one sample under one pattern. */
+double
+validMacs(const SparsifiedModel& sparse,
+          const CnnActivationSample& input, Rng& rng)
+{
+    double total = 0.0;
+    const ModelDesc& model = sparse.model();
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+        double frac = sparse.validMacFraction(
+            l, input.inputDensity(l), rng);
+        total += frac * static_cast<double>(model.layers[l].macs());
+    }
+    return total;
+}
+
+void
+report(const std::string& name, double rate, int samples)
+{
+    ModelDesc model = makeModelByName(name);
+    SparsifiedModel random_sp(model, SparsityPattern::RandomPointwise,
+                              rate, 21);
+    SparsifiedModel channel_sp(model, SparsityPattern::ChannelWise,
+                               rate, 21);
+    CnnActivationModel act(model, imagenetWithDarkProfile(), 13);
+
+    // Identical inputs for both patterns (same sample stream).
+    std::vector<double> rnd;
+    std::vector<double> chn;
+    Rng rng(4242);
+    for (int i = 0; i < samples; ++i) {
+        CnnActivationSample input = act.sample(rng);
+        Rng r1 = rng.fork();
+        Rng r2 = rng.fork();
+        rnd.push_back(validMacs(random_sp, input, r1));
+        chn.push_back(validMacs(channel_sp, input, r2));
+    }
+
+    // Normalize by the random-pattern mean, like the paper's x-axis.
+    double base = mean(rnd);
+    OnlineStats s_rnd;
+    OnlineStats s_chn;
+    Histogram h_rnd(0.7, 1.5, 24);
+    Histogram h_chn(0.7, 1.5, 24);
+    for (size_t i = 0; i < rnd.size(); ++i) {
+        s_rnd.add(rnd[i] / base);
+        s_chn.add(chn[i] / base);
+        h_rnd.add(rnd[i] / base);
+        h_chn.add(chn[i] / base);
+    }
+
+    std::printf("%s", h_rnd.render("Fig. 4 " + name +
+                                   " random_sparse (normalized valid "
+                                   "MACs)").c_str());
+    std::printf("%s", h_chn.render("Fig. 4 " + name +
+                                   " channel_sparse (normalized valid "
+                                   "MACs)").c_str());
+
+    AsciiTable t("Fig. 4 summary, " + name + " @ " +
+                 AsciiTable::num(rate * 100, 0) + "% sparsity");
+    t.setHeader({"pattern", "mean", "stddev", "mean shift vs random"});
+    t.addRow({"random", AsciiTable::num(s_rnd.mean(), 3),
+              AsciiTable::num(s_rnd.stddev(), 3), "-"});
+    t.addRow({"channel", AsciiTable::num(s_chn.mean(), 3),
+              AsciiTable::num(s_chn.stddev(), 3),
+              AsciiTable::num((s_chn.mean() - s_rnd.mean()) * 100.0,
+                              1) + "%"});
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int samples = argInt(argc, argv, "--samples", 2000);
+    report("resnet50", 0.95, samples);
+    report("mobilenet", 0.80, samples);
+    std::printf("Paper reference: different sparsity patterns "
+                "introduce up to ~40%% difference in normalized "
+                "valid MACs at the same sparsity ratio.\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fig. 5 reproduction: the paper's motivating two-request example.
+ *
+ * A ResNet-class request is running (6 units isolated, 4.5 left at
+ * the next layer boundary) when a MobileNet-class request with a
+ * tight deadline arrives. Its *pattern-agnostic* profile average says
+ * 4.7 — longer than the running job's remainder, so a sparsity-blind
+ * SJF does not preempt and the newcomer misses its 5.2 deadline. With
+ * sparsity information (Fig. 5 names the sparsity pattern and dynamic
+ * ratio), the scheduler knows this channel-pruned variant really
+ * takes 2.2, preempts, and both deadlines are met.
+ *
+ * Reconstructed with hand-built traces so the timeline is exact: the
+ * "without info" scheduler estimates from a LUT profiled without
+ * pattern distinction; the "with info" scheduler uses the per
+ * model-pattern LUT that Dysta's static level maintains (Alg. 1).
+ * The paper's timeline is in milliseconds; this reconstruction keeps
+ * the same numbers in second-scale units, where the score's
+ * dimensionless penalty term is calibrated (see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "core/dysta.hh"
+#include "sched/engine.hh"
+#include "sched/sjf.hh"
+#include "trace/trace.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+namespace {
+
+/** One trace: `layers` equal layers summing to `total` seconds. */
+SampleTrace
+flatTrace(double total, int layers, double sparsity)
+{
+    SampleTrace s;
+    for (int l = 0; l < layers; ++l)
+        s.layers.push_back({total / layers, sparsity});
+    s.finalize();
+    return s;
+}
+
+/** LUT entry for a (model, pattern) with one representative trace. */
+void
+installProfile(ModelInfoLut& lut, const std::string& model,
+               SparsityPattern pattern, double avg_latency)
+{
+    TraceSet set(model, ModelFamily::CNN, pattern);
+    set.add(flatTrace(avg_latency, 4, 0.5));
+    lut.addFromTrace(set);
+}
+
+struct Outcome
+{
+    double resnet_finish = 0.0;
+    double mobilenet_finish = 0.0;
+    bool violated = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    // Ground-truth executions (replayed by the engine).
+    TraceSet resnet_truth("resnet", ModelFamily::CNN,
+                          SparsityPattern::RandomPointwise);
+    resnet_truth.add(flatTrace(6.0, 4, 0.5));
+    TraceSet mobilenet_truth("mobilenet", ModelFamily::CNN,
+                             SparsityPattern::ChannelWise);
+    mobilenet_truth.add(flatTrace(2.2, 4, 0.77));
+
+    // Scheduler knowledge. Without sparsity info: one pattern-
+    // agnostic MobileNet average (4.7). With sparsity info: the
+    // channel-pruned pair is known to run in 2.2.
+    ModelInfoLut blind;
+    installProfile(blind, "resnet", SparsityPattern::RandomPointwise,
+                   6.0);
+    installProfile(blind, "mobilenet", SparsityPattern::ChannelWise,
+                   4.7);
+
+    ModelInfoLut aware;
+    installProfile(aware, "resnet", SparsityPattern::RandomPointwise,
+                   6.0);
+    installProfile(aware, "mobilenet", SparsityPattern::ChannelWise,
+                   2.2);
+
+    // ResNet arrives at t=0 (deadline 10); MobileNet at t=1.2 with
+    // an absolute deadline of 5.2 (the paper's timeline).
+    auto build = [&]() {
+        std::vector<Request> reqs;
+        reqs.push_back(makeRequest(0, "resnet",
+                                   SparsityPattern::RandomPointwise,
+                                   resnet_truth.sample(0), 0.0,
+                                   10.0 / 6.0, 6.0));
+        reqs.push_back(makeRequest(1, "mobilenet",
+                                   SparsityPattern::ChannelWise,
+                                   mobilenet_truth.sample(0), 1.2,
+                                   4.0 / 4.7, 4.7));
+        return reqs;
+    };
+
+    auto run = [&](Scheduler& policy) {
+        std::vector<Request> reqs = build();
+        SchedulerEngine engine;
+        engine.run(reqs, policy);
+        Outcome o;
+        o.resnet_finish = reqs[0].finishTime;
+        o.mobilenet_finish = reqs[1].finishTime;
+        o.violated = reqs[1].violated();
+        return o;
+    };
+
+    AsciiTable t("Fig. 5: scheduling with and without sparsity "
+                 "information");
+    t.setHeader({"scheduler", "estimate [time units]", "resnet finish [time units]",
+                 "mobilenet finish [time units]", "deadline [time units]", "result"});
+
+    SjfScheduler sjf_blind(blind);
+    Outcome a = run(sjf_blind);
+    t.addRow({"SJF w/o sparsity info", "4.7",
+              AsciiTable::num(a.resnet_finish , 2),
+              AsciiTable::num(a.mobilenet_finish , 2), "5.2",
+              a.violated ? "VIOLATION" : "no violation"});
+
+    DystaScheduler dysta(aware, tunedDystaConfig(true));
+    Outcome b = run(dysta);
+    t.addRow({"Dysta w/ sparsity info", "2.2",
+              AsciiTable::num(b.resnet_finish , 2),
+              AsciiTable::num(b.mobilenet_finish , 2), "5.2",
+              b.violated ? "VIOLATION" : "no violation"});
+    t.print();
+
+    std::printf("Paper reference (Fig. 5): without sparsity info the "
+                "4.7 estimate suppresses preemption and the second "
+                "request violates; the accurate 2.2 estimate "
+                "triggers preemption and both deadlines are met.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 9 reproduction: Pearson correlation of the per-layer attention
+ * sparsity across transformer layers for BERT (SQuAD) and GPT-2
+ * (GLUE). The paper finds the sparsities of different layers highly
+ * linearly correlated — the property that justifies Dysta's linear
+ * sparse latency predictor.
+ *
+ * Usage: fig09_sparsity_correlation [--samples N]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/experiments.hh"
+#include "models/zoo.hh"
+#include "sparsity/attention_model.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+namespace {
+
+void
+report(const ModelDesc& model, const DatasetProfile& profile,
+       int samples)
+{
+    AttentionModel attn(model, profile, 17);
+    Rng rng(55);
+
+    // One representative attention stage (the score stage) per
+    // transformer layer, as the paper plots layer x layer.
+    std::vector<size_t> score_layers;
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+        if (model.layers[l].kind == LayerKind::AttnScore)
+            score_layers.push_back(l);
+    }
+    // BERT/GPT-2: 12 encoder/decoder layers.
+    std::vector<std::vector<double>> series(score_layers.size());
+    for (int i = 0; i < samples; ++i) {
+        AttnSample s = attn.sample(rng);
+        for (size_t k = 0; k < score_layers.size(); ++k)
+            series[k].push_back(s.laySparsity[score_layers[k]]);
+    }
+
+    auto corr = correlationMatrix(series);
+    std::printf("Fig. 9: attention sparsity correlation matrix, %s "
+                "(%s)\n", model.name.c_str(), profile.name.c_str());
+    std::printf("      ");
+    for (size_t j = 0; j < corr.size(); ++j)
+        std::printf("%5zu ", j);
+    std::printf("\n");
+    double off_diag_sum = 0.0;
+    size_t off_diag_n = 0;
+    double min_corr = 1.0;
+    for (size_t i = 0; i < corr.size(); ++i) {
+        std::printf("  %2zu  ", i);
+        for (size_t j = 0; j < corr.size(); ++j) {
+            std::printf("%5.2f ", corr[i][j]);
+            if (i != j) {
+                off_diag_sum += corr[i][j];
+                ++off_diag_n;
+                min_corr = std::min(min_corr, corr[i][j]);
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("  mean off-diagonal correlation: %.3f "
+                "(min %.3f)\n\n",
+                off_diag_sum / static_cast<double>(off_diag_n),
+                min_corr);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int samples = argInt(argc, argv, "--samples", 2000);
+    report(makeBertBase(), squadProfile(), samples);
+    report(makeGpt2Small(), glueProfile(), samples);
+    std::printf("Paper reference: sparsities of different layers are "
+                "highly linearly correlated in both models.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 15 reproduction: robustness across arrival rates. Sweeps the
+ * Poisson request rate from 10 to 40 req/s for multi-AttNNs and
+ * 2 to 6 req/s for multi-CNNs at M_slo = 10x, printing violation
+ * rate, system throughput and ANTT for all schedulers plus Oracle.
+ *
+ * Usage: fig15_arrival_sweep [--requests N] [--seeds K]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/experiments.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 600);
+    int seeds = argInt(argc, argv, "--seeds", 3);
+
+    auto ctx = makeBenchContext();
+
+    std::vector<std::string> schedulers = table5Schedulers();
+    schedulers.push_back("Oracle");
+
+    struct Panel
+    {
+        WorkloadKind kind;
+        std::vector<double> rates;
+    };
+    const Panel panels[] = {
+        {WorkloadKind::MultiAttNN, {10, 15, 20, 25, 30, 35, 40}},
+        {WorkloadKind::MultiCNN, {2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0}},
+    };
+
+    for (const Panel& panel : panels) {
+        std::vector<std::string> header = {"scheduler"};
+        for (double r : panel.rates)
+            header.push_back(AsciiTable::num(r, 1));
+
+        AsciiTable tv("Fig. 15 arrival sweep (violation rate [%]), " +
+                      toString(panel.kind));
+        AsciiTable tt("Fig. 15 arrival sweep (throughput [inf/s]), " +
+                      toString(panel.kind));
+        AsciiTable ta("Fig. 15 arrival sweep (ANTT), " +
+                      toString(panel.kind));
+        tv.setHeader(header);
+        tt.setHeader(header);
+        ta.setHeader(header);
+
+        for (const std::string& name : schedulers) {
+            std::vector<std::string> row_v = {name};
+            std::vector<std::string> row_t = {name};
+            std::vector<std::string> row_a = {name};
+            for (double rate : panel.rates) {
+                WorkloadConfig wl;
+                wl.kind = panel.kind;
+                wl.arrivalRate = rate;
+                wl.sloMultiplier = 10.0;
+                wl.numRequests = requests;
+                wl.seed = 42;
+                Metrics m = runAveraged(*ctx, wl, name, seeds);
+                row_v.push_back(
+                    AsciiTable::num(m.violationRate * 100.0, 1));
+                row_t.push_back(AsciiTable::num(m.throughput, 2));
+                row_a.push_back(AsciiTable::num(m.antt, 1));
+            }
+            tv.addRow(row_v);
+            tt.addRow(row_t);
+            ta.addRow(row_a);
+        }
+        tv.print();
+        tt.print();
+        ta.print();
+    }
+    std::printf("Reproduction target: all metrics rise with the "
+                "arrival rate; throughput saturates identically for "
+                "every scheduler (it is capacity-bound); Dysta's "
+                "lead grows with traffic.\n");
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Table 4 reproduction: RMSE of the sparse latency predictor under
+ * the three sparsity-coefficient strategies (average-all, last-N
+ * with the grid-searched N = 3, last-one) on BERT (SQuAD) and GPT-2
+ * (GLUE).
+ *
+ * Protocol: profile each model, build the LUT from a training split,
+ * then replay held-out samples layer by layer; at every monitored
+ * layer the predictor estimates the end-to-end latency
+ * (executed-so-far + predicted remaining) and the squared error
+ * against the sample's true latency is accumulated.
+ *
+ * Paper reference (RMSE, their latency scale): BERT — average-all
+ * 2.86e-4, last-N 4.19e-4, last-one 2.52e-4; GPT-2 — 2.18e-4,
+ * 4.21e-4, 2.26e-4. The ordering (last-N worst, last-one and
+ * average-all close) is the reproduction target.
+ *
+ * Usage: tab04_predictor_rmse [--samples N]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/latency_predictor.hh"
+#include "core/model_info.hh"
+#include "core/regression_predictor.hh"
+#include "exp/experiments.hh"
+#include "models/zoo.hh"
+#include "trace/profiler.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+namespace {
+
+double
+evaluateRmse(const ModelInfo& info, const TraceSet& test,
+             PredictorStrategy strategy)
+{
+    PredictorConfig cfg;
+    cfg.strategy = strategy;
+
+    std::vector<double> pred;
+    std::vector<double> ref;
+    for (const auto& sample : test.all()) {
+        SparseLatencyPredictor predictor(info, cfg);
+        double executed = 0.0;
+        for (size_t l = 0; l < sample.layers.size(); ++l) {
+            executed += sample.layers[l].latency;
+            if (!sample.layers[l].monitored())
+                continue;
+            predictor.observe(l, sample.layers[l].monitoredSparsity);
+            pred.push_back(executed +
+                           predictor.predictRemaining(l + 1));
+            ref.push_back(sample.totalLatency);
+        }
+    }
+    return rmse(pred, ref);
+}
+
+/**
+ * The learned comparator the paper rules out for hardware: per-
+ * progress linear regression trained on the profiling split.
+ */
+double
+evaluateLearnedRmse(const TraceSet& train, const TraceSet& test)
+{
+    LearnedLatencyPredictor model = LearnedLatencyPredictor::fit(train);
+
+    std::vector<double> pred;
+    std::vector<double> ref;
+    for (const auto& sample : test.all()) {
+        double density_sum = 0.0;
+        size_t observed = 0;
+        double executed = 0.0;
+        for (const auto& layer : sample.layers) {
+            executed += layer.latency;
+            if (!layer.monitored())
+                continue;
+            density_sum += 1.0 - layer.monitoredSparsity;
+            ++observed;
+            pred.push_back(executed + model.predictRemaining(
+                observed,
+                density_sum / static_cast<double>(observed)));
+            ref.push_back(sample.totalLatency);
+        }
+    }
+    return rmse(pred, ref);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int samples = argInt(argc, argv, "--samples", 1500);
+
+    SangerModel sanger;
+    AsciiTable t("Table 4: sparse latency predictor RMSE [ms]");
+    t.setHeader({"model", "average-all", "last-N (3)", "last-one",
+                 "regression*", "mean latency [ms]"});
+
+    for (const char* name : {"bert", "gpt2"}) {
+        ModelDesc model = makeModelByName(name);
+
+        ProfileConfig train_cfg;
+        train_cfg.numSamples = samples;
+        train_cfg.seed = 101;
+        TraceSet train = profileAttn(model, defaultProfileFor(name),
+                                     sanger, train_cfg);
+
+        ProfileConfig test_cfg;
+        test_cfg.numSamples = samples;
+        test_cfg.seed = 202; // held-out population
+        TraceSet test = profileAttn(model, defaultProfileFor(name),
+                                    sanger, test_cfg);
+
+        ModelInfoLut lut;
+        lut.addFromTrace(train);
+        const ModelInfo& info =
+            lut.lookup(name, SparsityPattern::Dense);
+
+        t.addRow({name,
+                  AsciiTable::num(evaluateRmse(info, test,
+                      PredictorStrategy::AverageAll) * 1e3, 3),
+                  AsciiTable::num(evaluateRmse(info, test,
+                      PredictorStrategy::LastN) * 1e3, 3),
+                  AsciiTable::num(evaluateRmse(info, test,
+                      PredictorStrategy::LastOne) * 1e3, 3),
+                  AsciiTable::num(
+                      evaluateLearnedRmse(train, test) * 1e3, 3),
+                  AsciiTable::num(test.avgTotalLatency() * 1e3, 2)});
+    }
+    t.print();
+    std::printf("Reproduction target: last-N trails average-all and "
+                "last-one (mixed layer-type baselines); last-one is "
+                "selected for the hardware (fewest ops).\n"
+                "* regression = per-progress least squares, the "
+                "learning-based comparator Sec. 5.1 rules out for "
+                "hardware; it bounds the accuracy the heuristic "
+                "trades away.\n");
+    return 0;
+}

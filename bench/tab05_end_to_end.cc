@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 5 reproduction: end-to-end ANTT and SLO violation rate of
+ * FCFS, SJF, SDRM3, PREMA, Planaria and Dysta on the multi-AttNN
+ * (30 req/s) and multi-CNN (3 req/s) workloads, M_slo = 10x,
+ * 1000 requests, averaged over five seeds. Oracle and the FP16
+ * hardware implementation of Dysta are appended for reference.
+ *
+ * Paper reference:
+ *   multi-AttNN: FCFS 18.9/55.1, SJF 5.0/15.2, SDRM3 18.9/63.3,
+ *                PREMA 5.4/15.3, Planaria 16.0/6.8, Dysta 4.7/5.1
+ *   multi-CNN:   FCFS 11.4/23.1, SJF 2.6/3.4, SDRM3 9.3/33.7,
+ *                PREMA 3.0/3.2, Planaria 4.2/2.1, Dysta 2.5/2.0
+ *
+ * Usage: tab05_end_to_end [--requests N] [--seeds K] [--samples S]
+ */
+
+#include <cstdio>
+
+#include "exp/experiments.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 1000);
+    int seeds = argInt(argc, argv, "--seeds", 5);
+    int samples = argInt(argc, argv, "--samples", 300);
+
+    BenchSetup setup;
+    setup.samplesPerModel = samples;
+    auto ctx = makeBenchContext(setup);
+
+    for (WorkloadKind kind :
+         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
+        WorkloadConfig wl;
+        wl.kind = kind;
+        wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+        wl.sloMultiplier = 10.0;
+        wl.numRequests = requests;
+        wl.seed = 42;
+
+        AsciiTable t("Table 5, " + toString(kind) + " @ " +
+                     AsciiTable::num(wl.arrivalRate, 0) +
+                     " req/s, M_slo=10x, " + std::to_string(requests) +
+                     " requests x " + std::to_string(seeds) +
+                     " seeds");
+        t.setHeader({"scheduler", "ANTT", "violation [%]"});
+        auto schedulers = table5Schedulers();
+        schedulers.push_back("Oracle");
+        schedulers.push_back("Dysta-HW");
+        for (const std::string& name : schedulers) {
+            Metrics m = runAveraged(*ctx, wl, name, seeds);
+            t.addRow({name, AsciiTable::num(m.antt, 2),
+                      AsciiTable::num(m.violationRate * 100.0, 1)});
+        }
+        t.print();
+    }
+    return 0;
+}

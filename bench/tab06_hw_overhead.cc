@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 6 reproduction: resource overhead of the Dysta hardware
+ * scheduler (Opt_FP16, FIFO depth 64) against the Eyeriss-V2
+ * accelerator it attaches to.
+ *
+ * Paper reference: scheduler 553 LUTs / 3 DSPs / 0.5 KB on-chip RAM;
+ * total overhead 0.55% LUTs, 1.5% DSPs, 0.35% RAM.
+ *
+ * Usage: tab06_hw_overhead
+ */
+
+#include <cstdio>
+
+#include "hw/resource_model.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main()
+{
+    HwDesignConfig cfg{HwPrecision::FP16, true, 64};
+    ResourceEstimate sched = estimateScheduler(cfg);
+    ResourceEstimate eyeriss = eyerissV2Resources();
+    ResourceEstimate total = sched + eyeriss;
+
+    AsciiTable t("Table 6: resource overhead of the Dysta scheduler");
+    t.setHeader({"module", "LUTs", "DSPs", "On-chip RAM [KB]"});
+    t.addRow({"Eyeriss-V2", AsciiTable::num(eyeriss.luts, 0),
+              AsciiTable::num(eyeriss.dsps, 0),
+              AsciiTable::num(eyeriss.ramKB, 1)});
+    t.addRow({"Scheduler (Opt_FP16, depth 64)",
+              AsciiTable::num(sched.luts, 0),
+              AsciiTable::num(sched.dsps, 0),
+              AsciiTable::num(sched.ramKB, 2)});
+    t.addRow({"Dysta-Eyeriss-V2", AsciiTable::num(total.luts, 0),
+              AsciiTable::num(total.dsps, 0),
+              AsciiTable::num(total.ramKB, 2)});
+    t.addRow({"Total overhead [%]",
+              AsciiTable::num(sched.luts / eyeriss.luts * 100.0, 2),
+              AsciiTable::num(sched.dsps / eyeriss.dsps * 100.0, 2),
+              AsciiTable::num(sched.ramKB / eyeriss.ramKB * 100.0,
+                              2)});
+    t.print();
+    std::printf("Paper reference: 553 LUTs / 3 DSPs / 0.5 KB; "
+                "0.55%% / 1.5%% / 0.35%% overhead.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Data-center visual perception scenario (Table 3): object detection
+ * (SSD) and image classification (VGG-16, ResNet-50) served from a
+ * shared sparse CNN accelerator under bursty tenant traffic.
+ *
+ * Sweeps the offered load and shows how Dysta's advantage over the
+ * status-quo schedulers grows as the accelerator saturates — the
+ * capacity-planning view an operator would look at.
+ *
+ * Usage: datacenter_mix [--requests N] [--seeds K]
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "exp/experiments.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 500);
+    int seeds = argInt(argc, argv, "--seeds", 3);
+
+    std::printf("Profiling perception models on Eyeriss-V2...\n");
+    BenchSetup setup;
+    setup.includeAttnn = false;
+    auto ctx = makeBenchContext(setup);
+
+    const double rates[] = {2.0, 3.0, 4.0, 5.0};
+
+    for (const char* metric : {"ANTT", "violation"}) {
+        AsciiTable t(std::string("Data-center multi-CNN: ") + metric +
+                     " vs offered load");
+        std::vector<std::string> header = {"scheduler"};
+        for (double r : rates)
+            header.push_back(AsciiTable::num(r, 1) + " req/s");
+        t.setHeader(header);
+
+        for (const char* name : {"FCFS", "SJF", "Planaria", "Dysta"}) {
+            std::vector<std::string> row = {name};
+            for (double rate : rates) {
+                WorkloadConfig wl;
+                wl.kind = WorkloadKind::MultiCNN;
+                wl.arrivalRate = rate;
+                wl.sloMultiplier = 10.0;
+                wl.numRequests = requests;
+                wl.seed = 21;
+                Metrics m = runAveraged(*ctx, wl, name, seeds);
+                row.push_back(std::string(metric) == "ANTT"
+                    ? AsciiTable::num(m.antt, 2)
+                    : AsciiTable::num(m.violationRate * 100, 1) + "%");
+            }
+            t.addRow(row);
+        }
+        t.print();
+    }
+    std::printf("Read: at 2 req/s any scheduler works; past ~3.5 "
+                "req/s (the accelerator's capacity) only informed "
+                "preemption keeps turnaround and SLOs under "
+                "control.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: build the sparse multi-DNN benchmark, run the Dysta
+ * scheduler against the classic baselines on one workload of each
+ * scenario, and print ANTT / SLO violation rate / throughput.
+ *
+ * Usage: quickstart [--requests N] [--seeds K]
+ */
+
+#include <cstdio>
+
+#include "exp/experiments.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 500);
+    int seeds = argInt(argc, argv, "--seeds", 3);
+
+    std::printf("Building Phase-1 traces (hardware simulation)...\n");
+    auto ctx = makeBenchContext();
+
+    // Show what the profiler measured: mean isolated latency per
+    // model-pattern pair, i.e. the content of the static LUT.
+    AsciiTable lat("Profiled average isolated latency");
+    lat.setHeader({"model", "pattern", "avg latency [ms]", "layers"});
+    for (const auto& model : ctx->models) {
+        auto patterns = model.family == ModelFamily::CNN
+            ? cnnPatterns()
+            : std::vector<SparsityPattern>{SparsityPattern::Dense};
+        for (SparsityPattern p : patterns) {
+            const TraceSet& set = ctx->registry.get(model.name, p);
+            lat.addRow({model.name, toString(p),
+                        AsciiTable::num(set.avgTotalLatency() * 1e3, 2),
+                        std::to_string(set.layerCount())});
+        }
+    }
+    lat.print();
+
+    for (WorkloadKind kind :
+         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
+        WorkloadConfig wl;
+        wl.kind = kind;
+        wl.arrivalRate =
+            kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+        wl.sloMultiplier = 10.0;
+        wl.numRequests = requests;
+        wl.seed = 42;
+
+        AsciiTable table(toString(kind) + " @ " +
+                         AsciiTable::num(wl.arrivalRate, 1) +
+                         " req/s, M_slo=10x");
+        table.setHeader({"scheduler", "ANTT", "violation [%]",
+                         "throughput [inf/s]"});
+        for (const std::string& name : table5Schedulers()) {
+            Metrics m = runAveraged(*ctx, wl, name, seeds);
+            table.addRow({name, AsciiTable::num(m.antt, 2),
+                          AsciiTable::num(m.violationRate * 100.0, 1),
+                          AsciiTable::num(m.throughput, 2)});
+        }
+        table.print();
+    }
+    return 0;
+}

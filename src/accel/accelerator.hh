@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Common accelerator-side types. The CNN (Eyeriss-V2) and AttNN
+ * (Sanger) models share the notion of a per-layer run result: the
+ * latency contribution plus what the hardware zero-count monitor
+ * reports for that layer, which is all the Dysta dynamic scheduler
+ * ever sees at runtime.
+ */
+
+#ifndef DYSTA_ACCEL_ACCELERATOR_HH
+#define DYSTA_ACCEL_ACCELERATOR_HH
+
+#include <cstdint>
+
+namespace dysta {
+
+/** Result of executing one layer on an accelerator model. */
+struct LayerRun
+{
+    /** Wall-clock latency of the layer in seconds. */
+    double latency = 0.0;
+    /** Effectual (non-skipped) MAC operations. */
+    uint64_t effectiveMacs = 0;
+    /** Layer sparsity reported by the zero-count monitor. */
+    double monitoredSparsity = 0.0;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_ACCEL_ACCELERATOR_HH

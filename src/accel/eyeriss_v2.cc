@@ -1,0 +1,82 @@
+#include "accel/eyeriss_v2.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+EyerissV2Model::EyerissV2Model(EyerissV2Config config)
+    : cfg(config)
+{
+    fatalIf(cfg.peCount <= 0, "EyerissV2Model: peCount must be positive");
+    fatalIf(cfg.clockHz <= 0.0, "EyerissV2Model: clock must be positive");
+}
+
+LayerRun
+EyerissV2Model::runLayer(const SparsifiedModel& model, size_t layer,
+                         const CnnActivationSample& sample,
+                         Rng& rng) const
+{
+    const LayerDesc& desc = model.model().layers[layer];
+    const LayerWeightInfo& winfo = model.layerInfo(layer);
+
+    uint64_t dense_macs = desc.macs();
+    double act_density = sample.inputDensity(layer);
+
+    double valid_frac =
+        model.validMacFraction(layer, act_density, rng);
+    // Zero-skipping cannot beat the CSC traversal floor.
+    valid_frac = std::max(valid_frac, cfg.minEffectiveFraction);
+
+    auto eff_macs = static_cast<uint64_t>(
+        std::ceil(static_cast<double>(dense_macs) * valid_frac));
+
+    // Compute-side cycles: PEs discounted by the pattern-dependent
+    // lane utilization and the dataflow mapping efficiency.
+    double macs_per_cycle = static_cast<double>(cfg.peCount) *
+                            winfo.utilization * cfg.mappingEfficiency;
+    double compute_cycles =
+        static_cast<double>(eff_macs) / std::max(macs_per_cycle, 1.0);
+
+    // Memory-side cycles: compressed weights streamed once, input
+    // and output activations in compressed form.
+    double elem = cfg.bytesPerElement * (1.0 + cfg.indexOverhead);
+    double weight_bytes =
+        static_cast<double>(desc.weightCount()) *
+        winfo.weightDensity * elem;
+    double in_bytes = static_cast<double>(desc.inputElems()) *
+                      act_density * elem;
+    double out_density = 1.0 - sample.outSparsity[layer];
+    double out_bytes = static_cast<double>(desc.outputElems()) *
+                       out_density * elem;
+    double bytes_per_cycle = cfg.dramBandwidthBps / cfg.clockHz;
+    double mem_cycles =
+        (weight_bytes + in_bytes + out_bytes) / bytes_per_cycle;
+
+    double cycles = std::max(compute_cycles, mem_cycles) +
+                    cfg.layerOverheadCycles;
+
+    LayerRun run;
+    run.latency = cycles / cfg.clockHz;
+    run.effectiveMacs = eff_macs;
+    // The zero-count monitor only sees layers whose output actually
+    // contains zeros (ReLU-family outputs).
+    run.monitoredSparsity =
+        desc.reluAfter ? sample.outSparsity[layer] : -1.0;
+    return run;
+}
+
+double
+EyerissV2Model::isolatedLatency(const SparsifiedModel& model,
+                                const CnnActivationSample& sample,
+                                Rng& rng) const
+{
+    double total = 0.0;
+    for (size_t l = 0; l < model.model().layers.size(); ++l)
+        total += runLayer(model, l, sample, rng).latency;
+    return total;
+}
+
+} // namespace dysta

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytical Eyeriss-V2 performance model for sparse CNNs.
+ *
+ * Eyeriss-V2 (Chen et al., JETCAS'19) is a row-stationary accelerator
+ * with CSC-compressed weights and activations that skips ineffectual
+ * MACs from both weight and activation zeros. This model reproduces
+ * the quantities the scheduling study needs: per-layer latency as a
+ * function of effective MACs (pattern-dependent), PE utilization,
+ * and a roofline memory bound, following the validated third-party
+ * performance model the paper cites. Per Sec. 6.1 the activation GLB
+ * is raised from 1.5 KB to 2.5 KB to fit ResNet-50/VGG-16 tiles.
+ */
+
+#ifndef DYSTA_ACCEL_EYERISS_V2_HH
+#define DYSTA_ACCEL_EYERISS_V2_HH
+
+#include "accel/accelerator.hh"
+#include "sparsity/activation_model.hh"
+#include "sparsity/weight_sparsity.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** Eyeriss-V2 hardware configuration. */
+struct EyerissV2Config
+{
+    /** Processing elements (16 clusters x 12 PEs). */
+    int peCount = 192;
+    /** Core clock (paper: 200 MHz on the ZU7EV prototype). */
+    double clockHz = 200e6;
+    /** Off-chip bandwidth in bytes/s. */
+    double dramBandwidthBps = 1.6e9;
+    /**
+     * Average spatial-mapping efficiency of the row-stationary
+     * dataflow across layer shapes (PEs idle when a layer does not
+     * tile perfectly onto the hierarchical mesh).
+     */
+    double mappingEfficiency = 0.55;
+    /**
+     * Lower bound on per-MAC issue savings: CSC traversal and control
+     * cap the achievable zero-skipping speed-up, so the effective MAC
+     * fraction never drops below this floor.
+     */
+    double minEffectiveFraction = 0.08;
+    /** Per-layer configuration/drain overhead in cycles. */
+    double layerOverheadCycles = 4000;
+    /** Storage bytes per (quantized) weight or activation. */
+    double bytesPerElement = 1.0;
+    /** CSC index overhead as a fraction of payload bytes. */
+    double indexOverhead = 0.30;
+};
+
+/** Analytical latency model for one sparsified CNN on Eyeriss-V2. */
+class EyerissV2Model
+{
+  public:
+    explicit EyerissV2Model(EyerissV2Config config = {});
+
+    const EyerissV2Config& config() const { return cfg; }
+
+    /**
+     * Execute one layer of a sparsified model for one input sample.
+     * @param rng per-sample stream (channel-subset noise)
+     */
+    LayerRun runLayer(const SparsifiedModel& model, size_t layer,
+                      const CnnActivationSample& sample, Rng& rng) const;
+
+    /** Uninterrupted whole-model latency for one sample (seconds). */
+    double isolatedLatency(const SparsifiedModel& model,
+                           const CnnActivationSample& sample,
+                           Rng& rng) const;
+
+  private:
+    EyerissV2Config cfg;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_ACCEL_EYERISS_V2_HH

@@ -1,0 +1,72 @@
+#include "accel/sanger.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+SangerModel::SangerModel(SangerConfig config)
+    : cfg(config)
+{
+    fatalIf(cfg.peCount <= 0, "SangerModel: peCount must be positive");
+    fatalIf(cfg.clockHz <= 0.0, "SangerModel: clock must be positive");
+}
+
+LayerRun
+SangerModel::runLayer(const ModelDesc& model, size_t layer,
+                      const AttnSample& sample) const
+{
+    panicIf(layer >= model.layers.size(),
+            "SangerModel::runLayer: layer out of range");
+    const LayerDesc& desc = model.layers[layer];
+
+    uint64_t dense_macs = desc.macs(sample.seqLen);
+    double cycles = cfg.layerOverheadCycles;
+    uint64_t eff_macs = dense_macs;
+
+    if (isAttentionStage(desc.kind)) {
+        double density = std::max(sample.maskDensity[layer],
+                                  cfg.minMaskDensity);
+        eff_macs = static_cast<uint64_t>(
+            std::ceil(static_cast<double>(dense_macs) * density));
+        double macs_per_cycle = static_cast<double>(cfg.peCount) *
+                                cfg.sparseEfficiency;
+        cycles += static_cast<double>(eff_macs) / macs_per_cycle;
+        if (desc.kind == LayerKind::AttnScore) {
+            // Low-precision mask prediction runs over the dense score.
+            cycles += cfg.maskPredictOverhead *
+                      static_cast<double>(dense_macs) /
+                      static_cast<double>(cfg.peCount);
+        }
+    } else {
+        double macs_per_cycle = static_cast<double>(cfg.peCount) *
+                                cfg.denseEfficiency;
+        cycles += static_cast<double>(dense_macs) / macs_per_cycle;
+    }
+
+    LayerRun run;
+    run.latency = cycles / cfg.clockHz;
+    run.effectiveMacs = eff_macs;
+    // Monitor events exist where zeros exist: the pruned attention
+    // mask and ReLU/GELU FFN activations; dense projection outputs
+    // yield nothing to count.
+    if (isAttentionStage(desc.kind) || desc.reluAfter)
+        run.monitoredSparsity = sample.laySparsity[layer];
+    else
+        run.monitoredSparsity = -1.0;
+    return run;
+}
+
+double
+SangerModel::isolatedLatency(const ModelDesc& model,
+                             const AttnSample& sample) const
+{
+    double total = 0.0;
+    for (size_t l = 0; l < model.layers.size(); ++l)
+        total += runLayer(model, l, sample).latency;
+    return total;
+}
+
+} // namespace dysta

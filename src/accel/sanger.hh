@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Analytical Sanger performance model for dynamically sparse AttNNs.
+ *
+ * Sanger (Lu et al., MICRO'21) predicts the attention mask with a
+ * low-precision Q.K pass, then packs the surviving entries into a
+ * load-balanced reconfigurable systolic array. Dense projections
+ * (QKV / output / FFN) run as regular GEMMs; the score and context
+ * stages scale with the per-sample mask density at a pack-and-split
+ * efficiency below 1, plus the mask-prediction overhead.
+ */
+
+#ifndef DYSTA_ACCEL_SANGER_HH
+#define DYSTA_ACCEL_SANGER_HH
+
+#include "accel/accelerator.hh"
+#include "models/model.hh"
+#include "sparsity/attention_model.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** Sanger hardware configuration. */
+struct SangerConfig
+{
+    /** MAC units in the reconfigurable systolic array. */
+    int peCount = 1024;
+    /** Core clock. */
+    double clockHz = 530e6;
+    /** GEMM efficiency of dense projections on the array. */
+    double denseEfficiency = 0.75;
+    /** Pack-and-split efficiency for mask-sparse stages. */
+    double sparseEfficiency = 0.85;
+    /**
+     * Mask-prediction overhead: low-precision Q.K pass cost as a
+     * fraction of the dense score-stage cost.
+     */
+    double maskPredictOverhead = 0.15;
+    /** Minimum mask density the packed array can exploit. */
+    double minMaskDensity = 0.05;
+    /** Per-layer configuration overhead in cycles. */
+    double layerOverheadCycles = 1500;
+};
+
+/** Analytical latency model for one AttNN on Sanger. */
+class SangerModel
+{
+  public:
+    explicit SangerModel(SangerConfig config = {});
+
+    const SangerConfig& config() const { return cfg; }
+
+    /** Execute one layer block of the model for one prompt. */
+    LayerRun runLayer(const ModelDesc& model, size_t layer,
+                      const AttnSample& sample) const;
+
+    /** Uninterrupted whole-model latency for one prompt (seconds). */
+    double isolatedLatency(const ModelDesc& model,
+                           const AttnSample& sample) const;
+
+  private:
+    SangerConfig cfg;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_ACCEL_SANGER_HH

@@ -1,0 +1,141 @@
+#include "core/dysta.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+DystaScheduler::DystaScheduler(const ModelInfoLut& lut,
+                               DystaConfig config)
+    : lut(&lut), cfg(config)
+{
+}
+
+std::string
+DystaScheduler::name() const
+{
+    if (!cfg.dynamicLevel)
+        return "Dysta-w/o-sparse";
+    if (!cfg.sparsityAware)
+        return "Dysta-static-dyn";
+    return "Dysta";
+}
+
+void
+DystaScheduler::reset()
+{
+    state.clear();
+}
+
+void
+DystaScheduler::onArrival(const Request& req, double now)
+{
+    (void)now;
+    const ModelInfo& info = lut->lookup(req.modelName, req.pattern);
+
+    // Alg. 1: Lat from the LUT; slack against the request's SLO;
+    // initial score balances ANTT (latency term) and violations
+    // (slack term) through beta.
+    double lat = info.avgLatency;
+    double slo_rel = req.deadline - req.arrival;
+    double slack = slo_rel - lat;
+    double score = lat + cfg.beta * slack;
+
+    auto [it, inserted] = state.try_emplace(
+        req.id, info, cfg.predictor);
+    panicIf(!inserted, "Dysta: duplicate request id");
+    it->second.staticScore = score;
+}
+
+void
+DystaScheduler::onLayerComplete(const Request& req, double now,
+                                double monitored_sparsity)
+{
+    (void)now;
+    if (!cfg.dynamicLevel || !cfg.sparsityAware)
+        return;
+    // Alg. 3 line 3: only when the monitor captured the layer.
+    if (monitored_sparsity < 0.0)
+        return;
+    auto it = state.find(req.id);
+    panicIf(it == state.end(), "Dysta: unknown request");
+    // Zero-count monitor feeds the per-request predictor (Alg. 3).
+    it->second.predictor.observe(req.nextLayer - 1, monitored_sparsity);
+}
+
+void
+DystaScheduler::onComplete(const Request& req, double now)
+{
+    (void)now;
+    state.erase(req.id);
+}
+
+double
+DystaScheduler::dynamicScore(const Request& req, double now,
+                             size_t queue_size) const
+{
+    auto it = state.find(req.id);
+    panicIf(it == state.end(), "Dysta: unknown request");
+    const RequestState& rs = it->second;
+
+    // T_remain: sparsity-refined for requests with monitored layers,
+    // the profiled average for untouched ones (gamma == 1).
+    double remaining = rs.predictor.predictRemaining(req.nextLayer);
+
+    double isol = std::max(estIsolated(*lut, req), 1e-12);
+    double slack = std::clamp(req.deadline - now - remaining,
+                              cfg.slackFloor,
+                              cfg.slackCapFactor * isol);
+    double wait = std::max(0.0, now - req.lastRunEnd);
+    double penalty = std::min(wait / isol, cfg.penaltyCap) /
+                     static_cast<double>(queue_size);
+
+    return remaining + cfg.eta * (slack + penalty);
+}
+
+size_t
+DystaScheduler::selectNext(const std::vector<const Request*>& ready,
+                           double now)
+{
+    size_t best = 0;
+    double best_score = 0.0;
+    for (size_t i = 0; i < ready.size(); ++i) {
+        double score;
+        if (cfg.dynamicLevel) {
+            score = dynamicScore(*ready[i], now, ready.size());
+        } else {
+            auto it = state.find(ready[i]->id);
+            panicIf(it == state.end(), "Dysta: unknown request");
+            score = it->second.staticScore;
+        }
+        if (i == 0 || score < best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+DystaConfig
+dystaWithoutSparseConfig()
+{
+    DystaConfig cfg;
+    cfg.sparsityAware = false;
+    cfg.dynamicLevel = false;
+    return cfg;
+}
+
+DystaConfig
+tunedDystaConfig(bool cnn_workload)
+{
+    // Grid-searched on the benchmark (bench/ablation_hyperparams):
+    // CNN slacks span seconds and benefit from a stronger deadline
+    // tilt; AttNN workloads run closer to saturation where the
+    // shortest-predicted-remaining ordering dominates.
+    DystaConfig cfg;
+    cfg.eta = cnn_workload ? 0.06 : 0.02;
+    return cfg;
+}
+
+} // namespace dysta

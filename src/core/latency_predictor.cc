@@ -1,0 +1,112 @@
+#include "core/latency_predictor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::string
+toString(PredictorStrategy strategy)
+{
+    switch (strategy) {
+      case PredictorStrategy::AverageAll: return "average-all";
+      case PredictorStrategy::LastN: return "last-n";
+      case PredictorStrategy::LastOne: return "last-one";
+    }
+    panic("toString: unknown PredictorStrategy");
+}
+
+SparseLatencyPredictor::SparseLatencyPredictor(const ModelInfo& info,
+                                               PredictorConfig config)
+    : info(&info), cfg(config)
+{
+    fatalIf(cfg.lastN < 1, "SparseLatencyPredictor: lastN must be >= 1");
+}
+
+void
+SparseLatencyPredictor::observe(size_t layer, double monitored_sparsity)
+{
+    panicIf(layer >= info->avgLayerSparsity.size(),
+            "SparseLatencyPredictor::observe: layer out of range");
+    panicIf(monitored_sparsity < 0.0,
+            "SparseLatencyPredictor::observe: unmonitored layer");
+    panicIf(info->avgLayerSparsity[layer] < 0.0,
+            "SparseLatencyPredictor::observe: layer has no profiled "
+            "sparsity baseline");
+    observedLayers.push_back(layer);
+    observedSparsity.push_back(monitored_sparsity);
+}
+
+double
+SparseLatencyPredictor::clampGamma(double g) const
+{
+    return std::clamp(g, cfg.gammaMin, cfg.gammaMax);
+}
+
+double
+SparseLatencyPredictor::gamma() const
+{
+    if (observedLayers.empty())
+        return 1.0;
+
+    auto density = [](double sparsity) {
+        return std::clamp(1.0 - sparsity, 1e-3, 1.0);
+    };
+
+    switch (cfg.strategy) {
+      case PredictorStrategy::AverageAll: {
+        // Observed mean density vs the network-average density.
+        double obs = 0.0;
+        for (double s : observedSparsity)
+            obs += density(s);
+        obs /= static_cast<double>(observedSparsity.size());
+        double base = density(info->avgNetworkSparsity);
+        return clampGamma(obs / base);
+      }
+      case PredictorStrategy::LastN: {
+        // Mean of the last N observations, but baselined on the
+        // current layer's LUT entry only (Alg. 3 fetches S_avg(i,j)):
+        // mixing layer types into the numerator is what degrades
+        // this strategy in Table 4.
+        size_t n = std::min<size_t>(cfg.lastN, observedSparsity.size());
+        double obs = 0.0;
+        for (size_t k = observedSparsity.size() - n;
+             k < observedSparsity.size(); ++k) {
+            obs += density(observedSparsity[k]);
+        }
+        obs /= static_cast<double>(n);
+        double base =
+            density(info->avgLayerSparsity[observedLayers.back()]);
+        return clampGamma(obs / base);
+      }
+      case PredictorStrategy::LastOne: {
+        double obs = density(observedSparsity.back());
+        double base =
+            density(info->avgLayerSparsity[observedLayers.back()]);
+        return clampGamma(obs / base);
+      }
+    }
+    panic("SparseLatencyPredictor: unknown strategy");
+}
+
+double
+SparseLatencyPredictor::predictRemaining(size_t next_layer) const
+{
+    return cfg.alpha * gamma() * info->estRemaining(next_layer);
+}
+
+double
+SparseLatencyPredictor::predictTotal() const
+{
+    return cfg.alpha * gamma() * info->avgLatency;
+}
+
+void
+SparseLatencyPredictor::reset()
+{
+    observedLayers.clear();
+    observedSparsity.clear();
+}
+
+} // namespace dysta

@@ -1,0 +1,81 @@
+#include "core/regression_predictor.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+LearnedLatencyPredictor
+LearnedLatencyPredictor::fit(const TraceSet& traces)
+{
+    fatalIf(traces.empty(),
+            "LearnedLatencyPredictor::fit: empty trace set");
+
+    // Gather (mean-density-so-far, remaining-latency) pairs per
+    // count of monitored observations. "Remaining" is measured after
+    // the current layer completes, matching the instant Alg. 3 makes
+    // its estimate.
+    std::vector<std::vector<std::pair<double, double>>> points;
+    for (const auto& sample : traces.all()) {
+        double density_sum = 0.0;
+        size_t observed = 0;
+        double executed = 0.0;
+        for (const auto& layer : sample.layers) {
+            executed += layer.latency;
+            if (!layer.monitored())
+                continue;
+            density_sum +=
+                std::clamp(1.0 - layer.monitoredSparsity, 0.0, 1.0);
+            ++observed;
+            if (points.size() < observed)
+                points.resize(observed);
+            points[observed - 1].push_back(
+                {density_sum / static_cast<double>(observed),
+                 sample.totalLatency - executed});
+        }
+    }
+    fatalIf(points.empty(),
+            "LearnedLatencyPredictor::fit: no monitored layers");
+
+    LearnedLatencyPredictor model;
+    model.slope.resize(points.size());
+    model.intercept.resize(points.size());
+    for (size_t j = 0; j < points.size(); ++j) {
+        const auto& pts = points[j];
+        double n = static_cast<double>(pts.size());
+        double sx = 0.0;
+        double sy = 0.0;
+        double sxx = 0.0;
+        double sxy = 0.0;
+        for (const auto& [x, y] : pts) {
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        double denom = n * sxx - sx * sx;
+        if (denom <= 1e-18 || pts.size() < 2) {
+            // Degenerate (constant density): fall back to the mean.
+            model.slope[j] = 0.0;
+            model.intercept[j] = n > 0.0 ? sy / n : 0.0;
+        } else {
+            model.slope[j] = (n * sxy - sx * sy) / denom;
+            model.intercept[j] =
+                (sy - model.slope[j] * sx) / n;
+        }
+    }
+    return model;
+}
+
+double
+LearnedLatencyPredictor::predictRemaining(size_t observed,
+                                          double mean_density) const
+{
+    panicIf(observed == 0,
+            "LearnedLatencyPredictor: need at least one observation");
+    size_t j = std::min(observed, slope.size()) - 1;
+    return slope[j] * mean_density + intercept[j];
+}
+
+} // namespace dysta

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Learned latency predictor — the "costly but accurate" comparator.
+ *
+ * Sec. 5.1 argues that learning-based predictors (Gaussian processes,
+ * random forests, DNNs) are too expensive for a hardware scheduler
+ * invoked at layer granularity, and adopts the linear
+ * sparsity-coefficient heuristic instead. This class implements the
+ * cheapest member of the learned family — per-progress ordinary
+ * least squares from Phase-1 traces — so the accuracy gap the paper
+ * trades away can be measured (bench/tab04_predictor_rmse).
+ *
+ * For every count j of monitored observations it fits
+ *     remaining_latency ~= slope_j * mean_density + intercept_j
+ * where mean_density averages the monitored layer densities observed
+ * so far; the end-to-end estimate is executed-so-far plus the
+ * predicted remainder, exactly the quantity Alg. 3 estimates with
+ * gamma. Unlike Alg. 3 this needs offline training data per
+ * model-pattern pair and a multiply-add per LUT-resident coefficient
+ * pair at runtime, plus storage for 2 x layers coefficients.
+ */
+
+#ifndef DYSTA_CORE_REGRESSION_PREDICTOR_HH
+#define DYSTA_CORE_REGRESSION_PREDICTOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace dysta {
+
+/** Per-progress linear regression latency predictor. */
+class LearnedLatencyPredictor
+{
+  public:
+    /**
+     * Fit from a training trace set.
+     * @pre traces non-empty with at least one monitored layer.
+     */
+    static LearnedLatencyPredictor fit(const TraceSet& traces);
+
+    /**
+     * Predict the latency still ahead after `observed` monitored
+     * layers whose densities average `mean_density`. `observed`
+     * clamps to the trained range.
+     * @pre observed >= 1
+     */
+    double predictRemaining(size_t observed,
+                            double mean_density) const;
+
+    /** Number of per-progress models (== monitored layer count). */
+    size_t stages() const { return slope.size(); }
+
+    /** Coefficient storage in bytes (FP32), for the overhead story. */
+    size_t coefficientBytes() const { return stages() * 2 * 4; }
+
+  private:
+    std::vector<double> slope;
+    std::vector<double> intercept;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_CORE_REGRESSION_PREDICTOR_HH

@@ -1,0 +1,174 @@
+#include "exp/experiments.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hw/hw_scheduler.hh"
+#include "models/zoo.hh"
+#include "sched/fcfs.hh"
+#include "sched/oracle.hh"
+#include "sched/planaria.hh"
+#include "sched/prema.hh"
+#include "sched/sdrm3.hh"
+#include "sched/sjf.hh"
+#include "trace/profiler.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::unique_ptr<BenchContext>
+makeBenchContext(BenchSetup setup)
+{
+    auto ctx = std::make_unique<BenchContext>();
+
+    ProfileConfig pcfg;
+    pcfg.numSamples = setup.samplesPerModel;
+    pcfg.seed = setup.seed;
+    pcfg.cnnSparsityRate = setup.cnnSparsityRate;
+
+    if (setup.includeCnn) {
+        for (const std::string& name : workloadModels(
+                 WorkloadKind::MultiCNN)) {
+            bool known = false;
+            for (const auto& m : ctx->models)
+                known = known || m.name == name;
+            if (known)
+                continue;
+            ModelDesc model = makeModelByName(name);
+            for (SparsityPattern pattern : cnnPatterns()) {
+                ctx->registry.add(profileCnn(
+                    model, pattern, defaultProfileFor(name),
+                    ctx->eyeriss, pcfg));
+            }
+            ctx->models.push_back(std::move(model));
+        }
+    }
+    if (setup.includeAttnn) {
+        for (const std::string& name : workloadModels(
+                 WorkloadKind::MultiAttNN)) {
+            ModelDesc model = makeModelByName(name);
+            ctx->registry.add(profileAttn(model, defaultProfileFor(name),
+                                          ctx->sanger, pcfg));
+            ctx->models.push_back(std::move(model));
+        }
+    }
+
+    ctx->lut = ctx->registry.buildLut();
+    return ctx;
+}
+
+std::vector<std::string>
+table5Schedulers()
+{
+    return {"FCFS", "SJF", "SDRM3", "PREMA", "Planaria", "Dysta"};
+}
+
+std::vector<std::string>
+allSchedulers()
+{
+    return {"FCFS", "SJF", "SDRM3", "PREMA", "Planaria",
+            "Oracle", "Dysta", "Dysta-w/o-sparse", "Dysta-HW"};
+}
+
+std::unique_ptr<Scheduler>
+makeSchedulerByName(const std::string& name, const BenchContext& ctx,
+                    WorkloadKind kind)
+{
+    bool cnn = kind == WorkloadKind::MultiCNN;
+    if (name == "FCFS")
+        return std::make_unique<FcfsScheduler>();
+    if (name == "SJF")
+        return std::make_unique<SjfScheduler>(ctx.lut);
+    if (name == "PREMA")
+        return std::make_unique<PremaScheduler>(ctx.lut);
+    if (name == "Planaria")
+        return std::make_unique<PlanariaScheduler>(ctx.lut);
+    if (name == "SDRM3")
+        return std::make_unique<Sdrm3Scheduler>(ctx.lut);
+    if (name == "Oracle") {
+        return std::make_unique<OracleScheduler>(
+            tunedDystaConfig(cnn).eta);
+    }
+    if (name == "Dysta") {
+        return std::make_unique<DystaScheduler>(ctx.lut,
+                                                tunedDystaConfig(cnn));
+    }
+    if (name == "Dysta-w/o-sparse") {
+        return std::make_unique<DystaScheduler>(
+            ctx.lut, dystaWithoutSparseConfig());
+    }
+    if (name == "Dysta-HW") {
+        HwSchedulerConfig hw_cfg;
+        hw_cfg.eta = tunedDystaConfig(cnn).eta;
+        return std::make_unique<DystaHwScheduler>(ctx.lut, ctx.models,
+                                                  hw_cfg);
+    }
+    fatal("makeSchedulerByName: unknown scheduler '" + name + "'");
+}
+
+EngineResult
+runOne(const BenchContext& ctx, const WorkloadConfig& workload,
+       Scheduler& policy)
+{
+    std::vector<Request> requests =
+        generateWorkload(workload, ctx.registry);
+    SchedulerEngine engine;
+    return engine.run(requests, policy);
+}
+
+Metrics
+runAveraged(const BenchContext& ctx, WorkloadConfig workload,
+            const std::string& scheduler_name, int num_seeds)
+{
+    fatalIf(num_seeds <= 0, "runAveraged: need at least one seed");
+    auto policy = makeSchedulerByName(scheduler_name, ctx,
+                                      workload.kind);
+
+    Metrics avg;
+    uint64_t base_seed = workload.seed;
+    for (int s = 0; s < num_seeds; ++s) {
+        workload.seed = base_seed + static_cast<uint64_t>(s);
+        EngineResult result = runOne(ctx, workload, *policy);
+        const Metrics& m = result.metrics;
+        avg.antt += m.antt;
+        avg.violationRate += m.violationRate;
+        avg.throughput += m.throughput;
+        avg.stp += m.stp;
+        avg.p99Turnaround += m.p99Turnaround;
+        avg.makespan += m.makespan;
+        avg.completed += m.completed;
+    }
+    double n = static_cast<double>(num_seeds);
+    avg.antt /= n;
+    avg.violationRate /= n;
+    avg.throughput /= n;
+    avg.stp /= n;
+    avg.p99Turnaround /= n;
+    avg.makespan /= n;
+    avg.completed = static_cast<size_t>(
+        static_cast<double>(avg.completed) / n);
+    return avg;
+}
+
+int
+argInt(int argc, char** argv, const std::string& flag, int fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i])
+            return std::atoi(argv[i + 1]);
+    }
+    return fallback;
+}
+
+double
+argDouble(int argc, char** argv, const std::string& flag,
+          double fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i])
+            return std::atof(argv[i + 1]);
+    }
+    return fallback;
+}
+
+} // namespace dysta

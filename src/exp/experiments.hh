@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared experiment harness for the bench binaries and examples:
+ * builds the Phase-1 trace pools, constructs schedulers by name, runs
+ * seeded workloads and averages metrics — the glue of Fig. 7.
+ */
+
+#ifndef DYSTA_EXP_EXPERIMENTS_HH
+#define DYSTA_EXP_EXPERIMENTS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/eyeriss_v2.hh"
+#include "accel/sanger.hh"
+#include "core/dysta.hh"
+#include "sched/engine.hh"
+#include "workload/workload.hh"
+
+namespace dysta {
+
+/** Everything a scheduling experiment needs, built once. */
+struct BenchContext
+{
+    EyerissV2Model eyeriss;
+    SangerModel sanger;
+    TraceRegistry registry;
+    ModelInfoLut lut;
+    /** Architectures of every profiled model (for the HW scheduler). */
+    std::vector<ModelDesc> models;
+
+    BenchContext() = default;
+    BenchContext(const BenchContext&) = delete;
+    BenchContext& operator=(const BenchContext&) = delete;
+};
+
+/** Phase-1 setup knobs. */
+struct BenchSetup
+{
+    int samplesPerModel = 300;
+    uint64_t seed = 7;
+    double cnnSparsityRate = 0.6;
+    bool includeAttnn = true;
+    bool includeCnn = true;
+};
+
+/** Profile all benchmark models and build the LUT. */
+std::unique_ptr<BenchContext> makeBenchContext(BenchSetup setup = {});
+
+/** Baseline scheduler names in the paper's Table 5 order. */
+std::vector<std::string> table5Schedulers();
+
+/** All scheduler names this harness can construct. */
+std::vector<std::string> allSchedulers();
+
+/**
+ * Construct a scheduler by name: FCFS, SJF, SDRM3, PREMA, Planaria,
+ * Oracle, Dysta, Dysta-w/o-sparse or Dysta-HW. Dysta and Oracle use
+ * the per-scenario tuned eta. fatal() on unknown names.
+ */
+std::unique_ptr<Scheduler>
+makeSchedulerByName(const std::string& name, const BenchContext& ctx,
+                    WorkloadKind kind = WorkloadKind::MultiAttNN);
+
+/** Run one generated workload under one policy. */
+EngineResult runOne(const BenchContext& ctx,
+                    const WorkloadConfig& workload, Scheduler& policy);
+
+/**
+ * Run `num_seeds` workloads (seeds workload.seed, +1, ...) and return
+ * field-wise averaged metrics, as the paper reports.
+ */
+Metrics runAveraged(const BenchContext& ctx, WorkloadConfig workload,
+                    const std::string& scheduler_name, int num_seeds);
+
+/** Parse "--flag value" integer arguments for bench binaries. */
+int argInt(int argc, char** argv, const std::string& flag,
+           int fallback);
+
+/** Parse "--flag value" floating-point arguments. */
+double argDouble(int argc, char** argv, const std::string& flag,
+                 double fallback);
+
+} // namespace dysta
+
+#endif // DYSTA_EXP_EXPERIMENTS_HH

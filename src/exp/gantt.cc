@@ -1,0 +1,89 @@
+#include "exp/gantt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::string
+renderGantt(const std::vector<ScheduleEvent>& events,
+            const std::vector<Request>& requests, GanttConfig config)
+{
+    if (events.empty())
+        return "(no schedule events recorded)\n";
+    panicIf(config.columns == 0, "renderGantt: zero columns");
+
+    double t0 = config.windowStart;
+    double t1 = config.windowEnd;
+    if (t1 <= t0) {
+        t1 = 0.0;
+        for (const auto& ev : events)
+            t1 = std::max(t1, ev.end);
+    }
+    double span = t1 - t0;
+    if (span <= 0.0)
+        return "(empty time window)\n";
+
+    // Busy time per request inside the window, for row selection.
+    std::map<int, double> busy;
+    for (const auto& ev : events) {
+        double lo = std::max(ev.start, t0);
+        double hi = std::min(ev.end, t1);
+        if (hi > lo)
+            busy[ev.requestId] += hi - lo;
+    }
+    std::vector<std::pair<int, double>> rows(busy.begin(), busy.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.second > b.second;
+                     });
+    if (rows.size() > config.maxRows)
+        rows.resize(config.maxRows);
+    std::sort(rows.begin(), rows.end());
+
+    std::map<int, const Request*> by_id;
+    for (const auto& req : requests)
+        by_id[req.id] = &req;
+
+    double col_width = span / static_cast<double>(config.columns);
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "Gantt %.4fs .. %.4fs (col = %.4fs)\n", t0, t1,
+                  col_width);
+    std::string out = head;
+
+    for (const auto& [id, busy_time] : rows) {
+        (void)busy_time;
+        std::string lane(config.columns, '.');
+        for (const auto& ev : events) {
+            if (ev.requestId != id)
+                continue;
+            double lo = std::max(ev.start, t0);
+            double hi = std::min(ev.end, t1);
+            if (hi <= lo)
+                continue;
+            auto c0 = static_cast<size_t>((lo - t0) / col_width);
+            // An event ending exactly on a column boundary does not
+            // own that column.
+            double hi_cols = (hi - t0) / col_width;
+            auto c1 = static_cast<size_t>(
+                std::max(std::ceil(hi_cols) - 1.0, 0.0));
+            c0 = std::min(c0, config.columns - 1);
+            c1 = std::min(std::max(c1, c0), config.columns - 1);
+            for (size_t c = c0; c <= c1; ++c)
+                lane[c] = '#';
+        }
+        const Request* req = by_id.count(id) ? by_id.at(id) : nullptr;
+        char label[64];
+        std::snprintf(label, sizeof(label), "%4d %-10s |", id,
+                      req ? req->modelName.c_str() : "?");
+        out += label + lane + "|\n";
+    }
+    return out;
+}
+
+} // namespace dysta

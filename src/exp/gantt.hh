@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII Gantt renderer for engine schedule events: one row per
+ * request, time bucketed into fixed-width columns, '#' where the
+ * request holds the accelerator. Makes preemption behaviour visible
+ * in examples and debugging sessions.
+ */
+
+#ifndef DYSTA_EXP_GANTT_HH
+#define DYSTA_EXP_GANTT_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/engine.hh"
+
+namespace dysta {
+
+/** Gantt rendering options. */
+struct GanttConfig
+{
+    /** Chart width in character columns. */
+    size_t columns = 72;
+    /** Start of the rendered window (seconds). */
+    double windowStart = 0.0;
+    /** End of the window; <= start means "until the last event". */
+    double windowEnd = 0.0;
+    /** Maximum number of request rows (longest-running first). */
+    size_t maxRows = 24;
+};
+
+/**
+ * Render schedule events as an ASCII Gantt chart.
+ * @param events   engine events (EngineConfig::recordEvents)
+ * @param requests the requests the events refer to (for labels)
+ */
+std::string renderGantt(const std::vector<ScheduleEvent>& events,
+                        const std::vector<Request>& requests,
+                        GanttConfig config = {});
+
+} // namespace dysta
+
+#endif // DYSTA_EXP_GANTT_HH

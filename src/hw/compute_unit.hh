@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The reconfigurable compute unit of the Dysta hardware scheduler
+ * (Sec. 5.2.2, Fig. 11). One shared datapath of two adders, two
+ * subtractors and three multipliers is multiplexed between two
+ * dataflows:
+ *
+ *  (a) sparsity-coefficient mode: gamma from the zero count, the
+ *      pre-computed reciprocal of the layer shape, and the cached
+ *      reciprocal of the profile-average density (divisions folded
+ *      into multiplications, per the paper's optimization);
+ *  (b) score mode: score = remain + eta * (slack + penalty), with the
+ *      normalized-isolation and queue-size divisions likewise folded
+ *      into reciprocal multiplications.
+ *
+ * All arithmetic is performed in the configured precision (FP16 in
+ * the optimized design); cycle counts model a pipelined unit with
+ * initiation interval 1 and one cycle per arithmetic stage.
+ */
+
+#ifndef DYSTA_HW_COMPUTE_UNIT_HH
+#define DYSTA_HW_COMPUTE_UNIT_HH
+
+#include <cstdint>
+
+#include "util/fp16.hh"
+
+namespace dysta {
+
+/** Arithmetic precision of the scheduler datapath. */
+enum class HwPrecision
+{
+    FP32,
+    FP16,
+};
+
+/** Result of one compute-unit invocation. */
+struct CuResult
+{
+    double value = 0.0;
+    uint64_t cycles = 0;
+};
+
+/** Shared reconfigurable compute unit. */
+class ComputeUnit
+{
+  public:
+    explicit ComputeUnit(HwPrecision precision = HwPrecision::FP16);
+
+    HwPrecision precision() const { return prec; }
+
+    /**
+     * Mode (a): sparsity coefficient.
+     * density   = (shape - num_zeros) * recip_shape
+     * gamma     = density * recip_avg_density
+     */
+    CuResult sparsityCoeff(uint64_t num_zeros, uint64_t shape,
+                           double recip_avg_density);
+
+    /**
+     * Mode (b): request score.
+     * remain  = gamma * avg_remaining
+     * slack   = clamp(ddl_minus_now - remain, slack_floor, slack_cap)
+     *           (the time difference is formed on the controller's
+     *           integer cycle counter; the clamps are comparators)
+     * penalty = min(wait * recip_isolation, penalty_cap) * recip_queue
+     * score   = remain + eta * (slack + penalty)
+     */
+    CuResult score(double gamma, double avg_remaining,
+                   double ddl_minus_now, double wait,
+                   double recip_isolation, double recip_queue,
+                   double eta, double slack_floor, double slack_cap,
+                   double penalty_cap);
+
+    /** Total cycles spent since construction/reset. */
+    uint64_t totalCycles() const { return cycles; }
+    /** Total arithmetic operations issued. */
+    uint64_t totalOps() const { return ops; }
+
+    void resetCounters();
+
+  private:
+    HwPrecision prec;
+    uint64_t cycles = 0;
+    uint64_t ops = 0;
+
+    /** Round a value through the datapath precision. */
+    double quantize(double v) const;
+
+    /** Issue one arithmetic op (cycle + counter bookkeeping). */
+    double emit(double v);
+};
+
+} // namespace dysta
+
+#endif // DYSTA_HW_COMPUTE_UNIT_HH

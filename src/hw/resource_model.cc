@@ -1,0 +1,135 @@
+#include "hw/resource_model.hh"
+
+#include <cmath>
+
+namespace dysta {
+
+namespace {
+
+/** Per-operator FPGA costs (Zynq-class, calibrated to Table 6). */
+struct OpCost
+{
+    double luts;
+    double ffs;
+    double dsps;
+};
+
+OpCost
+addSubCost(HwPrecision p)
+{
+    return p == HwPrecision::FP32 ? OpCost{215, 170, 2}
+                                  : OpCost{60, 50, 0};
+}
+
+OpCost
+multCost(HwPrecision p)
+{
+    return p == HwPrecision::FP32 ? OpCost{135, 120, 3}
+                                  : OpCost{40, 35, 1};
+}
+
+OpCost
+divCost(HwPrecision p)
+{
+    return p == HwPrecision::FP32 ? OpCost{780, 950, 0}
+                                  : OpCost{300, 360, 0};
+}
+
+/** 2:1 mux / demux over one datapath word. */
+double
+muxLuts(HwPrecision p)
+{
+    return p == HwPrecision::FP32 ? 16.0 : 4.0;
+}
+
+} // namespace
+
+ResourceEstimate
+ResourceEstimate::operator+(const ResourceEstimate& o) const
+{
+    return {luts + o.luts, ffs + o.ffs, dsps + o.dsps,
+            ramKB + o.ramKB};
+}
+
+std::string
+designName(const HwDesignConfig& config)
+{
+    std::string prec =
+        config.precision == HwPrecision::FP32 ? "FP32" : "FP16";
+    return (config.sharedComputeUnit ? "Opt_" : "Non_Opt_") + prec;
+}
+
+ResourceEstimate
+estimateScheduler(const HwDesignConfig& config)
+{
+    ResourceEstimate total;
+    HwPrecision p = config.precision;
+
+    int mults;
+    int addsubs;
+    int divs;
+    int muxes;
+    if (config.sharedComputeUnit) {
+        // One reconfigurable unit (Fig. 10 right): three multipliers,
+        // two adders, two subtractors; divisions folded into
+        // reciprocal multiplications; muxes steer the two dataflows.
+        mults = 3;
+        addsubs = 4;
+        divs = 0;
+        muxes = 6;
+    } else {
+        // Separate coefficient and score units with real dividers:
+        // coeff (1 sub, 1 div, 2 mult) + score (3 mult, 2 add,
+        // 2 sub, 2 div).
+        mults = 5;
+        addsubs = 5;
+        divs = 3;
+        muxes = 0;
+    }
+
+    auto acc = [&](const OpCost& c, int n) {
+        total.luts += c.luts * n;
+        total.ffs += c.ffs * n;
+        total.dsps += c.dsps * n;
+    };
+    acc(multCost(p), mults);
+    acc(addSubCost(p), addsubs);
+    acc(divCost(p), divs);
+    total.luts += muxLuts(p) * muxes;
+
+    // Controller FSM, zero-count monitor, argmin comparator.
+    total.luts += 80 + 40 + (p == HwPrecision::FP32 ? 45 : 25);
+    total.ffs += 70 + 35 + 20;
+
+    // Request FIFOs in distributed LUTRAM: tag(8) + score + SLO +
+    // info-id(8) bits per entry; one LUT implements a 64-deep
+    // single-bit column.
+    double width_bits = p == HwPrecision::FP32 ? 8 + 32 + 32 + 8
+                                               : 8 + 16 + 16 + 8;
+    double depth = static_cast<double>(config.fifoDepth);
+    total.luts += width_bits * std::ceil(depth / 64.0);
+    total.ffs += width_bits + 2.0 * std::ceil(std::log2(depth)) + 8;
+
+    // On-chip RAM: FIFO payload plus the latency/sparsity/shape LUT
+    // entries (32 model-pattern slots).
+    double entry_bytes = p == HwPrecision::FP32 ? 8.0 : 4.0;
+    total.ramKB =
+        (depth * width_bits / 8.0 + 32.0 * entry_bytes) / 1024.0;
+
+    return total;
+}
+
+ResourceEstimate
+eyerissV2Resources()
+{
+    // Published totals for the third-party Eyeriss-V2 RTL on the
+    // ZU7EV (Table 6); FF count is not reported by the paper.
+    ResourceEstimate r;
+    r.luts = 99168;
+    r.ffs = 0;
+    r.dsps = 194;
+    r.ramKB = 140;
+    return r;
+}
+
+} // namespace dysta

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytical FPGA resource model for the Dysta hardware scheduler
+ * (Sec. 6.5, Fig. 16, Table 6).
+ *
+ * The paper synthesizes the SystemVerilog scheduler with Vivado on a
+ * Xilinx Zynq ZU7EV at 200 MHz; without the toolchain we compose the
+ * design from a calibrated per-primitive cost table (floating-point
+ * operators, multiplexers, FIFOs, LUT memories, control). Three
+ * design points are modeled: the naive Non_Opt_FP32 with separate
+ * compute units and real dividers, Opt_FP32 with the shared
+ * reconfigurable unit and reciprocal-folded divisions, and Opt_FP16
+ * which additionally halves the datapath width. Eyeriss-V2 totals are
+ * the paper's published numbers (third-party RTL), used as the
+ * denominator of the overhead table.
+ */
+
+#ifndef DYSTA_HW_RESOURCE_MODEL_HH
+#define DYSTA_HW_RESOURCE_MODEL_HH
+
+#include <cstddef>
+#include <string>
+
+#include "hw/compute_unit.hh"
+
+namespace dysta {
+
+/** Scheduler design point. */
+struct HwDesignConfig
+{
+    HwPrecision precision = HwPrecision::FP16;
+    /** Shared reconfigurable compute unit vs separate units. */
+    bool sharedComputeUnit = true;
+    /** Request FIFO depth. */
+    size_t fifoDepth = 64;
+};
+
+/** FPGA resource totals. */
+struct ResourceEstimate
+{
+    double luts = 0.0;
+    double ffs = 0.0;
+    double dsps = 0.0;
+    double ramKB = 0.0;
+
+    ResourceEstimate operator+(const ResourceEstimate& o) const;
+};
+
+/** Canonical design-point name, e.g. "Opt_FP16". */
+std::string designName(const HwDesignConfig& config);
+
+/** Estimate the scheduler's resources at one design point. */
+ResourceEstimate estimateScheduler(const HwDesignConfig& config);
+
+/** Eyeriss-V2 totals from the paper (Table 6). */
+ResourceEstimate eyerissV2Resources();
+
+} // namespace dysta
+
+#endif // DYSTA_HW_RESOURCE_MODEL_HH

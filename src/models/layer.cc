@@ -1,0 +1,121 @@
+#include "models/layer.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+bool
+isAttentionStage(LayerKind kind)
+{
+    return kind == LayerKind::AttnScore || kind == LayerKind::AttnContext;
+}
+
+std::string
+toString(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "Conv";
+      case LayerKind::DepthwiseConv: return "DepthwiseConv";
+      case LayerKind::FullyConnected: return "FullyConnected";
+      case LayerKind::TokenFC: return "TokenFC";
+      case LayerKind::AttnScore: return "AttnScore";
+      case LayerKind::AttnContext: return "AttnContext";
+      case LayerKind::Pool: return "Pool";
+    }
+    panic("toString: unknown LayerKind");
+}
+
+uint64_t
+LayerDesc::macs(int seq_len) const
+{
+    auto u = [](int v) { return static_cast<uint64_t>(v); };
+    uint64_t kw = u(kernelW ? kernelW : kernel);
+    switch (kind) {
+      case LayerKind::Conv:
+        return u(outChannels) * u(inChannels) * u(kernel) * kw *
+               u(outH) * u(outW);
+      case LayerKind::DepthwiseConv:
+        // One filter per channel: inChannels == outChannels.
+        return u(outChannels) * u(kernel) * kw * u(outH) * u(outW);
+      case LayerKind::FullyConnected:
+        return u(inFeatures) * u(outFeatures);
+      case LayerKind::TokenFC:
+        return u(seq_len) * u(inFeatures) * u(outFeatures);
+      case LayerKind::AttnScore:
+      case LayerKind::AttnContext:
+        return u(heads) * u(seq_len) * u(seq_len) * u(headDim);
+      case LayerKind::Pool:
+        return 0;
+    }
+    panic("LayerDesc::macs: unknown LayerKind");
+}
+
+uint64_t
+LayerDesc::weightCount() const
+{
+    auto u = [](int v) { return static_cast<uint64_t>(v); };
+    uint64_t kw = u(kernelW ? kernelW : kernel);
+    switch (kind) {
+      case LayerKind::Conv:
+        return u(outChannels) * u(inChannels) * u(kernel) * kw;
+      case LayerKind::DepthwiseConv:
+        return u(outChannels) * u(kernel) * kw;
+      case LayerKind::FullyConnected:
+      case LayerKind::TokenFC:
+        return u(inFeatures) * u(outFeatures);
+      case LayerKind::AttnScore:
+      case LayerKind::AttnContext:
+      case LayerKind::Pool:
+        return 0;
+    }
+    panic("LayerDesc::weightCount: unknown LayerKind");
+}
+
+uint64_t
+LayerDesc::inputElems(int seq_len) const
+{
+    auto u = [](int v) { return static_cast<uint64_t>(v); };
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::DepthwiseConv:
+        // Input spatial size approximated from output and stride.
+        return u(inChannels) * u(outH) * u(stride) * u(outW) * u(stride);
+      case LayerKind::FullyConnected:
+        return u(inFeatures);
+      case LayerKind::TokenFC:
+        return u(seq_len) * u(inFeatures);
+      case LayerKind::AttnScore:
+        // Q and K operands.
+        return 2ULL * u(seq_len) * u(heads) * u(headDim);
+      case LayerKind::AttnContext:
+        // Attention matrix (sparse) plus V.
+        return u(heads) * u(seq_len) * u(seq_len) +
+               u(seq_len) * u(heads) * u(headDim);
+      case LayerKind::Pool:
+        return u(inChannels) * u(outH) * u(outW);
+    }
+    panic("LayerDesc::inputElems: unknown LayerKind");
+}
+
+uint64_t
+LayerDesc::outputElems(int seq_len) const
+{
+    auto u = [](int v) { return static_cast<uint64_t>(v); };
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::DepthwiseConv:
+      case LayerKind::Pool:
+        return u(outChannels) * u(outH) * u(outW);
+      case LayerKind::FullyConnected:
+        return u(outFeatures);
+      case LayerKind::TokenFC:
+        return u(seq_len) * u(outFeatures);
+      case LayerKind::AttnScore:
+        return u(heads) * u(seq_len) * u(seq_len);
+      case LayerKind::AttnContext:
+        return u(seq_len) * u(heads) * u(headDim);
+    }
+    panic("LayerDesc::outputElems: unknown LayerKind");
+}
+
+} // namespace dysta

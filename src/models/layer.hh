@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Layer descriptors for the benchmark model zoo.
+ *
+ * The schedulers and accelerator models never touch tensor values;
+ * they consume per-layer shape information (MAC counts, weight and
+ * activation footprints). CNN layers have fixed shapes; attention
+ * model layers are parameterized by the runtime sequence length, which
+ * is the paper's "per-layer-block" execution granularity for AttNNs.
+ */
+
+#ifndef DYSTA_MODELS_LAYER_HH
+#define DYSTA_MODELS_LAYER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dysta {
+
+/** Kinds of schedulable layers (or layer blocks). */
+enum class LayerKind
+{
+    Conv,          ///< standard convolution (groups == 1)
+    DepthwiseConv, ///< depthwise convolution (groups == channels)
+    FullyConnected,///< dense GEMM on a single vector (CNN classifier)
+    TokenFC,       ///< per-token projection: seq_len x in x out GEMM
+    AttnScore,     ///< Q.K^T: heads x L x L x head_dim, mask-sparse
+    AttnContext,   ///< A.V:   heads x L x L x head_dim, mask-sparse
+    Pool,          ///< pooling / elementwise; negligible MACs
+};
+
+/** True for the attention stages whose work scales with mask density. */
+bool isAttentionStage(LayerKind kind);
+
+/** Human-readable kind name. */
+std::string toString(LayerKind kind);
+
+/**
+ * One schedulable layer. Conv-like fields are in element units; the
+ * MAC/byte accessors fold in the sequence length where relevant so
+ * callers treat CNN and AttNN layers uniformly.
+ */
+struct LayerDesc
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    // Convolution geometry (Conv / DepthwiseConv).
+    int inChannels = 0;
+    int outChannels = 0;
+    int kernel = 1;       ///< kernel height (and width when kernelW == 0)
+    int kernelW = 0;      ///< kernel width; 0 means square (== kernel)
+    int stride = 1;
+    int outH = 0;
+    int outW = 0;
+
+    // Dense geometry (FullyConnected / TokenFC).
+    int inFeatures = 0;
+    int outFeatures = 0;
+
+    // Attention geometry (AttnScore / AttnContext).
+    int heads = 0;
+    int headDim = 0;
+
+    /** Whether a ReLU-family activation follows (drives dynamicity). */
+    bool reluAfter = false;
+
+    /**
+     * Dense multiply-accumulate count.
+     * @param seq_len runtime sequence length; ignored by CNN layers.
+     */
+    uint64_t macs(int seq_len = 1) const;
+
+    /** Weight parameter count (0 for Pool / attention stages). */
+    uint64_t weightCount() const;
+
+    /** Input activation element count. */
+    uint64_t inputElems(int seq_len = 1) const;
+
+    /** Output activation element count. */
+    uint64_t outputElems(int seq_len = 1) const;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_MODELS_LAYER_HH

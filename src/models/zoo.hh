@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Benchmark model zoo (Table 3 plus the profiling-only models of
+ * Table 2). Builders return full layer-by-layer descriptors with the
+ * published architecture shapes.
+ */
+
+#ifndef DYSTA_MODELS_ZOO_HH
+#define DYSTA_MODELS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "models/model.hh"
+
+namespace dysta {
+
+// --- CNNs (run on the Eyeriss-V2 model) ---
+
+/** ResNet-50, 224x224 ImageNet classification. */
+ModelDesc makeResNet50();
+
+/** VGG-16, 224x224 ImageNet classification. */
+ModelDesc makeVgg16();
+
+/** MobileNetV1, 224x224; gesture recognition in the AR/VR scenario. */
+ModelDesc makeMobileNetV1();
+
+/** SSD-300 with VGG-16 backbone; object / hand detection. */
+ModelDesc makeSsd300();
+
+/** GoogLeNet (Inception v1); used for Table 2 profiling. */
+ModelDesc makeGoogLeNet();
+
+/** Inception-V3, 299x299; used for Table 2 profiling. */
+ModelDesc makeInceptionV3();
+
+// --- AttNNs (run on the Sanger model) ---
+
+/** BERT-base encoder (12 layers, d=768); question answering. */
+ModelDesc makeBertBase();
+
+/** GPT-2 small decoder (12 layers, d=768); machine translation. */
+ModelDesc makeGpt2Small();
+
+/** BART-base encoder-decoder (6+6 layers); machine translation. */
+ModelDesc makeBartBase();
+
+/** Look up any zoo model by canonical name; fatal() if unknown. */
+ModelDesc makeModelByName(const std::string& name);
+
+/** Canonical names of all zoo models. */
+std::vector<std::string> zooModelNames();
+
+} // namespace dysta
+
+#endif // DYSTA_MODELS_ZOO_HH

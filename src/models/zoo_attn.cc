@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Attention-based model builders: BERT-base, GPT-2 small, BART-base.
+ *
+ * Each transformer layer is decomposed into the paper's schedulable
+ * layer blocks: QKV projection, attention score (Q.K^T), attention
+ * context (A.V), output projection, and the two FFN GEMMs. The two
+ * attention stages are the dynamically-sparse ones (Sanger-style
+ * threshold pruning of the attention matrix).
+ */
+
+#include "models/zoo.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+namespace {
+
+LayerDesc
+tokenFc(const std::string& name, int in_f, int out_f, bool relu)
+{
+    LayerDesc l;
+    l.name = name;
+    l.kind = LayerKind::TokenFC;
+    l.inFeatures = in_f;
+    l.outFeatures = out_f;
+    l.reluAfter = relu;
+    return l;
+}
+
+LayerDesc
+attnStage(const std::string& name, LayerKind kind, int heads,
+          int head_dim)
+{
+    LayerDesc l;
+    l.name = name;
+    l.kind = kind;
+    l.heads = heads;
+    l.headDim = head_dim;
+    return l;
+}
+
+/**
+ * Append one multi-head attention block plus FFN.
+ * @param d_model    hidden size
+ * @param heads      attention heads
+ * @param d_ffn      FFN inner size
+ * @param cross      also emit a cross-attention block (BART decoder)
+ */
+void
+addTransformerLayer(ModelDesc& m, const std::string& id, int d_model,
+                    int heads, int d_ffn, bool cross = false)
+{
+    int head_dim = d_model / heads;
+    m.layers.push_back(tokenFc(id + "_qkv", d_model, 3 * d_model, false));
+    m.layers.push_back(attnStage(id + "_score", LayerKind::AttnScore,
+                                 heads, head_dim));
+    m.layers.push_back(attnStage(id + "_ctx", LayerKind::AttnContext,
+                                 heads, head_dim));
+    m.layers.push_back(tokenFc(id + "_out", d_model, d_model, false));
+    if (cross) {
+        m.layers.push_back(tokenFc(id + "_xqkv", d_model, 3 * d_model,
+                                   false));
+        m.layers.push_back(attnStage(id + "_xscore",
+                                     LayerKind::AttnScore, heads,
+                                     head_dim));
+        m.layers.push_back(attnStage(id + "_xctx",
+                                     LayerKind::AttnContext, heads,
+                                     head_dim));
+        m.layers.push_back(tokenFc(id + "_xout", d_model, d_model,
+                                   false));
+    }
+    m.layers.push_back(tokenFc(id + "_ffn1", d_model, d_ffn, true));
+    m.layers.push_back(tokenFc(id + "_ffn2", d_ffn, d_model, false));
+}
+
+} // namespace
+
+ModelDesc
+makeBertBase()
+{
+    ModelDesc m;
+    m.name = "bert";
+    m.family = ModelFamily::AttNN;
+    m.task = "question answering";
+    m.defaultSeqLen = 256; // SQuAD-style context + question
+
+    char id[16];
+    for (int l = 0; l < 12; ++l) {
+        std::snprintf(id, sizeof(id), "enc%d", l);
+        addTransformerLayer(m, id, 768, 12, 3072);
+    }
+    return m;
+}
+
+ModelDesc
+makeGpt2Small()
+{
+    ModelDesc m;
+    m.name = "gpt2";
+    m.family = ModelFamily::AttNN;
+    m.task = "machine translation";
+    m.defaultSeqLen = 128; // GLUE-style sentences
+
+    char id[16];
+    for (int l = 0; l < 12; ++l) {
+        std::snprintf(id, sizeof(id), "dec%d", l);
+        addTransformerLayer(m, id, 768, 12, 3072);
+    }
+    return m;
+}
+
+ModelDesc
+makeBartBase()
+{
+    ModelDesc m;
+    m.name = "bart";
+    m.family = ModelFamily::AttNN;
+    m.task = "machine translation";
+    m.defaultSeqLen = 160;
+
+    char id[16];
+    for (int l = 0; l < 6; ++l) {
+        std::snprintf(id, sizeof(id), "enc%d", l);
+        addTransformerLayer(m, id, 768, 12, 3072);
+    }
+    for (int l = 0; l < 6; ++l) {
+        std::snprintf(id, sizeof(id), "dec%d", l);
+        addTransformerLayer(m, id, 768, 12, 3072, /*cross=*/true);
+    }
+    return m;
+}
+
+ModelDesc
+makeModelByName(const std::string& name)
+{
+    if (name == "resnet50")
+        return makeResNet50();
+    if (name == "vgg16")
+        return makeVgg16();
+    if (name == "mobilenet")
+        return makeMobileNetV1();
+    if (name == "ssd300")
+        return makeSsd300();
+    if (name == "googlenet")
+        return makeGoogLeNet();
+    if (name == "inceptionv3")
+        return makeInceptionV3();
+    if (name == "bert")
+        return makeBertBase();
+    if (name == "gpt2")
+        return makeGpt2Small();
+    if (name == "bart")
+        return makeBartBase();
+    fatal("makeModelByName: unknown model '" + name + "'");
+}
+
+std::vector<std::string>
+zooModelNames()
+{
+    return {"resnet50", "vgg16", "mobilenet", "ssd300", "googlenet",
+            "inceptionv3", "bert", "gpt2", "bart"};
+}
+
+} // namespace dysta

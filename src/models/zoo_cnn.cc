@@ -1,0 +1,372 @@
+/**
+ * @file
+ * CNN model builders with the published layer shapes: ResNet-50,
+ * VGG-16, MobileNetV1, SSD-300, GoogLeNet and Inception-V3.
+ */
+
+#include "models/zoo.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+namespace {
+
+LayerDesc
+conv(const std::string& name, int in_c, int out_c, int k, int stride,
+     int out_h, int out_w, bool relu = true, int k_w = 0)
+{
+    LayerDesc l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inChannels = in_c;
+    l.outChannels = out_c;
+    l.kernel = k;
+    l.kernelW = k_w;
+    l.stride = stride;
+    l.outH = out_h;
+    l.outW = out_w;
+    l.reluAfter = relu;
+    return l;
+}
+
+LayerDesc
+dwConv(const std::string& name, int ch, int k, int stride, int out_h,
+       int out_w)
+{
+    LayerDesc l;
+    l.name = name;
+    l.kind = LayerKind::DepthwiseConv;
+    l.inChannels = ch;
+    l.outChannels = ch;
+    l.kernel = k;
+    l.stride = stride;
+    l.outH = out_h;
+    l.outW = out_w;
+    l.reluAfter = true;
+    return l;
+}
+
+LayerDesc
+fc(const std::string& name, int in_f, int out_f, bool relu)
+{
+    LayerDesc l;
+    l.name = name;
+    l.kind = LayerKind::FullyConnected;
+    l.inFeatures = in_f;
+    l.outFeatures = out_f;
+    l.reluAfter = relu;
+    return l;
+}
+
+} // namespace
+
+ModelDesc
+makeVgg16()
+{
+    ModelDesc m;
+    m.name = "vgg16";
+    m.family = ModelFamily::CNN;
+    m.task = "image classification";
+
+    struct Block { int out_c; int convs; int hw; };
+    // Five blocks; spatial size while the block's convs run.
+    const Block blocks[] = {
+        {64, 2, 224}, {128, 2, 112}, {256, 3, 56},
+        {512, 3, 28}, {512, 3, 14},
+    };
+    int in_c = 3;
+    char name[32];
+    for (int b = 0; b < 5; ++b) {
+        for (int c = 0; c < blocks[b].convs; ++c) {
+            std::snprintf(name, sizeof(name), "conv%d_%d", b + 1, c + 1);
+            m.layers.push_back(conv(name, in_c, blocks[b].out_c, 3, 1,
+                                    blocks[b].hw, blocks[b].hw));
+            in_c = blocks[b].out_c;
+        }
+    }
+    m.layers.push_back(fc("fc6", 512 * 7 * 7, 4096, true));
+    m.layers.push_back(fc("fc7", 4096, 4096, true));
+    m.layers.push_back(fc("fc8", 4096, 1000, false));
+    return m;
+}
+
+ModelDesc
+makeResNet50()
+{
+    ModelDesc m;
+    m.name = "resnet50";
+    m.family = ModelFamily::CNN;
+    m.task = "image classification";
+
+    m.layers.push_back(conv("conv1", 3, 64, 7, 2, 112, 112));
+
+    struct Stage { int mid; int out; int blocks; int hw; };
+    const Stage stages[] = {
+        {64, 256, 3, 56}, {128, 512, 4, 28},
+        {256, 1024, 6, 14}, {512, 2048, 3, 7},
+    };
+    int in_c = 64; // after the stem and max pool (56x56)
+    char name[48];
+    for (int s = 0; s < 4; ++s) {
+        const Stage& st = stages[s];
+        for (int b = 0; b < st.blocks; ++b) {
+            // The first block of stages 2-4 downsamples via the 3x3.
+            bool down = (b == 0 && s > 0);
+            int hw = st.hw;
+            std::snprintf(name, sizeof(name), "res%d_%d_1x1a", s + 2, b);
+            // 1x1 reduce runs at the input resolution.
+            m.layers.push_back(conv(name, in_c, st.mid, 1, 1,
+                                    down ? hw * 2 : hw,
+                                    down ? hw * 2 : hw));
+            std::snprintf(name, sizeof(name), "res%d_%d_3x3", s + 2, b);
+            m.layers.push_back(conv(name, st.mid, st.mid, 3,
+                                    down ? 2 : 1, hw, hw));
+            std::snprintf(name, sizeof(name), "res%d_%d_1x1b", s + 2, b);
+            m.layers.push_back(conv(name, st.mid, st.out, 1, 1, hw, hw));
+            if (b == 0) {
+                std::snprintf(name, sizeof(name), "res%d_down", s + 2);
+                m.layers.push_back(conv(name, in_c, st.out, 1,
+                                        down ? 2 : 1, hw, hw, false));
+            }
+            in_c = st.out;
+        }
+    }
+    m.layers.push_back(fc("fc", 2048, 1000, false));
+    return m;
+}
+
+ModelDesc
+makeMobileNetV1()
+{
+    ModelDesc m;
+    m.name = "mobilenet";
+    m.family = ModelFamily::CNN;
+    m.task = "gesture recognition";
+
+    m.layers.push_back(conv("conv1", 3, 32, 3, 2, 112, 112));
+
+    struct Pair { int in_c; int out_c; int stride; int hw; };
+    // (input channels, pointwise output, depthwise stride, output hw)
+    const Pair pairs[] = {
+        {32, 64, 1, 112}, {64, 128, 2, 56}, {128, 128, 1, 56},
+        {128, 256, 2, 28}, {256, 256, 1, 28}, {256, 512, 2, 14},
+        {512, 512, 1, 14}, {512, 512, 1, 14}, {512, 512, 1, 14},
+        {512, 512, 1, 14}, {512, 512, 1, 14}, {512, 1024, 2, 7},
+        {1024, 1024, 1, 7},
+    };
+    char name[32];
+    int idx = 1;
+    for (const auto& p : pairs) {
+        std::snprintf(name, sizeof(name), "dw%d", idx);
+        m.layers.push_back(dwConv(name, p.in_c, 3, p.stride, p.hw, p.hw));
+        std::snprintf(name, sizeof(name), "pw%d", idx);
+        m.layers.push_back(conv(name, p.in_c, p.out_c, 1, 1, p.hw, p.hw));
+        ++idx;
+    }
+    m.layers.push_back(fc("fc", 1024, 1000, false));
+    return m;
+}
+
+ModelDesc
+makeSsd300()
+{
+    ModelDesc m;
+    m.name = "ssd300";
+    m.family = ModelFamily::CNN;
+    m.task = "object detection";
+
+    // VGG-16 backbone at 300x300 input.
+    struct Block { int out_c; int convs; int hw; };
+    const Block blocks[] = {
+        {64, 2, 300}, {128, 2, 150}, {256, 3, 75},
+        {512, 3, 38}, {512, 3, 19},
+    };
+    int in_c = 3;
+    char name[32];
+    for (int b = 0; b < 5; ++b) {
+        for (int c = 0; c < blocks[b].convs; ++c) {
+            std::snprintf(name, sizeof(name), "conv%d_%d", b + 1, c + 1);
+            m.layers.push_back(conv(name, in_c, blocks[b].out_c, 3, 1,
+                                    blocks[b].hw, blocks[b].hw));
+            in_c = blocks[b].out_c;
+        }
+    }
+    // FC layers converted to (dilated) convolutions.
+    m.layers.push_back(conv("conv6", 512, 1024, 3, 1, 19, 19));
+    m.layers.push_back(conv("conv7", 1024, 1024, 1, 1, 19, 19));
+    // Extra feature layers.
+    m.layers.push_back(conv("conv8_1", 1024, 256, 1, 1, 19, 19));
+    m.layers.push_back(conv("conv8_2", 256, 512, 3, 2, 10, 10));
+    m.layers.push_back(conv("conv9_1", 512, 128, 1, 1, 10, 10));
+    m.layers.push_back(conv("conv9_2", 128, 256, 3, 2, 5, 5));
+    m.layers.push_back(conv("conv10_1", 256, 128, 1, 1, 5, 5));
+    m.layers.push_back(conv("conv10_2", 128, 256, 3, 1, 3, 3));
+    m.layers.push_back(conv("conv11_1", 256, 128, 1, 1, 3, 3));
+    m.layers.push_back(conv("conv11_2", 128, 256, 3, 1, 1, 1));
+
+    // Multibox heads: (source channels, spatial, default boxes).
+    struct Head { const char* src; int ch; int hw; int boxes; };
+    const Head heads[] = {
+        {"conv4_3", 512, 38, 4}, {"conv7", 1024, 19, 6},
+        {"conv8_2", 512, 10, 6}, {"conv9_2", 256, 5, 6},
+        {"conv10_2", 256, 3, 4}, {"conv11_2", 256, 1, 4},
+    };
+    for (const auto& h : heads) {
+        std::snprintf(name, sizeof(name), "loc_%s", h.src);
+        m.layers.push_back(conv(name, h.ch, h.boxes * 4, 3, 1, h.hw,
+                                h.hw, false));
+        std::snprintf(name, sizeof(name), "conf_%s", h.src);
+        m.layers.push_back(conv(name, h.ch, h.boxes * 21, 3, 1, h.hw,
+                                h.hw, false));
+    }
+    return m;
+}
+
+namespace {
+
+/** Append one GoogLeNet inception module (six convolutions). */
+void
+addInceptionV1(ModelDesc& m, const std::string& id, int in_c, int c1,
+               int c3r, int c3, int c5r, int c5, int pool_proj, int hw)
+{
+    m.layers.push_back(conv(id + "_1x1", in_c, c1, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_3x3r", in_c, c3r, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_3x3", c3r, c3, 3, 1, hw, hw));
+    m.layers.push_back(conv(id + "_5x5r", in_c, c5r, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_5x5", c5r, c5, 5, 1, hw, hw));
+    m.layers.push_back(conv(id + "_pool", in_c, pool_proj, 1, 1, hw, hw));
+}
+
+} // namespace
+
+ModelDesc
+makeGoogLeNet()
+{
+    ModelDesc m;
+    m.name = "googlenet";
+    m.family = ModelFamily::CNN;
+    m.task = "image classification";
+
+    m.layers.push_back(conv("conv1", 3, 64, 7, 2, 112, 112));
+    m.layers.push_back(conv("conv2r", 64, 64, 1, 1, 56, 56));
+    m.layers.push_back(conv("conv2", 64, 192, 3, 1, 56, 56));
+
+    addInceptionV1(m, "3a", 192, 64, 96, 128, 16, 32, 32, 28);
+    addInceptionV1(m, "3b", 256, 128, 128, 192, 32, 96, 64, 28);
+    addInceptionV1(m, "4a", 480, 192, 96, 208, 16, 48, 64, 14);
+    addInceptionV1(m, "4b", 512, 160, 112, 224, 24, 64, 64, 14);
+    addInceptionV1(m, "4c", 512, 128, 128, 256, 24, 64, 64, 14);
+    addInceptionV1(m, "4d", 512, 112, 144, 288, 32, 64, 64, 14);
+    addInceptionV1(m, "4e", 528, 256, 160, 320, 32, 128, 128, 14);
+    addInceptionV1(m, "5a", 832, 256, 160, 320, 32, 128, 128, 7);
+    addInceptionV1(m, "5b", 832, 384, 192, 384, 48, 128, 128, 7);
+
+    m.layers.push_back(fc("fc", 1024, 1000, false));
+    return m;
+}
+
+namespace {
+
+/** Inception-V3 "A" module (35x35): 5x5 and double-3x3 branches. */
+void
+addInceptionA(ModelDesc& m, const std::string& id, int in_c,
+              int pool_proj)
+{
+    const int hw = 35;
+    m.layers.push_back(conv(id + "_1x1", in_c, 64, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_5x5r", in_c, 48, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_5x5", 48, 64, 5, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d3x3r", in_c, 64, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d3x3a", 64, 96, 3, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d3x3b", 96, 96, 3, 1, hw, hw));
+    m.layers.push_back(conv(id + "_pool", in_c, pool_proj, 1, 1, hw, hw));
+}
+
+/** Inception-V3 "C" module (17x17) with factorized 7x7 branches. */
+void
+addInceptionC(ModelDesc& m, const std::string& id, int c7)
+{
+    const int hw = 17;
+    const int in_c = 768;
+    m.layers.push_back(conv(id + "_1x1", in_c, 192, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_7x7r", in_c, c7, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_1x7", c7, c7, 1, 1, hw, hw, true, 7));
+    m.layers.push_back(conv(id + "_7x1", c7, 192, 7, 1, hw, hw, true, 1));
+    m.layers.push_back(conv(id + "_d7x7r", in_c, c7, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d7x1a", c7, c7, 7, 1, hw, hw, true, 1));
+    m.layers.push_back(conv(id + "_d1x7a", c7, c7, 1, 1, hw, hw, true, 7));
+    m.layers.push_back(conv(id + "_d7x1b", c7, c7, 7, 1, hw, hw, true, 1));
+    m.layers.push_back(conv(id + "_d1x7b", c7, 192, 1, 1, hw, hw,
+                            true, 7));
+    m.layers.push_back(conv(id + "_pool", in_c, 192, 1, 1, hw, hw));
+}
+
+/** Inception-V3 "E" module (8x8) with split 3x3 branches. */
+void
+addInceptionE(ModelDesc& m, const std::string& id, int in_c)
+{
+    const int hw = 8;
+    m.layers.push_back(conv(id + "_1x1", in_c, 320, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_3x3r", in_c, 384, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_1x3", 384, 384, 1, 1, hw, hw, true, 3));
+    m.layers.push_back(conv(id + "_3x1", 384, 384, 3, 1, hw, hw, true, 1));
+    m.layers.push_back(conv(id + "_d3x3r", in_c, 448, 1, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d3x3", 448, 384, 3, 1, hw, hw));
+    m.layers.push_back(conv(id + "_d1x3", 384, 384, 1, 1, hw, hw,
+                            true, 3));
+    m.layers.push_back(conv(id + "_d3x1", 384, 384, 3, 1, hw, hw,
+                            true, 1));
+    m.layers.push_back(conv(id + "_pool", in_c, 192, 1, 1, hw, hw));
+}
+
+} // namespace
+
+ModelDesc
+makeInceptionV3()
+{
+    ModelDesc m;
+    m.name = "inceptionv3";
+    m.family = ModelFamily::CNN;
+    m.task = "image classification";
+
+    // Stem (299x299 input).
+    m.layers.push_back(conv("stem1", 3, 32, 3, 2, 149, 149));
+    m.layers.push_back(conv("stem2", 32, 32, 3, 1, 147, 147));
+    m.layers.push_back(conv("stem3", 32, 64, 3, 1, 147, 147));
+    m.layers.push_back(conv("stem4", 64, 80, 1, 1, 73, 73));
+    m.layers.push_back(conv("stem5", 80, 192, 3, 1, 71, 71));
+
+    addInceptionA(m, "5b", 192, 32);  // out 256
+    addInceptionA(m, "5c", 256, 64);  // out 288
+    addInceptionA(m, "5d", 288, 64);  // out 288
+
+    // Reduction "B" module (35 -> 17).
+    m.layers.push_back(conv("6a_3x3", 288, 384, 3, 2, 17, 17));
+    m.layers.push_back(conv("6a_d3x3r", 288, 64, 1, 1, 35, 35));
+    m.layers.push_back(conv("6a_d3x3a", 64, 96, 3, 1, 35, 35));
+    m.layers.push_back(conv("6a_d3x3b", 96, 96, 3, 2, 17, 17));
+
+    addInceptionC(m, "6b", 128);
+    addInceptionC(m, "6c", 160);
+    addInceptionC(m, "6d", 160);
+    addInceptionC(m, "6e", 192);
+
+    // Reduction "D" module (17 -> 8).
+    m.layers.push_back(conv("7a_3x3r", 768, 192, 1, 1, 17, 17));
+    m.layers.push_back(conv("7a_3x3", 192, 320, 3, 2, 8, 8));
+    m.layers.push_back(conv("7a_7x7r", 768, 192, 1, 1, 17, 17));
+    m.layers.push_back(conv("7a_1x7", 192, 192, 1, 1, 17, 17, true, 7));
+    m.layers.push_back(conv("7a_7x1", 192, 192, 7, 1, 17, 17, true, 1));
+    m.layers.push_back(conv("7a_3x3b", 192, 192, 3, 2, 8, 8));
+
+    addInceptionE(m, "7b", 1280);
+    addInceptionE(m, "7c", 2048);
+
+    m.layers.push_back(fc("fc", 2048, 1000, false));
+    return m;
+}
+
+} // namespace dysta

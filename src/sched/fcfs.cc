@@ -1,0 +1,21 @@
+#include "sched/fcfs.hh"
+
+namespace dysta {
+
+size_t
+FcfsScheduler::selectNext(const std::vector<const Request*>& ready,
+                          double now)
+{
+    (void)now;
+    size_t best = 0;
+    for (size_t i = 1; i < ready.size(); ++i) {
+        if (ready[i]->arrival < ready[best]->arrival ||
+            (ready[i]->arrival == ready[best]->arrival &&
+             ready[i]->id < ready[best]->id)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace dysta

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * First-Come First-Served baseline: requests run to completion in
+ * arrival order (effectively non-preemptive, since the earliest
+ * arrival stays the earliest until it finishes).
+ */
+
+#ifndef DYSTA_SCHED_FCFS_HH
+#define DYSTA_SCHED_FCFS_HH
+
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** FCFS policy. */
+class FcfsScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "FCFS"; }
+
+    size_t selectNext(const std::vector<const Request*>& ready,
+                      double now) override;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_FCFS_HH

@@ -1,0 +1,46 @@
+#include "sched/metrics.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dysta {
+
+Metrics
+computeMetrics(const std::vector<Request>& requests)
+{
+    Metrics m;
+    if (requests.empty())
+        return m;
+
+    double first_arrival = requests.front().arrival;
+    double last_finish = 0.0;
+    size_t violations = 0;
+    std::vector<double> turnarounds;
+    turnarounds.reserve(requests.size());
+
+    for (const auto& req : requests) {
+        panicIf(req.finishTime < 0.0,
+                "computeMetrics: unfinished request in result set");
+        first_arrival = std::min(first_arrival, req.arrival);
+        last_finish = std::max(last_finish, req.finishTime);
+        double nt = req.normalizedTurnaround();
+        turnarounds.push_back(nt);
+        m.antt += nt;
+        m.stp += 1.0 / nt;
+        if (req.violated())
+            ++violations;
+    }
+
+    double n = static_cast<double>(requests.size());
+    m.completed = requests.size();
+    m.antt /= n;
+    m.violationRate = static_cast<double>(violations) / n;
+    m.makespan = last_finish - first_arrival;
+    m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.p99Turnaround = percentile(turnarounds, 99.0);
+    return m;
+}
+
+} // namespace dysta

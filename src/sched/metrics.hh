@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multi-DNN performance metrics (Sec. 6.1): average normalized
+ * turnaround time (ANTT), latency-SLO violation rate, and system
+ * throughput.
+ */
+
+#ifndef DYSTA_SCHED_METRICS_HH
+#define DYSTA_SCHED_METRICS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/request.hh"
+
+namespace dysta {
+
+/** Aggregate results of one scheduling run. */
+struct Metrics
+{
+    /** ANTT: mean over requests of T_multi / T_isol (>= 1). */
+    double antt = 0.0;
+    /** Fraction of requests finishing past their deadline, in [0,1]. */
+    double violationRate = 0.0;
+    /** Completed inferences per second over the busy interval. */
+    double throughput = 0.0;
+    /** Eyerman-Eeckhout STP: sum of per-request speedups. */
+    double stp = 0.0;
+    /** 99th-percentile normalized turnaround. */
+    double p99Turnaround = 0.0;
+    /** Number of completed requests. */
+    size_t completed = 0;
+    /** Last finish time minus first arrival. */
+    double makespan = 0.0;
+};
+
+/** Compute metrics from a fully-executed request set. */
+Metrics computeMetrics(const std::vector<Request>& requests);
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_METRICS_HH

@@ -1,0 +1,34 @@
+#include "sched/oracle.hh"
+
+#include <algorithm>
+
+namespace dysta {
+
+size_t
+OracleScheduler::selectNext(const std::vector<const Request*>& ready,
+                            double now)
+{
+    size_t best = 0;
+    double best_score = 0.0;
+    double queue_size = static_cast<double>(ready.size());
+
+    for (size_t i = 0; i < ready.size(); ++i) {
+        const Request& req = *ready[i];
+        double remaining = req.trueRemaining();
+        // Same slack clamp as Dysta: blown deadlines stop sinking
+        // and comfortable ones saturate at one isolated latency.
+        double slack = std::clamp(req.deadline - now - remaining, 0.0,
+                                  req.isolated());
+        double wait = std::max(0.0, now - req.lastRunEnd);
+        double penalty =
+            std::min(wait / req.isolated(), 2.0) / queue_size;
+        double score = remaining + eta * (slack + penalty);
+        if (i == 0 || score < best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+} // namespace dysta

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Oracle scheduler: Dysta's dynamic scoring with a perfect latency
+ * predictor. It reads the ground-truth remaining time of every
+ * request instead of estimating it from profiles and monitored
+ * sparsity, upper-bounding what any sparsity-aware predictor can
+ * achieve (the "Oracle" series in Figs. 14-15).
+ */
+
+#ifndef DYSTA_SCHED_ORACLE_HH
+#define DYSTA_SCHED_ORACLE_HH
+
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** Perfect-information Dysta-style policy. */
+class OracleScheduler : public Scheduler
+{
+  public:
+    /** @param eta slack/penalty weight (matches Dysta's eta). */
+    explicit OracleScheduler(double eta = 0.2) : eta(eta) {}
+
+    std::string name() const override { return "Oracle"; }
+
+    size_t selectNext(const std::vector<const Request*>& ready,
+                      double now) override;
+
+  private:
+    double eta;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_ORACLE_HH

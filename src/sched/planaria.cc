@@ -1,0 +1,41 @@
+#include "sched/planaria.hh"
+
+namespace dysta {
+
+size_t
+PlanariaScheduler::selectNext(const std::vector<const Request*>& ready,
+                              double now)
+{
+    // Least slack first among still-feasible tasks; tasks whose
+    // deadline can no longer be met are demoted behind all feasible
+    // ones (Planaria protects the remaining SLOs and sacrifices the
+    // hopeless), draining shortest-first. The result is Table 5's
+    // profile: the lowest violation tier at a steep ANTT price.
+    size_t best = 0;
+    bool best_feasible = false;
+    double best_key = 0.0;
+
+    for (size_t i = 0; i < ready.size(); ++i) {
+        double remaining = estRemaining(*lut, *ready[i]);
+        double slack = ready[i]->deadline - now - remaining;
+        bool feasible = slack >= 0.0;
+        double key = feasible ? slack : remaining;
+
+        bool better;
+        if (i == 0) {
+            better = true;
+        } else if (feasible != best_feasible) {
+            better = feasible;
+        } else {
+            better = key < best_key;
+        }
+        if (better) {
+            best = i;
+            best_feasible = feasible;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+} // namespace dysta

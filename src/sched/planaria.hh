@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Planaria (Ghodrati et al., MICRO'20) task scheduler reduced to the
+ * time-shared setting, per the paper's Sec. 6.1 note (resource
+ * requirement fixed to 1, no spatial fission).
+ *
+ * Planaria's dispatcher is deadline driven: the task with the least
+ * slack (deadline minus now minus estimated remaining time) runs
+ * next, and tasks that can no longer meet their deadline are demoted
+ * so they stop endangering the feasible ones. This minimizes SLO
+ * violations at a steep turnaround cost — the profile Table 5 shows.
+ */
+
+#ifndef DYSTA_SCHED_PLANARIA_HH
+#define DYSTA_SCHED_PLANARIA_HH
+
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** Planaria least-slack-first policy. */
+class PlanariaScheduler : public Scheduler
+{
+  public:
+    explicit PlanariaScheduler(const ModelInfoLut& lut) : lut(&lut) {}
+
+    std::string name() const override { return "Planaria"; }
+
+    size_t selectNext(const std::vector<const Request*>& ready,
+                      double now) override;
+
+  private:
+    const ModelInfoLut* lut;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_PLANARIA_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PREMA (Choi & Rhu, HPCA'20) re-derived for the time-shared setting.
+ *
+ * Each waiting task accumulates tokens proportionally to its priority
+ * and its normalized waiting time (estimated slowdown). At every
+ * scheduling point the candidate set is the tasks whose token count
+ * reaches the current maximum; the shortest estimated job among the
+ * candidates runs next. Following the paper's Sec. 6.1 modification,
+ * the criterion is Token_i >= Threshold (not >), so the policy
+ * degrades gracefully to SJF at the start when all tokens are zero.
+ */
+
+#ifndef DYSTA_SCHED_PREMA_HH
+#define DYSTA_SCHED_PREMA_HH
+
+#include <unordered_map>
+
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** PREMA token-based preemptive policy. */
+class PremaScheduler : public Scheduler
+{
+  public:
+    explicit PremaScheduler(const ModelInfoLut& lut) : lut(&lut) {}
+
+    std::string name() const override { return "PREMA"; }
+
+    void reset() override;
+    void onArrival(const Request& req, double now) override;
+    void onComplete(const Request& req, double now) override;
+
+    size_t selectNext(const std::vector<const Request*>& ready,
+                      double now) override;
+
+  private:
+    struct TaskState
+    {
+        double token = 0.0;
+        double lastUpdate = 0.0;
+        double priority = 1.0;
+    };
+
+    const ModelInfoLut* lut;
+    std::unordered_map<int, TaskState> state;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_PREMA_HH

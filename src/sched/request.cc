@@ -1,0 +1,51 @@
+#include "sched/request.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+double
+Request::trueRemaining() const
+{
+    double remaining = 0.0;
+    for (size_t l = nextLayer; l < trace->layers.size(); ++l)
+        remaining += trace->layers[l].latency;
+    return remaining;
+}
+
+double
+Request::normalizedTurnaround() const
+{
+    panicIf(finishTime < 0.0,
+            "normalizedTurnaround on unfinished request");
+    double isol = isolated();
+    panicIf(isol <= 0.0, "request with non-positive isolated latency");
+    return (finishTime - arrival) / isol;
+}
+
+bool
+Request::violated() const
+{
+    panicIf(finishTime < 0.0, "violated() on unfinished request");
+    return finishTime > deadline;
+}
+
+Request
+makeRequest(int id, const std::string& model_name,
+            SparsityPattern pattern, const SampleTrace& trace,
+            double arrival, double slo_multiplier,
+            double slo_reference_latency)
+{
+    Request req;
+    req.id = id;
+    req.modelName = model_name;
+    req.pattern = pattern;
+    req.trace = &trace;
+    req.arrival = arrival;
+    req.sloMultiplier = slo_multiplier;
+    req.deadline = arrival + slo_multiplier * slo_reference_latency;
+    req.lastRunEnd = arrival;
+    return req;
+}
+
+} // namespace dysta

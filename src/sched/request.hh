@@ -1,0 +1,85 @@
+/**
+ * @file
+ * An inference request flowing through the multi-DNN system: the
+ * paper's tuple <Model, Pattern, input, SLO> bound to one Phase-1
+ * sample trace (the ground-truth execution the engine replays).
+ */
+
+#ifndef DYSTA_SCHED_REQUEST_HH
+#define DYSTA_SCHED_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sparsity/pattern.hh"
+#include "trace/trace.hh"
+
+namespace dysta {
+
+/** One inference request plus its engine-side execution state. */
+struct Request
+{
+    int id = -1;
+    std::string modelName;
+    SparsityPattern pattern = SparsityPattern::Dense;
+
+    /** Ground-truth execution record (not owned). */
+    const SampleTrace* trace = nullptr;
+
+    /** Arrival time (seconds). */
+    double arrival = 0.0;
+    /** Latency SLO multiplier M_slo. */
+    double sloMultiplier = 10.0;
+    /** Absolute deadline: arrival + M_slo * T_isol. */
+    double deadline = 0.0;
+
+    // --- engine-maintained execution state ---
+    /** Next layer to execute (== layerCount() when finished). */
+    size_t nextLayer = 0;
+    /** Accumulated execution time so far. */
+    double executedTime = 0.0;
+    /**
+     * Last time this request held the accelerator (arrival until
+     * first dispatched). Drives the Dysta anti-preemption penalty.
+     */
+    double lastRunEnd = 0.0;
+    /** Completion time; negative while in flight. */
+    double finishTime = -1.0;
+
+    size_t layerCount() const { return trace->layers.size(); }
+    bool done() const { return nextLayer >= layerCount(); }
+
+    /** Ground-truth isolated execution time of this sample. */
+    double isolated() const { return trace->totalLatency; }
+
+    /**
+     * Ground-truth remaining execution time. Reserved for the engine
+     * and the Oracle scheduler; estimating schedulers must use the
+     * ModelInfoLut instead.
+     */
+    double trueRemaining() const;
+
+    /** Turnaround normalized by isolated time (per-request ANTT). */
+    double normalizedTurnaround() const;
+
+    /** Whether the request finished past its deadline. */
+    bool violated() const;
+};
+
+/**
+ * Construct a request with SLO = M_slo * slo_reference_latency,
+ * following the paper's (and PREMA's) convention. The reference is
+ * the model-pattern pair's profiled average isolated latency: a
+ * sample's own latency cannot be known at admission time, so real
+ * deployments publish per-model SLOs. Slow samples (dark images,
+ * long prompts) therefore face relatively tighter deadlines — the
+ * pressure that makes sparsity-aware latency prediction matter.
+ */
+Request makeRequest(int id, const std::string& model_name,
+                    SparsityPattern pattern, const SampleTrace& trace,
+                    double arrival, double slo_multiplier,
+                    double slo_reference_latency);
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_REQUEST_HH

@@ -1,0 +1,18 @@
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+double
+Scheduler::estRemaining(const ModelInfoLut& lut, const Request& req)
+{
+    const ModelInfo& info = lut.lookup(req.modelName, req.pattern);
+    return info.estRemaining(req.nextLayer);
+}
+
+double
+Scheduler::estIsolated(const ModelInfoLut& lut, const Request& req)
+{
+    return lut.lookup(req.modelName, req.pattern).avgLatency;
+}
+
+} // namespace dysta

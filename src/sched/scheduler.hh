@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scheduler interface for the layer-granular multi-DNN engine.
+ *
+ * The engine invokes the scheduler whenever a layer (or layer block)
+ * of the running request completes and whenever the accelerator is
+ * idle with work pending — the paper's preemptive time-multiplexing
+ * model (Sec. 4.2.2). Schedulers observe request progress and the
+ * monitored layer sparsity; honest schedulers estimate latencies from
+ * the offline ModelInfoLut, never from the ground-truth trace.
+ */
+
+#ifndef DYSTA_SCHED_SCHEDULER_HH
+#define DYSTA_SCHED_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/model_info.hh"
+#include "sched/request.hh"
+
+namespace dysta {
+
+/** Abstract scheduling policy. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Policy name as reported in result tables. */
+    virtual std::string name() const = 0;
+
+    /** Clear all per-run state (called before every engine run). */
+    virtual void reset() {}
+
+    /** A new request entered the system at time `now`. */
+    virtual void
+    onArrival(const Request& req, double now)
+    {
+        (void)req;
+        (void)now;
+    }
+
+    /**
+     * A layer of `req` finished at `now`; the zero-count monitor
+     * reported `monitored_sparsity` for that layer.
+     */
+    virtual void
+    onLayerComplete(const Request& req, double now,
+                    double monitored_sparsity)
+    {
+        (void)req;
+        (void)now;
+        (void)monitored_sparsity;
+    }
+
+    /** `req` fully completed at `now`. */
+    virtual void
+    onComplete(const Request& req, double now)
+    {
+        (void)req;
+        (void)now;
+    }
+
+    /**
+     * Choose the next request to occupy the accelerator.
+     * @param ready all admitted, unfinished requests (non-empty)
+     * @return index into `ready`
+     */
+    virtual size_t selectNext(const std::vector<const Request*>& ready,
+                              double now) = 0;
+
+  protected:
+    /**
+     * LUT-estimated remaining latency for a request: the profiled
+     * average latency of the layers still ahead of it.
+     */
+    static double estRemaining(const ModelInfoLut& lut,
+                               const Request& req);
+
+    /** LUT-estimated isolated (end-to-end) latency for a request. */
+    static double estIsolated(const ModelInfoLut& lut,
+                              const Request& req);
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_SCHEDULER_HH

@@ -1,0 +1,44 @@
+#include "sched/sdrm3.hh"
+
+#include <algorithm>
+
+namespace dysta {
+
+size_t
+Sdrm3Scheduler::selectNext(const std::vector<const Request*>& ready,
+                           double now)
+{
+    size_t best = 0;
+    double best_score = -1.0;
+
+    for (size_t i = 0; i < ready.size(); ++i) {
+        const Request& req = *ready[i];
+        double isol = std::max(estIsolated(*lut, req), 1e-12);
+        double remaining = estRemaining(*lut, req);
+
+        // Urgency: estimated demand over the time left to deadline,
+        // growing without bound once the deadline is blown (deadline
+        // pressure keeps mounting). This is the head-of-line-blocking
+        // behaviour the Dysta paper observes for SDRM3 under load.
+        double time_left = req.deadline - now;
+        double urgency;
+        if (time_left > 1e-9) {
+            urgency = std::min(remaining / time_left, 10.0);
+        } else {
+            urgency = 10.0 + (now - req.deadline) / isol;
+        }
+
+        // Fairness: expected normalized turnaround if dispatched now
+        // (tasks already slowed down the most score highest).
+        double fairness = (now - req.arrival + remaining) / isol;
+
+        double score = alpha * urgency + (1.0 - alpha) * fairness;
+        if (i == 0 || score > best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+} // namespace dysta

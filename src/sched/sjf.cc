@@ -1,0 +1,22 @@
+#include "sched/sjf.hh"
+
+namespace dysta {
+
+size_t
+SjfScheduler::selectNext(const std::vector<const Request*>& ready,
+                         double now)
+{
+    (void)now;
+    size_t best = 0;
+    double best_remaining = estRemaining(*lut, *ready[0]);
+    for (size_t i = 1; i < ready.size(); ++i) {
+        double remaining = estRemaining(*lut, *ready[i]);
+        if (remaining < best_remaining) {
+            best_remaining = remaining;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace dysta

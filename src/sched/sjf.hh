@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shortest-Job First baseline (the paper's Fig. 5 variant): at every
+ * layer boundary the request with the smallest LUT-estimated
+ * remaining time runs next, i.e. preemptive shortest-remaining-time
+ * scheduling driven by sparsity-unaware average latencies.
+ */
+
+#ifndef DYSTA_SCHED_SJF_HH
+#define DYSTA_SCHED_SJF_HH
+
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** SJF / shortest-estimated-remaining-time policy. */
+class SjfScheduler : public Scheduler
+{
+  public:
+    /** @param lut offline profile estimates (kept by reference). */
+    explicit SjfScheduler(const ModelInfoLut& lut) : lut(&lut) {}
+
+    std::string name() const override { return "SJF"; }
+
+    size_t selectNext(const std::vector<const Request*>& ready,
+                      double now) override;
+
+  private:
+    const ModelInfoLut* lut;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SCHED_SJF_HH

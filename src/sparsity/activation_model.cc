@@ -1,0 +1,115 @@
+#include "sparsity/activation_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+double
+CnnActivationSample::inputDensity(size_t layer) const
+{
+    panicIf(layer >= outSparsity.size(),
+            "CnnActivationSample: layer out of range");
+    // The first layer consumes the raw image (essentially dense);
+    // every other layer consumes its predecessor's output.
+    if (layer == 0)
+        return 1.0;
+    return 1.0 - outSparsity[layer - 1];
+}
+
+double
+CnnActivationSample::networkSparsity() const
+{
+    double acc = 0.0;
+    for (double s : outSparsity)
+        acc += s;
+    return outSparsity.empty()
+        ? 0.0
+        : acc / static_cast<double>(outSparsity.size());
+}
+
+namespace {
+
+/**
+ * Architecture-specific dynamicity gains calibrated against Table 2
+ * (relative network-sparsity range: GoogLeNet 28.3%, VGG-16 21.8%,
+ * InceptionV3 23.0%, ResNet-50 15.1%).
+ */
+double
+gainFor(const std::string& name)
+{
+    if (name == "googlenet")
+        return 2.30;
+    if (name == "inceptionv3")
+        return 1.80;
+    if (name == "vgg16")
+        return 1.30;
+    if (name == "resnet50")
+        return 0.92;
+    if (name == "ssd300")
+        return 1.40;
+    if (name == "mobilenet")
+        return 1.25;
+    return 1.2;
+}
+
+} // namespace
+
+CnnActivationModel::CnnActivationModel(const ModelDesc& model,
+                                       const DatasetProfile& profile,
+                                       uint64_t seed)
+    : prof(profile), gain(gainFor(model.name))
+{
+    Rng rng(seed ^ 0xA0761D6478BD642FULL);
+    size_t n = model.layers.size();
+    means.resize(n);
+    relu.resize(n);
+
+    for (size_t l = 0; l < n; ++l) {
+        const LayerDesc& layer = model.layers[l];
+        relu[l] = layer.reluAfter;
+        if (!layer.reluAfter) {
+            // Linear outputs (heads, downsample convs): few exact
+            // zeros beyond numerical coincidence.
+            means[l] = 0.03;
+            continue;
+        }
+        // ReLU sparsity grows with depth: later features are more
+        // selective (Fig. 3 shows the last layers spanning 0.1-0.7).
+        double depth = n > 1
+            ? static_cast<double>(l) / static_cast<double>(n - 1)
+            : 0.0;
+        double base = 0.28 + 0.24 * depth;
+        means[l] = std::clamp(base + rng.normal(0.0, 0.05), 0.05, 0.85);
+    }
+}
+
+CnnActivationSample
+CnnActivationModel::sample(Rng& rng) const
+{
+    CnnActivationSample s;
+    s.outSparsity.resize(means.size());
+
+    s.dark = rng.bernoulli(prof.darkFraction);
+    // Shared network-wide shift: dark samples fire far fewer units.
+    double shift = rng.normal(0.0, prof.sampleSigma * gain);
+    if (s.dark)
+        shift += prof.darkShift * gain *
+                 (0.75 + 0.5 * rng.uniform());
+
+    for (size_t l = 0; l < means.size(); ++l) {
+        if (!relu[l]) {
+            s.outSparsity[l] =
+                std::clamp(means[l] + rng.normal(0.0, 0.005), 0.0, 0.3);
+            continue;
+        }
+        double eps = rng.normal(0.0, prof.layerSigma);
+        s.outSparsity[l] =
+            std::clamp(means[l] + shift + eps, 0.02, 0.95);
+    }
+    return s;
+}
+
+} // namespace dysta

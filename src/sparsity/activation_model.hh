@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic CNN activation-sparsity generator (Sec. 2.3.1).
+ *
+ * Post-ReLU activation sparsity is input dependent: low-light and
+ * low-information images (ExDark / DarkFace) produce markedly sparser
+ * feature maps. Each sample draws a network-wide latent shift (shared
+ * across layers, which is what makes online latency prediction
+ * possible) plus independent per-layer noise, on top of a per-layer
+ * mean profile that rises with depth. Constants are calibrated so
+ * Fig. 3 layer ranges and Table 2 relative network-sparsity ranges
+ * land where the paper measured them.
+ */
+
+#ifndef DYSTA_SPARSITY_ACTIVATION_MODEL_HH
+#define DYSTA_SPARSITY_ACTIVATION_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.hh"
+#include "sparsity/dataset.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** One input sample's activation sparsity footprint. */
+struct CnnActivationSample
+{
+    /** Output activation sparsity of each layer (zero fraction). */
+    std::vector<double> outSparsity;
+    /** Whether the sample came from the dark/OOD mixture component. */
+    bool dark = false;
+
+    /** Input activation density seen by the given layer. */
+    double inputDensity(size_t layer) const;
+
+    /** Mean sparsity across all layers ("network sparsity"). */
+    double networkSparsity() const;
+};
+
+/** Per-model activation sparsity generator for a dataset profile. */
+class CnnActivationModel
+{
+  public:
+    /**
+     * @param model   architecture (layer ReLU flags drive the profile)
+     * @param profile dataset mixture parameters
+     * @param seed    deterministic profile seed
+     */
+    CnnActivationModel(const ModelDesc& model,
+                       const DatasetProfile& profile, uint64_t seed);
+
+    /** Draw one input sample. */
+    CnnActivationSample sample(Rng& rng) const;
+
+    /** Per-layer mean output sparsity (the in-distribution profile). */
+    const std::vector<double>& layerMeans() const { return means; }
+
+    /**
+     * Model-specific dynamicity gain applied to the dataset's sample
+     * variance (different architectures react differently to OOD
+     * inputs; Table 2).
+     */
+    double dynamicityGain() const { return gain; }
+
+  private:
+    std::vector<double> means;
+    std::vector<bool> relu;
+    DatasetProfile prof;
+    double gain;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SPARSITY_ACTIVATION_MODEL_HH

@@ -1,0 +1,92 @@
+#include "sparsity/attention_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+AttentionModel::AttentionModel(const ModelDesc& model,
+                               const DatasetProfile& profile,
+                               uint64_t seed)
+    : prof(profile)
+{
+    fatalIf(model.family != ModelFamily::AttNN,
+            "AttentionModel requires an AttNN model");
+    fatalIf(prof.seqMean <= 0,
+            "AttentionModel: dataset profile lacks language fields");
+
+    Rng rng(seed ^ 0xE7037ED1A0B428DBULL);
+    kinds.reserve(model.layers.size());
+    relu.reserve(model.layers.size());
+    layerOffset.reserve(model.layers.size());
+    for (const auto& layer : model.layers) {
+        kinds.push_back(layer.kind);
+        relu.push_back(layer.reluAfter);
+        // Deeper attention layers tend to be slightly sparser; keep a
+        // stable per-layer offset so the LUT averages are meaningful.
+        layerOffset.push_back(rng.normal(0.0, 0.015));
+    }
+}
+
+AttnSample
+AttentionModel::sample(Rng& rng) const
+{
+    AttnSample s;
+
+    // Sequence length: truncated normal over the dataset's range.
+    double len = rng.clampedNormal(prof.seqMean, prof.seqStd,
+                                   prof.seqMin, prof.seqMax);
+    s.seqLen = static_cast<int>(std::lround(len));
+
+    // Prompt complexity: longer prompts tend to carry more content,
+    // but short dense prompts exist too (hence the independent term).
+    double len_z = (len - prof.seqMean) /
+                   std::max(1.0, static_cast<double>(prof.seqStd));
+    s.complexity =
+        std::clamp(0.5 + 0.18 * len_z + rng.normal(0.0, 0.16), 0.0, 1.0);
+
+    s.laySparsity.resize(kinds.size());
+    s.maskDensity.assign(kinds.size(), 1.0);
+
+    double base_density =
+        prof.densityBase +
+        prof.densityComplexityGain * (s.complexity - 0.5);
+
+    for (size_t l = 0; l < kinds.size(); ++l) {
+        switch (kinds[l]) {
+          case LayerKind::AttnScore:
+          case LayerKind::AttnContext: {
+            double d = std::clamp(
+                base_density + layerOffset[l] +
+                    rng.normal(0.0, prof.densityLayerSigma),
+                0.03, 0.95);
+            s.maskDensity[l] = d;
+            s.laySparsity[l] = 1.0 - d;
+            break;
+          }
+          case LayerKind::TokenFC: {
+            if (relu[l]) {
+                // FFN inner activations: GELU/ReLU zeros also track
+                // prompt complexity, more weakly.
+                double sp = std::clamp(
+                    0.52 - 0.12 * (s.complexity - 0.5) +
+                        rng.normal(0.0, 0.03),
+                    0.05, 0.95);
+                s.laySparsity[l] = sp;
+            } else {
+                s.laySparsity[l] =
+                    std::clamp(0.08 + rng.normal(0.0, 0.01), 0.0, 0.3);
+            }
+            break;
+          }
+          default:
+            s.laySparsity[l] = 0.05;
+            break;
+        }
+    }
+    return s;
+}
+
+} // namespace dysta

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synthetic attention-sparsity generator for AttNNs (Sec. 2.3.1).
+ *
+ * The Sanger-style dynamic pruning thresholds the (predicted)
+ * attention matrix, so the surviving mask density is input dependent:
+ * short, simple prompts attend to few tokens (high sparsity, low
+ * latency) while long, complex prompts keep denser masks. A per-prompt
+ * complexity latent shared by all layers produces the strong
+ * cross-layer sparsity correlation of Fig. 9, which is precisely the
+ * property Dysta's linear latency predictor exploits.
+ */
+
+#ifndef DYSTA_SPARSITY_ATTENTION_MODEL_HH
+#define DYSTA_SPARSITY_ATTENTION_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.hh"
+#include "sparsity/dataset.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** One prompt's footprint on an attention model. */
+struct AttnSample
+{
+    /** Token count of the prompt. */
+    int seqLen = 0;
+    /** Prompt complexity latent in [0, 1]. */
+    double complexity = 0.0;
+    /**
+     * Per-layer monitored sparsity: attention-mask sparsity for the
+     * score/context stages, activation sparsity for FFN stages, and a
+     * small constant for the dense projections.
+     */
+    std::vector<double> laySparsity;
+    /** Per-layer attention mask density (1 for non-attention). */
+    std::vector<double> maskDensity;
+};
+
+/** Per-model dynamic attention sparsity generator. */
+class AttentionModel
+{
+  public:
+    AttentionModel(const ModelDesc& model, const DatasetProfile& profile,
+                   uint64_t seed);
+
+    /** Draw one prompt. */
+    AttnSample sample(Rng& rng) const;
+
+  private:
+    std::vector<LayerKind> kinds;
+    std::vector<bool> relu;
+    DatasetProfile prof;
+    /** Per-layer density offsets (depth structure). */
+    std::vector<double> layerOffset;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SPARSITY_ATTENTION_MODEL_HH

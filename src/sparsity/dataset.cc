@@ -1,0 +1,83 @@
+#include "sparsity/dataset.hh"
+
+namespace dysta {
+
+DatasetProfile
+imagenetProfile()
+{
+    DatasetProfile p;
+    p.name = "imagenet";
+    p.darkFraction = 0.0;
+    p.darkShift = 0.0;
+    p.sampleSigma = 0.004;
+    p.layerSigma = 0.035;
+    return p;
+}
+
+DatasetProfile
+imagenetWithDarkProfile()
+{
+    DatasetProfile p;
+    p.name = "imagenet+exdark+darkface";
+    p.darkFraction = 0.20;
+    p.darkShift = 0.020;
+    p.sampleSigma = 0.0045;
+    p.layerSigma = 0.035;
+    return p;
+}
+
+DatasetProfile
+cocoProfile()
+{
+    DatasetProfile p;
+    p.name = "coco";
+    p.darkFraction = 0.10;
+    p.darkShift = 0.018;
+    p.sampleSigma = 0.0045;
+    p.layerSigma = 0.035;
+    return p;
+}
+
+DatasetProfile
+squadProfile()
+{
+    DatasetProfile p;
+    p.name = "squad";
+    p.seqMean = 224;
+    p.seqStd = 64;
+    p.seqMin = 128;
+    p.seqMax = 384;
+    p.densityBase = 0.28;
+    p.densityComplexityGain = 0.22;
+    p.densityLayerSigma = 0.020;
+    return p;
+}
+
+DatasetProfile
+glueProfile()
+{
+    DatasetProfile p;
+    p.name = "glue";
+    p.seqMean = 104;
+    p.seqStd = 40;
+    p.seqMin = 24;
+    p.seqMax = 256;
+    p.densityBase = 0.32;
+    p.densityComplexityGain = 0.24;
+    p.densityLayerSigma = 0.022;
+    return p;
+}
+
+DatasetProfile
+defaultProfileFor(const std::string& model_name)
+{
+    if (model_name == "bert")
+        return squadProfile();
+    if (model_name == "gpt2" || model_name == "bart")
+        return glueProfile();
+    if (model_name == "ssd300")
+        return cocoProfile();
+    return imagenetWithDarkProfile();
+}
+
+} // namespace dysta

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dataset profiles: statistical stand-ins for the datasets the paper
+ * profiles (ImageNet, ExDark, DarkFace, COCO for vision; SQuAD, GLUE
+ * for language). Each profile parameterizes the synthetic activation /
+ * attention sparsity generators so they reproduce the distributions
+ * reported in Sec. 2.3 (Figs. 2-4, 9; Table 2).
+ */
+
+#ifndef DYSTA_SPARSITY_DATASET_HH
+#define DYSTA_SPARSITY_DATASET_HH
+
+#include <string>
+
+namespace dysta {
+
+/**
+ * Parameters of the synthetic input population for one dataset
+ * (mixture). Vision fields drive CnnActivationModel; language fields
+ * drive AttentionModel.
+ */
+struct DatasetProfile
+{
+    std::string name;
+
+    // --- vision ---
+    /** Fraction of low-light / low-information samples (ExDark-like). */
+    double darkFraction = 0.0;
+    /** Extra network-wide activation sparsity of a dark sample. */
+    double darkShift = 0.0;
+    /** Std-dev of the per-sample network-wide sparsity shift. */
+    double sampleSigma = 0.0;
+    /** Std-dev of the per-layer independent sparsity noise. */
+    double layerSigma = 0.0;
+
+    // --- language ---
+    int seqMean = 0;
+    int seqStd = 0;
+    int seqMin = 0;
+    int seqMax = 0;
+    /** Mean attention-mask density after threshold pruning. */
+    double densityBase = 0.0;
+    /** How strongly prompt complexity shifts the density. */
+    double densityComplexityGain = 0.0;
+    /** Per-layer residual density noise (keeps Fig. 9 corr < 1). */
+    double densityLayerSigma = 0.0;
+};
+
+/** Curated ImageNet validation-style inputs. */
+DatasetProfile imagenetProfile();
+
+/**
+ * The paper's out-of-distribution mixture: ImageNet plus ExDark and
+ * DarkFace low-light images (drives Fig. 3 / Table 2 variance).
+ */
+DatasetProfile imagenetWithDarkProfile();
+
+/** COCO detection inputs (SSD workloads). */
+DatasetProfile cocoProfile();
+
+/** SQuAD question answering prompts (BERT). */
+DatasetProfile squadProfile();
+
+/** GLUE sentence tasks (GPT-2 / BART). */
+DatasetProfile glueProfile();
+
+/** Default profile for a given benchmark model name. */
+DatasetProfile defaultProfileFor(const std::string& model_name);
+
+} // namespace dysta
+
+#endif // DYSTA_SPARSITY_DATASET_HH

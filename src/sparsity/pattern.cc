@@ -1,0 +1,40 @@
+#include "sparsity/pattern.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::string
+toString(SparsityPattern pattern)
+{
+    switch (pattern) {
+      case SparsityPattern::Dense: return "dense";
+      case SparsityPattern::RandomPointwise: return "random";
+      case SparsityPattern::BlockNM: return "block_nm";
+      case SparsityPattern::ChannelWise: return "channel";
+    }
+    panic("toString: unknown SparsityPattern");
+}
+
+SparsityPattern
+patternFromString(const std::string& name)
+{
+    if (name == "dense")
+        return SparsityPattern::Dense;
+    if (name == "random")
+        return SparsityPattern::RandomPointwise;
+    if (name == "block_nm")
+        return SparsityPattern::BlockNM;
+    if (name == "channel")
+        return SparsityPattern::ChannelWise;
+    fatal("patternFromString: unknown pattern '" + name + "'");
+}
+
+std::vector<SparsityPattern>
+cnnPatterns()
+{
+    return {SparsityPattern::RandomPointwise, SparsityPattern::BlockNM,
+            SparsityPattern::ChannelWise};
+}
+
+} // namespace dysta

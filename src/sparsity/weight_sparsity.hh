@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Static weight sparsification model.
+ *
+ * A SparsifiedModel binds a zoo model to a pruning pattern and target
+ * sparsity rate and exposes the pattern-dependent quantities the
+ * accelerator models need: per-layer weight density, PE-array
+ * utilization, and the valid-MAC fraction once a sample's activation
+ * density is known. The channel-selection bias mechanism reproduces
+ * Fig. 4: channel pruning keeps channels whose activations are denser
+ * than average (importance correlates with firing rate), so at equal
+ * overall sparsity the two patterns yield different valid-MAC
+ * distributions.
+ */
+
+#ifndef DYSTA_SPARSITY_WEIGHT_SPARSITY_HH
+#define DYSTA_SPARSITY_WEIGHT_SPARSITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "models/model.hh"
+#include "sparsity/pattern.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** Static, per-layer consequences of a pruning decision. */
+struct LayerWeightInfo
+{
+    /** Fraction of weights kept (1 - layer sparsity). */
+    double weightDensity = 1.0;
+    /** PE-array utilization factor achievable under the pattern. */
+    double utilization = 1.0;
+    /**
+     * Mean activation-density multiplier of the kept channel subset
+     * relative to the whole layer (1.0 except for channel pruning).
+     */
+    double keptChannelBias = 1.0;
+    /** Per-sample noise scale of the kept-subset activation density. */
+    double channelNoiseSigma = 0.0;
+};
+
+/** A zoo model pruned with one pattern at one overall sparsity rate. */
+class SparsifiedModel
+{
+  public:
+    /**
+     * @param model  architecture to prune (kept by value)
+     * @param pattern pruning mask pattern
+     * @param rate   target overall weight sparsity in [0, 1)
+     * @param seed   deterministic pruning seed
+     */
+    SparsifiedModel(ModelDesc model, SparsityPattern pattern, double rate,
+                    uint64_t seed);
+
+    const ModelDesc& model() const { return desc; }
+    SparsityPattern pattern() const { return patt; }
+    double rate() const { return targetRate; }
+
+    const LayerWeightInfo& layerInfo(size_t layer) const;
+
+    /**
+     * Fraction of dense MACs that remain effectual for one sample,
+     * given the sample's input activation density at this layer.
+     * Stochastic for channel pruning (finite kept-channel subset).
+     */
+    double validMacFraction(size_t layer, double act_density,
+                            Rng& rng) const;
+
+    /** Average weight density across prunable layers. */
+    double avgWeightDensity() const;
+
+  private:
+    ModelDesc desc;
+    SparsityPattern patt;
+    double targetRate;
+    std::vector<LayerWeightInfo> layers;
+
+    /** Whether a layer participates in weight pruning. */
+    static bool prunable(const LayerDesc& layer);
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SPARSITY_WEIGHT_SPARSITY_HH

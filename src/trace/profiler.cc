@@ -1,0 +1,87 @@
+#include "trace/profiler.hh"
+
+#include "sparsity/activation_model.hh"
+#include "sparsity/attention_model.hh"
+#include "sparsity/weight_sparsity.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+TraceSet
+profileCnn(const ModelDesc& model, SparsityPattern pattern,
+           const DatasetProfile& dataset, const EyerissV2Model& accel,
+           const ProfileConfig& config)
+{
+    fatalIf(model.family != ModelFamily::CNN,
+            "profileCnn: model is not a CNN");
+
+    SparsifiedModel sparse(model, pattern, config.cnnSparsityRate,
+                           config.seed);
+    CnnActivationModel act_model(model, dataset, config.seed);
+
+    TraceSet set(model.name, ModelFamily::CNN, pattern);
+    Rng rng(config.seed ^ 0x2545F4914F6CDD1DULL);
+    for (int i = 0; i < config.numSamples; ++i) {
+        Rng sample_rng = rng.fork();
+        CnnActivationSample input = act_model.sample(sample_rng);
+
+        SampleTrace trace;
+        trace.dark = input.dark;
+        trace.layers.reserve(model.layers.size());
+        for (size_t l = 0; l < model.layers.size(); ++l) {
+            LayerRun run = accel.runLayer(sparse, l, input, sample_rng);
+            trace.layers.push_back(
+                {run.latency, run.monitoredSparsity});
+        }
+        trace.finalize();
+        set.add(std::move(trace));
+    }
+    return set;
+}
+
+TraceSet
+profileAttn(const ModelDesc& model, const DatasetProfile& dataset,
+            const SangerModel& accel, const ProfileConfig& config)
+{
+    fatalIf(model.family != ModelFamily::AttNN,
+            "profileAttn: model is not an AttNN");
+
+    AttentionModel attn_model(model, dataset, config.seed);
+
+    // AttNN weight sparsity is dynamic (attention pruning), so the
+    // static pattern is reported as Dense.
+    TraceSet set(model.name, ModelFamily::AttNN,
+                 SparsityPattern::Dense);
+    Rng rng(config.seed ^ 0x6C62272E07BB0142ULL);
+    for (int i = 0; i < config.numSamples; ++i) {
+        Rng sample_rng = rng.fork();
+        AttnSample input = attn_model.sample(sample_rng);
+
+        SampleTrace trace;
+        trace.seqLen = input.seqLen;
+        trace.layers.reserve(model.layers.size());
+        for (size_t l = 0; l < model.layers.size(); ++l) {
+            LayerRun run = accel.runLayer(model, l, input);
+            trace.layers.push_back(
+                {run.latency, run.monitoredSparsity});
+        }
+        trace.finalize();
+        set.add(std::move(trace));
+    }
+    return set;
+}
+
+TraceSet
+profileModel(const ModelDesc& model, SparsityPattern pattern,
+             const EyerissV2Model& cnn_accel,
+             const SangerModel& attn_accel, const ProfileConfig& config)
+{
+    if (model.family == ModelFamily::CNN) {
+        return profileCnn(model, pattern, defaultProfileFor(model.name),
+                          cnn_accel, config);
+    }
+    return profileAttn(model, defaultProfileFor(model.name), attn_accel,
+                       config);
+}
+
+} // namespace dysta

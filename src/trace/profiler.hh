@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Phase-1 hardware-simulation driver.
+ *
+ * Iterates a sparsified model over a synthetic dataset on the target
+ * accelerator model and collects per-sample traces, exactly mirroring
+ * the paper's PyTorch-hook profiling flow (Fig. 7, left half).
+ */
+
+#ifndef DYSTA_TRACE_PROFILER_HH
+#define DYSTA_TRACE_PROFILER_HH
+
+#include <cstdint>
+
+#include "accel/eyeriss_v2.hh"
+#include "accel/sanger.hh"
+#include "sparsity/dataset.hh"
+#include "trace/trace.hh"
+
+namespace dysta {
+
+/** Profiling-run parameters. */
+struct ProfileConfig
+{
+    /** Inputs to run per (model, pattern) pair. */
+    int numSamples = 400;
+    /** Master seed; every sample derives its own stream. */
+    uint64_t seed = 1;
+    /** Target overall weight sparsity for CNN pruning. */
+    double cnnSparsityRate = 0.6;
+};
+
+/** Profile one CNN under one pruning pattern on Eyeriss-V2. */
+TraceSet profileCnn(const ModelDesc& model, SparsityPattern pattern,
+                    const DatasetProfile& dataset,
+                    const EyerissV2Model& accel,
+                    const ProfileConfig& config);
+
+/** Profile one AttNN under dynamic attention pruning on Sanger. */
+TraceSet profileAttn(const ModelDesc& model,
+                     const DatasetProfile& dataset,
+                     const SangerModel& accel,
+                     const ProfileConfig& config);
+
+/** Profile any zoo model with its default dataset profile. */
+TraceSet profileModel(const ModelDesc& model, SparsityPattern pattern,
+                      const EyerissV2Model& cnn_accel,
+                      const SangerModel& attn_accel,
+                      const ProfileConfig& config);
+
+} // namespace dysta
+
+#endif // DYSTA_TRACE_PROFILER_HH

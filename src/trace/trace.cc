@@ -1,0 +1,176 @@
+#include "trace/trace.hh"
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+void
+SampleTrace::finalize()
+{
+    totalLatency = 0.0;
+    avgSparsity = 0.0;
+    size_t monitored = 0;
+    for (const auto& layer : layers) {
+        totalLatency += layer.latency;
+        if (layer.monitored()) {
+            avgSparsity += layer.monitoredSparsity;
+            ++monitored;
+        }
+    }
+    if (monitored > 0)
+        avgSparsity /= static_cast<double>(monitored);
+}
+
+TraceSet::TraceSet(std::string model_name, ModelFamily family,
+                   SparsityPattern pattern)
+    : name(std::move(model_name)), fam(family), patt(pattern)
+{
+}
+
+void
+TraceSet::add(SampleTrace trace)
+{
+    panicIf(!samples.empty() &&
+                trace.layers.size() != samples.front().layers.size(),
+            "TraceSet::add: inconsistent layer count");
+    samples.push_back(std::move(trace));
+    statsValid = false;
+}
+
+const SampleTrace&
+TraceSet::sample(size_t i) const
+{
+    panicIf(i >= samples.size(), "TraceSet::sample: out of range");
+    return samples[i];
+}
+
+size_t
+TraceSet::layerCount() const
+{
+    return samples.empty() ? 0 : samples.front().layers.size();
+}
+
+void
+TraceSet::computeStats() const
+{
+    if (statsValid)
+        return;
+    size_t layers = layerCount();
+    layerLat.assign(layers, 0.0);
+    layerSp.assign(layers, 0.0);
+    std::vector<size_t> monitored(layers, 0);
+    avgTotal = 0.0;
+    for (const auto& s : samples) {
+        avgTotal += s.totalLatency;
+        for (size_t l = 0; l < layers; ++l) {
+            layerLat[l] += s.layers[l].latency;
+            if (s.layers[l].monitored()) {
+                layerSp[l] += s.layers[l].monitoredSparsity;
+                ++monitored[l];
+            }
+        }
+    }
+    if (!samples.empty()) {
+        double n = static_cast<double>(samples.size());
+        avgTotal /= n;
+        for (size_t l = 0; l < layers; ++l) {
+            layerLat[l] /= n;
+            // Unmonitored layers keep the negative sentinel.
+            layerSp[l] = monitored[l]
+                ? layerSp[l] / static_cast<double>(monitored[l])
+                : -1.0;
+        }
+    }
+    statsValid = true;
+}
+
+double
+TraceSet::avgTotalLatency() const
+{
+    computeStats();
+    return avgTotal;
+}
+
+const std::vector<double>&
+TraceSet::avgLayerLatency() const
+{
+    computeStats();
+    return layerLat;
+}
+
+const std::vector<double>&
+TraceSet::avgLayerSparsity() const
+{
+    computeStats();
+    return layerSp;
+}
+
+std::string
+TraceSet::makeKey(const std::string& model_name, SparsityPattern pattern)
+{
+    return model_name + "/" + toString(pattern);
+}
+
+std::string
+TraceSet::key() const
+{
+    return makeKey(name, patt);
+}
+
+void
+TraceSet::save(const std::string& path) const
+{
+    CsvWriter out(path);
+    out.writeRow(std::vector<std::string>{
+        name, toString(fam), toString(patt),
+        std::to_string(layerCount())});
+    for (const auto& s : samples) {
+        std::vector<std::string> row;
+        row.reserve(2 + 2 * s.layers.size());
+        row.push_back(std::to_string(s.seqLen));
+        row.push_back(s.dark ? "1" : "0");
+        char buf[40];
+        for (const auto& layer : s.layers) {
+            std::snprintf(buf, sizeof(buf), "%.12g", layer.latency);
+            row.push_back(buf);
+            std::snprintf(buf, sizeof(buf), "%.12g",
+                          layer.monitoredSparsity);
+            row.push_back(buf);
+        }
+        out.writeRow(row);
+    }
+}
+
+TraceSet
+TraceSet::load(const std::string& path)
+{
+    CsvTable table = readCsv(path);
+    fatalIf(table.rows.empty(), "TraceSet::load: empty file " + path);
+    const auto& meta = table.rows[0];
+    fatalIf(meta.size() < 4, "TraceSet::load: malformed header");
+
+    ModelFamily fam =
+        meta[1] == "AttNN" ? ModelFamily::AttNN : ModelFamily::CNN;
+    TraceSet set(meta[0], fam, patternFromString(meta[2]));
+    size_t layers = static_cast<size_t>(std::stoul(meta[3]));
+
+    for (size_t r = 1; r < table.rows.size(); ++r) {
+        const auto& row = table.rows[r];
+        fatalIf(row.size() != 2 + 2 * layers,
+                "TraceSet::load: malformed sample row");
+        SampleTrace s;
+        s.seqLen = static_cast<int>(table.cell(r, 0));
+        s.dark = table.cell(r, 1) != 0.0;
+        s.layers.resize(layers);
+        for (size_t l = 0; l < layers; ++l) {
+            s.layers[l].latency = table.cell(r, 2 + 2 * l);
+            s.layers[l].monitoredSparsity = table.cell(r, 3 + 2 * l);
+        }
+        s.finalize();
+        set.add(std::move(s));
+    }
+    return set;
+}
+
+} // namespace dysta

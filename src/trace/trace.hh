@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Phase-1 runtime traces (Sec. 3.3.1).
+ *
+ * The hardware-simulation phase runs every (model, pattern) pair over
+ * a synthetic dataset and records, per input sample, the per-layer
+ * latency and monitored sparsity on the target accelerator. Phase 2
+ * (scheduling evaluation) replays these traces: a request is one
+ * sampled trace. TraceSets can be persisted to CSV, mirroring the
+ * paper's "save runtime information as files" step.
+ */
+
+#ifndef DYSTA_TRACE_TRACE_HH
+#define DYSTA_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/model.hh"
+#include "sparsity/pattern.hh"
+
+namespace dysta {
+
+/** Per-layer runtime record. */
+struct LayerTrace
+{
+    /** Layer latency on the target accelerator (seconds). */
+    double latency = 0.0;
+    /**
+     * Zero-count monitor output for the layer, or a negative value
+     * when the monitor captures nothing for it (Alg. 3's "if
+     * S_monitor captured" condition): dense linear outputs carry no
+     * countable zeros, so only ReLU outputs and attention masks
+     * produce monitor events.
+     */
+    double monitoredSparsity = -1.0;
+
+    bool monitored() const { return monitoredSparsity >= 0.0; }
+};
+
+/** One input sample's end-to-end runtime record. */
+struct SampleTrace
+{
+    std::vector<LayerTrace> layers;
+    /** Prompt length (1 for CNNs). */
+    int seqLen = 1;
+    /** Whether the input came from the dark/OOD mixture. */
+    bool dark = false;
+    /** Cached sum of layer latencies (isolated execution time). */
+    double totalLatency = 0.0;
+    /** Cached mean monitored sparsity across layers. */
+    double avgSparsity = 0.0;
+
+    /** Recompute the cached aggregates from the layer records. */
+    void finalize();
+};
+
+/** All profiled samples for one (model, pattern) pair. */
+class TraceSet
+{
+  public:
+    TraceSet() = default;
+    TraceSet(std::string model_name, ModelFamily family,
+             SparsityPattern pattern);
+
+    const std::string& modelName() const { return name; }
+    ModelFamily family() const { return fam; }
+    SparsityPattern pattern() const { return patt; }
+
+    void add(SampleTrace trace);
+
+    size_t size() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+    const SampleTrace& sample(size_t i) const;
+    const std::vector<SampleTrace>& all() const { return samples; }
+
+    /** Number of layers (uniform across samples). */
+    size_t layerCount() const;
+
+    /** Mean isolated latency across samples. */
+    double avgTotalLatency() const;
+
+    /** Mean latency of one layer across samples. */
+    const std::vector<double>& avgLayerLatency() const;
+
+    /** Mean monitored sparsity of one layer across samples. */
+    const std::vector<double>& avgLayerSparsity() const;
+
+    /** Write to CSV (meta header row + one row per sample). */
+    void save(const std::string& path) const;
+
+    /** Read back a CSV written by save(); fatal() on malformed data. */
+    static TraceSet load(const std::string& path);
+
+    /** Canonical key for registries: "<model>/<pattern>". */
+    std::string key() const;
+
+    static std::string makeKey(const std::string& model_name,
+                               SparsityPattern pattern);
+
+  private:
+    std::string name;
+    ModelFamily fam = ModelFamily::CNN;
+    SparsityPattern patt = SparsityPattern::Dense;
+    std::vector<SampleTrace> samples;
+
+    // Lazily computed aggregates.
+    mutable bool statsValid = false;
+    mutable double avgTotal = 0.0;
+    mutable std::vector<double> layerLat;
+    mutable std::vector<double> layerSp;
+
+    void computeStats() const;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_TRACE_TRACE_HH

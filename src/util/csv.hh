@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal CSV reader/writer used to persist Phase-1 traces (the paper's
+ * "save runtime information as files" step) and to export bench series
+ * for external plotting.
+ */
+
+#ifndef DYSTA_UTIL_CSV_HH
+#define DYSTA_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dysta {
+
+/** Streaming CSV writer; fields are escaped only when necessary. */
+class CsvWriter
+{
+  public:
+    /** Open the target file for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write one row of raw string fields. */
+    void writeRow(const std::vector<std::string>& fields);
+
+    /** Write one row of doubles with full round-trip precision. */
+    void writeRow(const std::vector<double>& fields);
+
+    /** Flush and close early (also done by the destructor). */
+    void close();
+
+  private:
+    std::ofstream out;
+
+    static std::string escape(const std::string& field);
+};
+
+/** In-memory CSV parse result: rows of string fields. */
+struct CsvTable
+{
+    std::vector<std::vector<std::string>> rows;
+
+    /** Parse field (row, col) as double; fatal() on malformed input. */
+    double cell(size_t row, size_t col) const;
+};
+
+/** Read and parse an entire CSV file; fatal() if unreadable. */
+CsvTable readCsv(const std::string& path);
+
+/** Parse a single CSV line honouring double-quote escapes. */
+std::vector<std::string> parseCsvLine(const std::string& line);
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_CSV_HH

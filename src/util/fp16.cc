@@ -1,0 +1,101 @@
+#include "util/fp16.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace dysta {
+
+uint16_t
+floatToHalfBits(float f)
+{
+    uint32_t x;
+    std::memcpy(&x, &f, sizeof(x));
+
+    uint32_t sign = (x >> 16) & 0x8000u;
+    uint32_t exp = (x >> 23) & 0xFFu;
+    uint32_t mant = x & 0x7FFFFFu;
+
+    if (exp == 0xFFu) {
+        // Inf / NaN: preserve NaN-ness with a quiet payload bit.
+        uint32_t nan_bit = mant ? 0x200u : 0u;
+        return static_cast<uint16_t>(sign | 0x7C00u | nan_bit |
+                                     (mant >> 13));
+    }
+
+    // Re-bias from 127 to 15.
+    int32_t half_exp = static_cast<int32_t>(exp) - 127 + 15;
+
+    if (half_exp >= 0x1F) {
+        // Overflow to infinity.
+        return static_cast<uint16_t>(sign | 0x7C00u);
+    }
+
+    if (half_exp <= 0) {
+        // Subnormal or underflow to zero.
+        if (half_exp < -10)
+            return static_cast<uint16_t>(sign);
+        // Add the implicit leading one, then shift into subnormal range.
+        mant |= 0x800000u;
+        uint32_t shift = static_cast<uint32_t>(14 - half_exp);
+        uint32_t half_mant = mant >> shift;
+        // Round to nearest even.
+        uint32_t rem = mant & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1u)))
+            ++half_mant;
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+
+    // Normal case: keep 10 mantissa bits, round to nearest even.
+    uint32_t half_mant = mant >> 13;
+    uint32_t rem = mant & 0x1FFFu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) {
+        ++half_mant;
+        if (half_mant == 0x400u) {
+            half_mant = 0;
+            ++half_exp;
+            if (half_exp >= 0x1F)
+                return static_cast<uint16_t>(sign | 0x7C00u);
+        }
+    }
+    return static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(half_exp) << 10) | half_mant);
+}
+
+float
+halfBitsToFloat(uint16_t h)
+{
+    uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+    uint32_t exp = (h >> 10) & 0x1Fu;
+    uint32_t mant = h & 0x3FFu;
+
+    uint32_t x;
+    if (exp == 0) {
+        if (mant == 0) {
+            x = sign; // signed zero
+        } else {
+            // Normalize the subnormal: value = mant * 2^-24, so after
+            // k left-shifts bring the leading one to bit 10 the
+            // binary32 exponent is (-14 - k) + 127.
+            int shift = 0;
+            while (!(mant & 0x400u)) {
+                mant <<= 1;
+                ++shift;
+            }
+            mant &= 0x3FFu;
+            uint32_t fexp = static_cast<uint32_t>(127 - 14 - shift);
+            x = sign | (fexp << 23) | (mant << 13);
+        }
+    } else if (exp == 0x1Fu) {
+        x = sign | 0x7F800000u | (mant << 13);
+    } else {
+        uint32_t fexp = exp - 15 + 127;
+        x = sign | (fexp << 23) | (mant << 13);
+    }
+
+    float f;
+    std::memcpy(&f, &x, sizeof(f));
+    return f;
+}
+
+} // namespace dysta

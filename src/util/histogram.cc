@@ -1,0 +1,75 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    panicIf(bins == 0, "Histogram: need at least one bin");
+    panicIf(hi <= lo, "Histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo) / (hi - lo);
+    auto bin = static_cast<int64_t>(
+        std::floor(frac * static_cast<double>(counts.size())));
+    bin = std::clamp<int64_t>(bin, 0,
+                              static_cast<int64_t>(counts.size()) - 1);
+    ++counts[static_cast<size_t>(bin)];
+    ++n;
+}
+
+double
+Histogram::binWidth() const
+{
+    return (hi - lo) / static_cast<double>(counts.size());
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    return lo + (static_cast<double>(bin) + 0.5) * binWidth();
+}
+
+double
+Histogram::density(size_t bin) const
+{
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(counts.at(bin)) /
+           (static_cast<double>(n) * binWidth());
+}
+
+std::string
+Histogram::render(const std::string& label, size_t width) const
+{
+    double max_density = 0.0;
+    for (size_t b = 0; b < counts.size(); ++b)
+        max_density = std::max(max_density, density(b));
+
+    std::string out = label + " (n=" + std::to_string(n) + ")\n";
+    char buf[64];
+    for (size_t b = 0; b < counts.size(); ++b) {
+        double d = density(b);
+        size_t bar = max_density > 0.0
+            ? static_cast<size_t>(std::lround(
+                  d / max_density * static_cast<double>(width)))
+            : 0;
+        std::snprintf(buf, sizeof(buf), "  %8.3f | %8.3f | ",
+                      binCenter(b), d);
+        out += buf;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace dysta

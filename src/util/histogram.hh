@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-bin histogram used by the distribution figures (Fig. 2, Fig. 4)
+ * to print the same probability-density series the paper plots.
+ */
+
+#ifndef DYSTA_UTIL_HISTOGRAM_HH
+#define DYSTA_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dysta {
+
+/** Equal-width histogram over [lo, hi) with out-of-range clamping. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the first bin
+     * @param hi    exclusive upper bound of the last bin
+     * @param bins  number of equal-width bins (>= 1)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one observation; values outside [lo, hi) go to edge bins. */
+    void add(double x);
+
+    size_t bins() const { return counts.size(); }
+    size_t total() const { return n; }
+    uint64_t count(size_t bin) const { return counts.at(bin); }
+
+    /** Centre of the given bin. */
+    double binCenter(size_t bin) const;
+
+    /** Width of each bin. */
+    double binWidth() const;
+
+    /** Probability density of the given bin (integrates to ~1). */
+    double density(size_t bin) const;
+
+    /**
+     * Render as an ASCII plot, one bin per row, for bench output.
+     * @param label  series label printed in the header
+     * @param width  maximum bar width in characters
+     */
+    std::string render(const std::string& label, size_t width = 50) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<uint64_t> counts;
+    size_t n = 0;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_HISTOGRAM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 idiom.
+ *
+ * panic() is for internal invariant violations (simulator bugs) and
+ * aborts; fatal() is for unrecoverable user/configuration errors and
+ * exits cleanly; warn()/inform() report non-fatal conditions.
+ */
+
+#ifndef DYSTA_UTIL_LOGGING_HH
+#define DYSTA_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dysta {
+
+/** Report an internal invariant violation and abort. */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Report an unrecoverable user-facing error and exit(1). */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Report a suspicious but survivable condition. */
+void warn(const std::string& msg);
+
+/** Report simulation status to the user. */
+void inform(const std::string& msg);
+
+/**
+ * Assert a condition that must hold regardless of user input.
+ * Kept active in release builds because the simulators rely on it for
+ * model-consistency checks.
+ */
+inline void
+panicIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+/** Assert a user-facing precondition (bad configuration etc.). */
+inline void
+fatalIf(bool cond, const std::string& msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_LOGGING_HH

@@ -1,0 +1,166 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+void
+OnlineStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+void
+OnlineStats::merge(const OnlineStats& other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mu - mu;
+    size_t total = n + other.n;
+    double nf = static_cast<double>(n);
+    double mf = static_cast<double>(other.n);
+    mu += delta * mf / static_cast<double>(total);
+    m2 += other.m2 + delta * delta * nf * mf / static_cast<double>(total);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n = total;
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+OnlineStats::min() const
+{
+    panicIf(n == 0, "OnlineStats::min on empty accumulator");
+    return lo;
+}
+
+double
+OnlineStats::max() const
+{
+    panicIf(n == 0, "OnlineStats::max on empty accumulator");
+    return hi;
+}
+
+double
+OnlineStats::relativeRange() const
+{
+    if (n == 0 || mu == 0.0)
+        return 0.0;
+    return (hi - lo) / mu;
+}
+
+double
+mean(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += x;
+    return acc / static_cast<double>(v.size());
+}
+
+double
+stddev(const std::vector<double>& v)
+{
+    OnlineStats s;
+    for (double x : v)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    panicIf(v.empty(), "percentile of empty vector");
+    panicIf(p < 0.0 || p > 100.0, "percentile p out of [0, 100]");
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    size_t lo_idx = static_cast<size_t>(rank);
+    size_t hi_idx = std::min(lo_idx + 1, v.size() - 1);
+    double frac = rank - static_cast<double>(lo_idx);
+    return v[lo_idx] * (1.0 - frac) + v[hi_idx] * frac;
+}
+
+double
+rmse(const std::vector<double>& pred, const std::vector<double>& ref)
+{
+    panicIf(pred.size() != ref.size(), "rmse: length mismatch");
+    panicIf(pred.empty(), "rmse: empty series");
+    double acc = 0.0;
+    for (size_t i = 0; i < pred.size(); ++i) {
+        double d = pred[i] - ref[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(pred.size()));
+}
+
+double
+pearson(const std::vector<double>& a, const std::vector<double>& b)
+{
+    panicIf(a.size() != b.size(), "pearson: length mismatch");
+    panicIf(a.size() < 2, "pearson: need at least two samples");
+    double ma = mean(a);
+    double mb = mean(b);
+    double num = 0.0;
+    double da = 0.0;
+    double db = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        double xa = a[i] - ma;
+        double xb = b[i] - mb;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    if (da == 0.0 || db == 0.0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>>& series)
+{
+    size_t n = series.size();
+    std::vector<std::vector<double>> mat(n, std::vector<double>(n, 1.0));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            double r = pearson(series[i], series[j]);
+            mat[i][j] = r;
+            mat[j][i] = r;
+        }
+    }
+    return mat;
+}
+
+} // namespace dysta

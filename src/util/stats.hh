@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Statistics helpers shared by the profilers, the latency predictor
+ * evaluation (Table 4) and the experiment harness: online mean and
+ * variance (Welford), percentiles, RMSE and Pearson correlation
+ * (Fig. 9).
+ */
+
+#ifndef DYSTA_UTIL_STATS_HH
+#define DYSTA_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dysta {
+
+/**
+ * Numerically stable online accumulator for mean/variance/min/max
+ * using Welford's algorithm.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats& other);
+
+    size_t count() const { return n; }
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Sample variance (n - 1 denominator); 0 for fewer than two. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return n ? mu * static_cast<double>(n) : 0.0; }
+
+    /** (max - min) / mean: the "relative range" metric of Table 2. */
+    double relativeRange() const;
+
+  private:
+    size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 for empty input. */
+double mean(const std::vector<double>& v);
+
+/** Sample standard deviation of a vector. */
+double stddev(const std::vector<double>& v);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100].
+ * @pre v non-empty.
+ */
+double percentile(std::vector<double> v, double p);
+
+/**
+ * Root-mean-square error between prediction and reference series.
+ * @pre equal non-zero lengths.
+ */
+double rmse(const std::vector<double>& pred, const std::vector<double>& ref);
+
+/**
+ * Pearson product-moment correlation coefficient.
+ * Returns 0 when either series is constant. @pre equal lengths >= 2.
+ */
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/**
+ * Pairwise Pearson correlation matrix of the columns of `series`,
+ * where series[c] is the per-sample vector of column c (Fig. 9).
+ */
+std::vector<std::vector<double>>
+correlationMatrix(const std::vector<std::vector<double>>& series);
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_STATS_HH

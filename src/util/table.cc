@@ -1,0 +1,87 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+AsciiTable::AsciiTable(std::string title)
+    : title(std::move(title))
+{
+}
+
+void
+AsciiTable::setHeader(const std::vector<std::string>& hdr)
+{
+    header = hdr;
+}
+
+void
+AsciiTable::addRow(const std::vector<std::string>& row)
+{
+    panicIf(!header.empty() && row.size() != header.size(),
+            "AsciiTable: row width mismatch in table '" + title + "'");
+    rows.push_back(row);
+}
+
+std::string
+AsciiTable::num(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+AsciiTable::render() const
+{
+    size_t cols = header.size();
+    for (const auto& r : rows)
+        cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto account = [&](const std::vector<std::string>& r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    if (!header.empty())
+        account(header);
+    for (const auto& r : rows)
+        account(r);
+
+    auto renderRow = [&](const std::vector<std::string>& r) {
+        std::string line = "|";
+        for (size_t c = 0; c < cols; ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            line += " " + cell +
+                    std::string(width[c] - cell.size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (size_t c = 0; c < cols; ++c)
+        sep += std::string(width[c] + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = "== " + title + " ==\n" + sep;
+    if (!header.empty()) {
+        out += renderRow(header);
+        out += sep;
+    }
+    for (const auto& r : rows)
+        out += renderRow(r);
+    out += sep;
+    return out;
+}
+
+void
+AsciiTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace dysta

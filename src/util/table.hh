@@ -1,0 +1,45 @@
+/**
+ * @file
+ * ASCII table renderer. Every bench binary prints its paper table or
+ * figure series through this class so the output format is uniform and
+ * easy to diff against EXPERIMENTS.md.
+ */
+
+#ifndef DYSTA_UTIL_TABLE_HH
+#define DYSTA_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace dysta {
+
+/** Column-aligned ASCII table with a title and a header row. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::string title);
+
+    /** Set the header row (defines the column count). */
+    void setHeader(const std::vector<std::string>& header);
+
+    /** Append a pre-formatted row; must match the header width. */
+    void addRow(const std::vector<std::string>& row);
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Render the full table. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_TABLE_HH

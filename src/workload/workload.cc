@@ -1,0 +1,145 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dysta {
+
+std::string
+toString(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::MultiAttNN: return "multi-AttNN";
+      case WorkloadKind::MultiCNN: return "multi-CNN";
+    }
+    panic("toString: unknown WorkloadKind");
+}
+
+void
+TraceRegistry::add(TraceSet traces)
+{
+    std::string key = traces.key();
+    sets.insert_or_assign(key, std::move(traces));
+}
+
+bool
+TraceRegistry::contains(const std::string& model,
+                        SparsityPattern pattern) const
+{
+    return sets.count(TraceSet::makeKey(model, pattern)) > 0;
+}
+
+const TraceSet&
+TraceRegistry::get(const std::string& model,
+                   SparsityPattern pattern) const
+{
+    auto it = sets.find(TraceSet::makeKey(model, pattern));
+    fatalIf(it == sets.end(),
+            "TraceRegistry: missing traces for " +
+                TraceSet::makeKey(model, pattern));
+    return it->second;
+}
+
+ModelInfoLut
+TraceRegistry::buildLut() const
+{
+    ModelInfoLut lut;
+    for (const auto& [key, set] : sets)
+        lut.addFromTrace(set);
+    return lut;
+}
+
+std::vector<std::string>
+TraceRegistry::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(sets.size());
+    for (const auto& [key, set] : sets)
+        out.push_back(key);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+TraceRegistry::saveAll(const std::string& dir) const
+{
+    fatalIf(!std::filesystem::is_directory(dir),
+            "TraceRegistry::saveAll: not a directory: " + dir);
+    for (const auto& [key, set] : sets) {
+        std::string file = key;
+        std::replace(file.begin(), file.end(), '/', '_');
+        set.save(dir + "/" + file + ".csv");
+    }
+}
+
+TraceRegistry
+TraceRegistry::loadAll(const std::string& dir)
+{
+    fatalIf(!std::filesystem::is_directory(dir),
+            "TraceRegistry::loadAll: not a directory: " + dir);
+    TraceRegistry registry;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() == ".csv")
+            registry.add(TraceSet::load(entry.path().string()));
+    }
+    fatalIf(registry.size() == 0,
+            "TraceRegistry::loadAll: no trace files in " + dir);
+    return registry;
+}
+
+std::vector<std::string>
+workloadModels(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::MultiAttNN:
+        // Personal assistant: translation (BART, GPT-2) + QA (BERT).
+        return {"bert", "gpt2", "bart"};
+      case WorkloadKind::MultiCNN:
+        // Visual perception (SSD, VGG-16, ResNet-50) + hand tracking
+        // (SSD) + gesture recognition (MobileNet).
+        return {"ssd300", "vgg16", "resnet50", "ssd300", "mobilenet"};
+    }
+    panic("workloadModels: unknown WorkloadKind");
+}
+
+std::vector<Request>
+generateWorkload(const WorkloadConfig& config,
+                 const TraceRegistry& registry)
+{
+    fatalIf(config.arrivalRate <= 0.0,
+            "generateWorkload: arrival rate must be positive");
+    fatalIf(config.numRequests <= 0,
+            "generateWorkload: need at least one request");
+
+    Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 0x123456789ULL);
+    std::vector<std::string> models = workloadModels(config.kind);
+    std::vector<SparsityPattern> patterns =
+        config.kind == WorkloadKind::MultiCNN
+            ? cnnPatterns()
+            : std::vector<SparsityPattern>{SparsityPattern::Dense};
+
+    std::vector<Request> requests;
+    requests.reserve(config.numRequests);
+    double now = 0.0;
+    for (int i = 0; i < config.numRequests; ++i) {
+        now += rng.exponential(config.arrivalRate);
+        const std::string& model =
+            models[rng.uniformInt(0, models.size() - 1)];
+        SparsityPattern pattern =
+            patterns[rng.uniformInt(0, patterns.size() - 1)];
+
+        const TraceSet& set = registry.get(model, pattern);
+        const SampleTrace& trace =
+            set.sample(rng.uniformInt(0, set.size() - 1));
+
+        requests.push_back(makeRequest(i, model, pattern, trace, now,
+                                       config.sloMultiplier,
+                                       set.avgTotalLatency()));
+    }
+    return requests;
+}
+
+} // namespace dysta

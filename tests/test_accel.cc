@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit tests for the accelerator models: Eyeriss-V2 latency
+ * monotonicity, sparsity floors, roofline behaviour; Sanger sequence
+ * and density scaling plus the conditional zero-count monitor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/eyeriss_v2.hh"
+#include "accel/sanger.hh"
+#include "models/zoo.hh"
+#include "sparsity/dataset.hh"
+
+using namespace dysta;
+
+namespace {
+
+CnnActivationSample
+uniformSample(size_t layers, double sparsity)
+{
+    CnnActivationSample s;
+    s.outSparsity.assign(layers, sparsity);
+    return s;
+}
+
+AttnSample
+uniformAttnSample(const ModelDesc& model, int seq_len, double density)
+{
+    AttnSample s;
+    s.seqLen = seq_len;
+    s.laySparsity.assign(model.layers.size(), 0.3);
+    s.maskDensity.assign(model.layers.size(), 1.0);
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+        if (isAttentionStage(model.layers[l].kind)) {
+            s.maskDensity[l] = density;
+            s.laySparsity[l] = 1.0 - density;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+// --- Eyeriss-V2 ---
+
+TEST(EyerissV2, LatencyPositiveForAllLayers)
+{
+    ModelDesc model = makeResNet50();
+    SparsifiedModel sparse(model, SparsityPattern::BlockNM, 0.6, 1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.4);
+    Rng rng(1);
+    for (size_t l = 0; l < model.layers.size(); ++l)
+        EXPECT_GT(accel.runLayer(sparse, l, s, rng).latency, 0.0);
+}
+
+TEST(EyerissV2, SparserActivationsRunFaster)
+{
+    ModelDesc model = makeVgg16();
+    SparsifiedModel sparse(model, SparsityPattern::BlockNM, 0.5, 1);
+    EyerissV2Model accel;
+    auto dense_in = uniformSample(model.layers.size(), 0.1);
+    auto sparse_in = uniformSample(model.layers.size(), 0.7);
+    Rng rng(1);
+    // Layer 3 consumes layer 2's output sparsity.
+    double lat_dense = accel.runLayer(sparse, 3, dense_in, rng).latency;
+    double lat_sparse =
+        accel.runLayer(sparse, 3, sparse_in, rng).latency;
+    EXPECT_LT(lat_sparse, lat_dense);
+}
+
+TEST(EyerissV2, HigherWeightSparsityRunsFaster)
+{
+    ModelDesc model = makeVgg16();
+    SparsifiedModel light(model, SparsityPattern::BlockNM, 0.25, 1);
+    SparsifiedModel heavy(model, SparsityPattern::BlockNM, 0.75, 1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.4);
+    Rng rng(1);
+    EXPECT_LT(accel.runLayer(heavy, 3, s, rng).latency,
+              accel.runLayer(light, 3, s, rng).latency);
+}
+
+TEST(EyerissV2, ZeroSkippingFloorBoundsSpeedup)
+{
+    ModelDesc model = makeVgg16();
+    SparsifiedModel extreme(model, SparsityPattern::BlockNM, 0.99, 1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.94);
+    Rng rng(1);
+    LayerRun run = accel.runLayer(extreme, 3, s, rng);
+    double dense_macs = static_cast<double>(model.layers[3].macs());
+    EXPECT_GE(static_cast<double>(run.effectiveMacs),
+              dense_macs * accel.config().minEffectiveFraction * 0.99);
+}
+
+TEST(EyerissV2, IsolatedLatencyIsLayerSum)
+{
+    ModelDesc model = makeMobileNetV1();
+    SparsifiedModel sparse(model, SparsityPattern::ChannelWise, 0.6,
+                           1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.4);
+    Rng rng_a(7);
+    Rng rng_b(7);
+    double total = accel.isolatedLatency(sparse, s, rng_a);
+    double sum = 0.0;
+    for (size_t l = 0; l < model.layers.size(); ++l)
+        sum += accel.runLayer(sparse, l, s, rng_b).latency;
+    EXPECT_NEAR(total, sum, 1e-12);
+}
+
+TEST(EyerissV2, MonitorOnlyCoversReluLayers)
+{
+    ModelDesc model = makeResNet50();
+    SparsifiedModel sparse(model, SparsityPattern::BlockNM, 0.6, 1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.4);
+    Rng rng(1);
+    for (size_t l = 0; l < model.layers.size(); ++l) {
+        LayerRun run = accel.runLayer(sparse, l, s, rng);
+        if (model.layers[l].reluAfter)
+            EXPECT_DOUBLE_EQ(run.monitoredSparsity, 0.4);
+        else
+            EXPECT_LT(run.monitoredSparsity, 0.0);
+    }
+}
+
+TEST(EyerissV2, MemoryBoundLayerLimitedByBandwidth)
+{
+    // VGG-16 fc6 (103M weights-worth of GEMM) is bandwidth-bound on
+    // a 1.6 GB/s interface: latency must be at least bytes/BW.
+    ModelDesc model = makeVgg16();
+    SparsifiedModel sparse(model, SparsityPattern::BlockNM, 0.5, 1);
+    EyerissV2Model accel;
+    auto s = uniformSample(model.layers.size(), 0.4);
+    Rng rng(1);
+    size_t fc6 = 13;
+    ASSERT_EQ(model.layers[fc6].name, "fc6");
+    const auto& cfg = accel.config();
+    double weight_bytes =
+        static_cast<double>(model.layers[fc6].weightCount()) * 0.5 *
+        cfg.bytesPerElement * (1.0 + cfg.indexOverhead);
+    double min_latency = weight_bytes / cfg.dramBandwidthBps;
+    EXPECT_GE(accel.runLayer(sparse, fc6, s, rng).latency,
+              min_latency * 0.99);
+}
+
+TEST(EyerissV2, CalibratedCnnMixServiceTime)
+{
+    // The multi-CNN mix must land where the paper's arrival rates
+    // (2-6 req/s) span under- to over-subscription: mean isolated
+    // latency in roughly [0.2 s, 0.4 s].
+    EyerissV2Model accel;
+    Rng rng(5);
+    double total = 0.0;
+    int n = 0;
+    for (const char* name :
+         {"ssd300", "vgg16", "resnet50", "ssd300", "mobilenet"}) {
+        ModelDesc model = makeModelByName(name);
+        CnnActivationModel act(model, defaultProfileFor(name), 3);
+        for (SparsityPattern p : cnnPatterns()) {
+            SparsifiedModel sparse(model, p, 0.6, 3);
+            for (int i = 0; i < 5; ++i) {
+                Rng srng = rng.fork();
+                auto sample = act.sample(srng);
+                total += accel.isolatedLatency(sparse, sample, srng);
+                ++n;
+            }
+        }
+    }
+    double mean_latency = total / n;
+    EXPECT_GT(mean_latency, 0.18);
+    EXPECT_LT(mean_latency, 0.45);
+}
+
+// --- Sanger ---
+
+TEST(Sanger, LatencyGrowsWithSequenceLength)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto short_s = uniformAttnSample(bert, 128, 0.3);
+    auto long_s = uniformAttnSample(bert, 320, 0.3);
+    EXPECT_LT(accel.isolatedLatency(bert, short_s),
+              accel.isolatedLatency(bert, long_s));
+}
+
+TEST(Sanger, AttentionStageScalesWithDensity)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto dense_s = uniformAttnSample(bert, 256, 0.9);
+    auto sparse_s = uniformAttnSample(bert, 256, 0.1);
+    size_t score_layer = 1;
+    ASSERT_EQ(bert.layers[score_layer].kind, LayerKind::AttnScore);
+    EXPECT_LT(accel.runLayer(bert, score_layer, sparse_s).latency,
+              accel.runLayer(bert, score_layer, dense_s).latency);
+}
+
+TEST(Sanger, DenseProjectionUnaffectedByMaskDensity)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto dense_s = uniformAttnSample(bert, 256, 0.9);
+    auto sparse_s = uniformAttnSample(bert, 256, 0.1);
+    size_t qkv = 0;
+    ASSERT_EQ(bert.layers[qkv].kind, LayerKind::TokenFC);
+    EXPECT_DOUBLE_EQ(accel.runLayer(bert, qkv, sparse_s).latency,
+                     accel.runLayer(bert, qkv, dense_s).latency);
+}
+
+TEST(Sanger, ScoreCarriesMaskPredictionOverhead)
+{
+    // At equal density the score stage pays the low-precision
+    // mask-prediction pass that the context stage does not.
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto s = uniformAttnSample(bert, 256, 0.3);
+    size_t score_layer = 1;
+    size_t ctx_layer = 2;
+    ASSERT_EQ(bert.layers[score_layer].kind, LayerKind::AttnScore);
+    ASSERT_EQ(bert.layers[ctx_layer].kind, LayerKind::AttnContext);
+    EXPECT_GT(accel.runLayer(bert, score_layer, s).latency,
+              accel.runLayer(bert, ctx_layer, s).latency);
+}
+
+TEST(Sanger, MinimumMaskDensityEnforced)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto s1 = uniformAttnSample(bert, 256, 0.01);
+    auto s2 = uniformAttnSample(bert, 256, accel.config().minMaskDensity);
+    size_t ctx_layer = 2;
+    EXPECT_DOUBLE_EQ(accel.runLayer(bert, ctx_layer, s1).latency,
+                     accel.runLayer(bert, ctx_layer, s2).latency);
+}
+
+TEST(Sanger, MonitorCoversAttentionAndReluOnly)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    auto s = uniformAttnSample(bert, 256, 0.3);
+    for (size_t l = 0; l < bert.layers.size(); ++l) {
+        LayerRun run = accel.runLayer(bert, l, s);
+        bool monitorable = isAttentionStage(bert.layers[l].kind) ||
+                           bert.layers[l].reluAfter;
+        EXPECT_EQ(run.monitoredSparsity >= 0.0, monitorable)
+            << bert.layers[l].name;
+    }
+}
+
+TEST(Sanger, CalibratedAttnMixServiceTime)
+{
+    // The multi-AttNN mix must land where 10-40 req/s spans the
+    // paper's operating range: mean isolated latency ~[0.02, 0.04]s.
+    SangerModel accel;
+    Rng rng(5);
+    double total = 0.0;
+    int n = 0;
+    for (const char* name : {"bert", "gpt2", "bart"}) {
+        ModelDesc model = makeModelByName(name);
+        AttentionModel attn(model, defaultProfileFor(name), 3);
+        for (int i = 0; i < 30; ++i) {
+            total += accel.isolatedLatency(model, attn.sample(rng));
+            ++n;
+        }
+    }
+    double mean_latency = total / n;
+    EXPECT_GT(mean_latency, 0.022);
+    EXPECT_LT(mean_latency, 0.042);
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for scheduler/engine tests: hand-built traces with
+ * exact layer latencies, and LUTs derived from them.
+ */
+
+#ifndef DYSTA_TESTS_TEST_HELPERS_HH
+#define DYSTA_TESTS_TEST_HELPERS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_info.hh"
+#include "sched/request.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace dysta::test {
+
+/** Build one trace with the given per-layer latencies/sparsities. */
+inline SampleTrace
+trace(std::vector<double> latencies, std::vector<double> sparsities)
+{
+    SampleTrace s;
+    for (size_t i = 0; i < latencies.size(); ++i) {
+        double sp = i < sparsities.size() ? sparsities[i] : 0.5;
+        s.layers.push_back({latencies[i], sp});
+    }
+    s.finalize();
+    return s;
+}
+
+/**
+ * A synthetic world: named models with fixed per-layer latencies.
+ * Each model's trace pool holds a single sample, so the LUT averages
+ * equal the ground truth (estimators are exact unless tests add
+ * deviating samples).
+ */
+class World
+{
+  public:
+    /** Register a model with one representative trace. */
+    void
+    addModel(const std::string& name, std::vector<double> latencies,
+             std::vector<double> sparsities = {})
+    {
+        auto set = std::make_unique<TraceSet>(
+            name, ModelFamily::CNN, SparsityPattern::Dense);
+        set->add(trace(std::move(latencies), std::move(sparsities)));
+        lut.addFromTrace(*set);
+        sets.push_back(std::move(set));
+    }
+
+    /** Register a model with several trace samples. */
+    void
+    addModelSamples(const std::string& name,
+                    std::vector<SampleTrace> samples)
+    {
+        auto set = std::make_unique<TraceSet>(
+            name, ModelFamily::CNN, SparsityPattern::Dense);
+        for (auto& s : samples)
+            set->add(std::move(s));
+        lut.addFromTrace(*set);
+        sets.push_back(std::move(set));
+    }
+
+    /** Create a request for the model's sample_idx-th trace. */
+    Request
+    request(int id, const std::string& name, double arrival,
+            double slo_mult = 10.0, size_t sample_idx = 0)
+    {
+        for (const auto& set : sets) {
+            if (set->modelName() == name) {
+                return makeRequest(id, name, SparsityPattern::Dense,
+                                   set->sample(sample_idx), arrival,
+                                   slo_mult, set->avgTotalLatency());
+            }
+        }
+        fatal("test World: unknown model " + name);
+    }
+
+    ModelInfoLut lut;
+    std::vector<std::unique_ptr<TraceSet>> sets;
+};
+
+} // namespace dysta::test
+
+#endif // DYSTA_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit tests for the model zoo: layer bookkeeping, MAC/weight counts
+ * against the published architecture totals, and the sequence-length
+ * scaling of attention blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/zoo.hh"
+
+using namespace dysta;
+
+namespace {
+
+double
+gmacs(const ModelDesc& m, int seq = 0)
+{
+    return static_cast<double>(
+               m.totalMacs(seq ? seq : m.defaultSeqLen)) /
+           1e9;
+}
+
+double
+mparams(const ModelDesc& m)
+{
+    return static_cast<double>(m.totalWeights()) / 1e6;
+}
+
+} // namespace
+
+// --- Published totals (tolerances cover head/pooling bookkeeping) ---
+
+TEST(Zoo, ResNet50Macs)
+{
+    // Published: ~4.1 GMACs, ~25.6 M parameters.
+    ModelDesc m = makeResNet50();
+    EXPECT_NEAR(gmacs(m), 4.1, 0.4);
+    EXPECT_NEAR(mparams(m), 25.5, 1.5);
+}
+
+TEST(Zoo, Vgg16Macs)
+{
+    // Published: ~15.5 GMACs, ~138 M parameters.
+    ModelDesc m = makeVgg16();
+    EXPECT_NEAR(gmacs(m), 15.5, 0.6);
+    EXPECT_NEAR(mparams(m), 138.0, 4.0);
+}
+
+TEST(Zoo, MobileNetMacs)
+{
+    // Published: ~0.57 GMACs, ~4.2 M parameters.
+    ModelDesc m = makeMobileNetV1();
+    EXPECT_NEAR(gmacs(m), 0.57, 0.06);
+    EXPECT_NEAR(mparams(m), 4.2, 0.4);
+}
+
+TEST(Zoo, GoogLeNetMacs)
+{
+    // Published: ~1.5 GMACs, ~7 M parameters.
+    ModelDesc m = makeGoogLeNet();
+    EXPECT_NEAR(gmacs(m), 1.5, 0.25);
+    EXPECT_NEAR(mparams(m), 7.0, 1.5);
+}
+
+TEST(Zoo, InceptionV3Macs)
+{
+    // Published: ~5.7 GMACs, ~24 M parameters.
+    ModelDesc m = makeInceptionV3();
+    EXPECT_NEAR(gmacs(m), 5.7, 0.8);
+    EXPECT_NEAR(mparams(m), 23.8, 3.0);
+}
+
+TEST(Zoo, Ssd300Macs)
+{
+    // Published: ~31 GMACs for SSD300-VGG16 including heads.
+    ModelDesc m = makeSsd300();
+    EXPECT_NEAR(gmacs(m), 31.0, 4.0);
+}
+
+TEST(Zoo, BertBaseMacsAtSeq256)
+{
+    // Encoder-only BERT-base at L=256:
+    // per layer: L*(768*2304 + 768*768 + 2*768*3072) + 2*12*L^2*64
+    // = 256*7.078e6 + 1.007e8 ~ 1.91e9; x12 ~ 22.9 GMACs.
+    ModelDesc m = makeBertBase();
+    EXPECT_NEAR(gmacs(m, 256), 22.9, 1.0);
+}
+
+TEST(Zoo, Gpt2AndBertShareBlockShape)
+{
+    ModelDesc bert = makeBertBase();
+    ModelDesc gpt2 = makeGpt2Small();
+    EXPECT_EQ(bert.layerCount(), gpt2.layerCount());
+    EXPECT_EQ(bert.totalMacs(128), gpt2.totalMacs(128));
+}
+
+TEST(Zoo, BartHasCrossAttention)
+{
+    // 6 encoder layers x 6 blocks + 6 decoder layers x 10 blocks.
+    ModelDesc m = makeBartBase();
+    EXPECT_EQ(m.layerCount(), 6u * 6 + 6u * 10);
+}
+
+// --- Structural checks over the whole zoo ---
+
+class ZooModelTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ZooModelTest, LayerNamesUnique)
+{
+    ModelDesc m = makeModelByName(GetParam());
+    std::set<std::string> names;
+    for (const auto& l : m.layers)
+        EXPECT_TRUE(names.insert(l.name).second)
+            << "duplicate layer name " << l.name;
+}
+
+TEST_P(ZooModelTest, AllLayersHavePositiveMacsOrArePool)
+{
+    ModelDesc m = makeModelByName(GetParam());
+    for (const auto& l : m.layers) {
+        if (l.kind == LayerKind::Pool)
+            continue;
+        EXPECT_GT(l.macs(m.defaultSeqLen), 0u) << l.name;
+    }
+}
+
+TEST_P(ZooModelTest, OutputAndInputElemsPositive)
+{
+    ModelDesc m = makeModelByName(GetParam());
+    for (const auto& l : m.layers) {
+        EXPECT_GT(l.inputElems(m.defaultSeqLen), 0u) << l.name;
+        EXPECT_GT(l.outputElems(m.defaultSeqLen), 0u) << l.name;
+    }
+}
+
+TEST_P(ZooModelTest, FamilyConsistentWithLayerKinds)
+{
+    ModelDesc m = makeModelByName(GetParam());
+    bool has_attention = false;
+    bool has_conv = false;
+    for (const auto& l : m.layers) {
+        has_attention = has_attention || isAttentionStage(l.kind);
+        has_conv = has_conv || l.kind == LayerKind::Conv ||
+                   l.kind == LayerKind::DepthwiseConv;
+    }
+    if (m.family == ModelFamily::AttNN) {
+        EXPECT_TRUE(has_attention);
+        EXPECT_FALSE(has_conv);
+    } else {
+        EXPECT_TRUE(has_conv);
+        EXPECT_FALSE(has_attention);
+    }
+}
+
+TEST_P(ZooModelTest, RoundTripByName)
+{
+    ModelDesc m = makeModelByName(GetParam());
+    EXPECT_EQ(m.name, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelTest,
+                         ::testing::ValuesIn(zooModelNames()));
+
+// --- Attention scaling ---
+
+TEST(Layer, AttentionScoreScalesQuadratically)
+{
+    ModelDesc bert = makeBertBase();
+    const LayerDesc* score = nullptr;
+    for (const auto& l : bert.layers) {
+        if (l.kind == LayerKind::AttnScore) {
+            score = &l;
+            break;
+        }
+    }
+    ASSERT_NE(score, nullptr);
+    EXPECT_EQ(score->macs(128) * 4, score->macs(256));
+}
+
+TEST(Layer, TokenFcScalesLinearly)
+{
+    ModelDesc bert = makeBertBase();
+    const LayerDesc* fc = nullptr;
+    for (const auto& l : bert.layers) {
+        if (l.kind == LayerKind::TokenFC) {
+            fc = &l;
+            break;
+        }
+    }
+    ASSERT_NE(fc, nullptr);
+    EXPECT_EQ(fc->macs(128) * 2, fc->macs(256));
+}
+
+TEST(Layer, CnnMacsIgnoreSeqLen)
+{
+    ModelDesc resnet = makeResNet50();
+    const LayerDesc& conv = resnet.layers.front();
+    EXPECT_EQ(conv.macs(1), conv.macs(999));
+}
+
+TEST(Layer, RectangularKernelMacs)
+{
+    LayerDesc l;
+    l.kind = LayerKind::Conv;
+    l.inChannels = 8;
+    l.outChannels = 16;
+    l.kernel = 1;
+    l.kernelW = 7;
+    l.outH = 10;
+    l.outW = 10;
+    EXPECT_EQ(l.macs(), 8ull * 16 * 1 * 7 * 10 * 10);
+    EXPECT_EQ(l.weightCount(), 8ull * 16 * 7);
+}
+
+TEST(Layer, DepthwiseMacsIndependentOfInChannels)
+{
+    LayerDesc l;
+    l.kind = LayerKind::DepthwiseConv;
+    l.inChannels = 32;
+    l.outChannels = 32;
+    l.kernel = 3;
+    l.outH = 7;
+    l.outW = 7;
+    EXPECT_EQ(l.macs(), 32ull * 9 * 49);
+    EXPECT_EQ(l.weightCount(), 32ull * 9);
+}
+
+TEST(Layer, KindNames)
+{
+    EXPECT_EQ(toString(LayerKind::Conv), "Conv");
+    EXPECT_EQ(toString(LayerKind::AttnScore), "AttnScore");
+    EXPECT_TRUE(isAttentionStage(LayerKind::AttnContext));
+    EXPECT_FALSE(isAttentionStage(LayerKind::TokenFC));
+}
+
+TEST(Model, TotalsAreLayerSums)
+{
+    ModelDesc m = makeMobileNetV1();
+    uint64_t macs = 0;
+    uint64_t weights = 0;
+    for (const auto& l : m.layers) {
+        macs += l.macs();
+        weights += l.weightCount();
+    }
+    EXPECT_EQ(m.totalMacs(1), macs);
+    EXPECT_EQ(m.totalWeights(), weights);
+}
+
+TEST(Model, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeModelByName("alexnet"),
+                ::testing::ExitedWithCode(1), "unknown model");
+}
+
+TEST(Zoo, Vgg16ChannelsChainThroughTheBackbone)
+{
+    // Sequential models must pass each conv's output channels to the
+    // next conv's input.
+    ModelDesc m = makeVgg16();
+    for (size_t l = 1; l < m.layers.size(); ++l) {
+        const LayerDesc& prev = m.layers[l - 1];
+        const LayerDesc& cur = m.layers[l];
+        if (cur.kind != LayerKind::Conv ||
+            prev.kind != LayerKind::Conv) {
+            continue;
+        }
+        EXPECT_EQ(cur.inChannels, prev.outChannels)
+            << prev.name << " -> " << cur.name;
+    }
+}
+
+TEST(Zoo, MobileNetAlternatesDepthwisePointwise)
+{
+    ModelDesc m = makeMobileNetV1();
+    for (size_t l = 1; l + 1 < m.layers.size(); ++l) {
+        const LayerDesc& cur = m.layers[l];
+        if (cur.kind == LayerKind::DepthwiseConv) {
+            const LayerDesc& next = m.layers[l + 1];
+            ASSERT_EQ(next.kind, LayerKind::Conv) << cur.name;
+            EXPECT_EQ(next.kernel, 1) << next.name;
+            EXPECT_EQ(next.inChannels, cur.outChannels) << next.name;
+        }
+    }
+}
+
+TEST(Zoo, ResNet50HasSixteenBottlenecks)
+{
+    ModelDesc m = makeResNet50();
+    int bottleneck_3x3 = 0;
+    for (const auto& l : m.layers) {
+        if (l.kind == LayerKind::Conv && l.kernel == 3 &&
+            l.name.find("3x3") != std::string::npos) {
+            ++bottleneck_3x3;
+        }
+    }
+    EXPECT_EQ(bottleneck_3x3, 16); // 3 + 4 + 6 + 3
+}
+
+TEST(Zoo, AttentionBlocksAreCompletePerLayer)
+{
+    // Each BERT encoder layer contributes exactly one score and one
+    // context stage plus four projections.
+    ModelDesc m = makeBertBase();
+    int score = 0;
+    int ctx = 0;
+    int fc = 0;
+    for (const auto& l : m.layers) {
+        score += l.kind == LayerKind::AttnScore;
+        ctx += l.kind == LayerKind::AttnContext;
+        fc += l.kind == LayerKind::TokenFC;
+    }
+    EXPECT_EQ(score, 12);
+    EXPECT_EQ(ctx, 12);
+    EXPECT_EQ(fc, 12 * 4);
+}

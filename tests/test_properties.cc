@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Property-style parameterized sweeps: invariants that must hold for
+ * every (model, pattern) pair on the accelerator models, for every
+ * predictor strategy, and for the Oracle-vs-Dysta dominance across
+ * seeds. These are the broad nets behind the targeted unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "accel/eyeriss_v2.hh"
+#include "accel/sanger.hh"
+#include "core/latency_predictor.hh"
+#include "exp/experiments.hh"
+#include "models/zoo.hh"
+#include "trace/profiler.hh"
+#include "util/stats.hh"
+
+using namespace dysta;
+
+// --- Every CNN model x pattern on Eyeriss-V2 ---
+
+using CnnPoint = std::tuple<std::string, SparsityPattern>;
+
+class CnnAccelSweep : public ::testing::TestWithParam<CnnPoint>
+{
+  protected:
+    ModelDesc model = makeModelByName(std::get<0>(GetParam()));
+    SparsityPattern pattern = std::get<1>(GetParam());
+    EyerissV2Model accel;
+};
+
+TEST_P(CnnAccelSweep, ProfilesCleanly)
+{
+    ProfileConfig cfg;
+    cfg.numSamples = 12;
+    TraceSet set = profileCnn(model, pattern,
+                              defaultProfileFor(model.name), accel,
+                              cfg);
+    ASSERT_EQ(set.size(), 12u);
+    for (const auto& sample : set.all()) {
+        EXPECT_GT(sample.totalLatency, 0.0);
+        EXPECT_TRUE(std::isfinite(sample.totalLatency));
+        for (const auto& layer : sample.layers) {
+            EXPECT_GT(layer.latency, 0.0);
+            if (layer.monitored()) {
+                EXPECT_GE(layer.monitoredSparsity, 0.0);
+                EXPECT_LE(layer.monitoredSparsity, 1.0);
+            }
+        }
+    }
+}
+
+TEST_P(CnnAccelSweep, HigherPruningRateNeverSlower)
+{
+    // Average isolated latency must be non-increasing in the weight
+    // sparsity rate (zero skipping can only help in this model).
+    ProfileConfig light_cfg;
+    light_cfg.numSamples = 15;
+    light_cfg.cnnSparsityRate = 0.3;
+    ProfileConfig heavy_cfg = light_cfg;
+    heavy_cfg.cnnSparsityRate = 0.8;
+    TraceSet light = profileCnn(model, pattern,
+                                defaultProfileFor(model.name), accel,
+                                light_cfg);
+    TraceSet heavy = profileCnn(model, pattern,
+                                defaultProfileFor(model.name), accel,
+                                heavy_cfg);
+    EXPECT_LE(heavy.avgTotalLatency(),
+              light.avgTotalLatency() * 1.001);
+}
+
+TEST_P(CnnAccelSweep, LutRemainingMatchesAvgLatency)
+{
+    ProfileConfig cfg;
+    cfg.numSamples = 10;
+    TraceSet set = profileCnn(model, pattern,
+                              defaultProfileFor(model.name), accel,
+                              cfg);
+    ModelInfoLut lut;
+    lut.addFromTrace(set);
+    const ModelInfo& info = lut.lookup(model.name, pattern);
+    EXPECT_NEAR(info.estRemaining(0), info.avgLatency,
+                1e-9 * info.avgLatency);
+    // Suffix sums are monotone non-increasing.
+    for (size_t l = 1; l < info.remainingFrom.size(); ++l)
+        EXPECT_LE(info.remainingFrom[l], info.remainingFrom[l - 1]);
+}
+
+std::vector<CnnPoint>
+cnnPoints()
+{
+    std::vector<CnnPoint> points;
+    for (const char* name :
+         {"resnet50", "vgg16", "mobilenet", "ssd300", "googlenet",
+          "inceptionv3"}) {
+        for (SparsityPattern p : cnnPatterns())
+            points.push_back({name, p});
+    }
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCnnModels, CnnAccelSweep, ::testing::ValuesIn(cnnPoints()),
+    [](const ::testing::TestParamInfo<CnnPoint>& info) {
+        return std::get<0>(info.param) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+// --- Every AttNN model on Sanger ---
+
+class AttnAccelSweep : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AttnAccelSweep, ProfilesCleanlyAndSeqLenDominatesLatency)
+{
+    ModelDesc model = makeModelByName(GetParam());
+    SangerModel accel;
+    ProfileConfig cfg;
+    cfg.numSamples = 60;
+    TraceSet set = profileAttn(model, defaultProfileFor(GetParam()),
+                               accel, cfg);
+    std::vector<double> seq;
+    std::vector<double> lat;
+    for (const auto& sample : set.all()) {
+        EXPECT_GT(sample.totalLatency, 0.0);
+        seq.push_back(static_cast<double>(sample.seqLen));
+        lat.push_back(sample.totalLatency);
+    }
+    // Longer prompts cost more; correlation must be strong.
+    EXPECT_GT(pearson(seq, lat), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAttnModels, AttnAccelSweep,
+                         ::testing::Values("bert", "gpt2", "bart"));
+
+// --- Predictor strategies ---
+
+class PredictorStrategySweep
+    : public ::testing::TestWithParam<PredictorStrategy>
+{
+  protected:
+    ModelInfo
+    info()
+    {
+        ModelInfo i;
+        i.model = "m";
+        i.avgLayerLatency = {0.1, 0.1, 0.1};
+        i.avgLayerSparsity = {0.5, 0.5, 0.5};
+        i.avgNetworkSparsity = 0.5;
+        i.avgLatency = 0.3;
+        i.remainingFrom = {0.3, 0.2, 0.1, 0.0};
+        return i;
+    }
+};
+
+TEST_P(PredictorStrategySweep, NeutralObservationKeepsGammaOne)
+{
+    ModelInfo i = info();
+    PredictorConfig cfg;
+    cfg.strategy = GetParam();
+    SparseLatencyPredictor pred(i, cfg);
+    pred.observe(0, 0.5); // exactly the profile average
+    EXPECT_NEAR(pred.gamma(), 1.0, 1e-12);
+}
+
+TEST_P(PredictorStrategySweep, SparserThanProfileLowersEstimate)
+{
+    ModelInfo i = info();
+    PredictorConfig cfg;
+    cfg.strategy = GetParam();
+    SparseLatencyPredictor pred(i, cfg);
+    pred.observe(0, 0.8);
+    EXPECT_LT(pred.gamma(), 1.0);
+    EXPECT_LT(pred.predictRemaining(1), i.estRemaining(1));
+}
+
+TEST_P(PredictorStrategySweep, DenserThanProfileRaisesEstimate)
+{
+    ModelInfo i = info();
+    PredictorConfig cfg;
+    cfg.strategy = GetParam();
+    SparseLatencyPredictor pred(i, cfg);
+    pred.observe(0, 0.2);
+    EXPECT_GT(pred.gamma(), 1.0);
+    EXPECT_GT(pred.predictRemaining(1), i.estRemaining(1));
+}
+
+TEST_P(PredictorStrategySweep, GammaStaysWithinClamps)
+{
+    ModelInfo i = info();
+    PredictorConfig cfg;
+    cfg.strategy = GetParam();
+    SparseLatencyPredictor pred(i, cfg);
+    for (double s : {0.0, 0.2, 0.5, 0.9, 0.95}) {
+        pred.observe(1, s);
+        EXPECT_GE(pred.gamma(), cfg.gammaMin);
+        EXPECT_LE(pred.gamma(), cfg.gammaMax);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PredictorStrategySweep,
+    ::testing::Values(PredictorStrategy::AverageAll,
+                      PredictorStrategy::LastN,
+                      PredictorStrategy::LastOne),
+    [](const ::testing::TestParamInfo<PredictorStrategy>& info) {
+        std::string name = toString(info.param);
+        for (char& c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+// --- Oracle dominance across seeds ---
+
+class OracleDominance : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    static BenchContext&
+    ctx()
+    {
+        static std::unique_ptr<BenchContext> instance = [] {
+            BenchSetup setup;
+            setup.samplesPerModel = 60;
+            setup.includeCnn = false;
+            return makeBenchContext(setup);
+        }();
+        return *instance;
+    }
+};
+
+TEST_P(OracleDominance, OracleAnttNeverWorseThanDysta)
+{
+    WorkloadConfig wl;
+    wl.kind = WorkloadKind::MultiAttNN;
+    wl.arrivalRate = 30.0;
+    wl.numRequests = 300;
+    wl.seed = GetParam();
+    auto oracle = makeSchedulerByName("Oracle", ctx(), wl.kind);
+    auto dysta = makeSchedulerByName("Dysta", ctx(), wl.kind);
+    double oracle_antt = runOne(ctx(), wl, *oracle).metrics.antt;
+    double dysta_antt = runOne(ctx(), wl, *dysta).metrics.antt;
+    // Perfect information bounds the predictor from below (small
+    // tolerance: the score is a heuristic, not provably optimal).
+    EXPECT_LE(oracle_antt, dysta_antt * 1.05) << "seed " << GetParam();
+}
+
+TEST_P(OracleDominance, DystaAnttNeverWorseThanLutSjf)
+{
+    WorkloadConfig wl;
+    wl.kind = WorkloadKind::MultiAttNN;
+    wl.arrivalRate = 30.0;
+    wl.numRequests = 300;
+    wl.seed = GetParam();
+    auto sjf = makeSchedulerByName("SJF", ctx(), wl.kind);
+    auto dysta = makeSchedulerByName("Dysta", ctx(), wl.kind);
+    double sjf_antt = runOne(ctx(), wl, *sjf).metrics.antt;
+    double dysta_antt = runOne(ctx(), wl, *dysta).metrics.antt;
+    EXPECT_LE(dysta_antt, sjf_antt * 1.05) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleDominance,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

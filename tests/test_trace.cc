@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the Phase-1 trace infrastructure: sample records,
+ * trace-set statistics with conditional monitoring, CSV persistence
+ * and the profiler drivers; plus the ModelInfoLut built on top.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/model_info.hh"
+#include "models/zoo.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
+
+using namespace dysta;
+
+namespace {
+
+SampleTrace
+makeSample(std::initializer_list<double> lats,
+           std::initializer_list<double> sparsities)
+{
+    SampleTrace s;
+    auto it = sparsities.begin();
+    for (double lat : lats) {
+        s.layers.push_back({lat, *it++});
+    }
+    s.finalize();
+    return s;
+}
+
+TraceSet
+tinySet()
+{
+    TraceSet set("toy", ModelFamily::CNN,
+                 SparsityPattern::RandomPointwise);
+    set.add(makeSample({0.1, 0.2, 0.3}, {0.5, -1.0, 0.7}));
+    set.add(makeSample({0.3, 0.2, 0.1}, {0.3, -1.0, 0.5}));
+    return set;
+}
+
+} // namespace
+
+TEST(SampleTrace, FinalizeComputesAggregates)
+{
+    SampleTrace s = makeSample({0.1, 0.2, 0.3}, {0.4, 0.6, 0.8});
+    EXPECT_NEAR(s.totalLatency, 0.6, 1e-12);
+    EXPECT_NEAR(s.avgSparsity, 0.6, 1e-12);
+}
+
+TEST(SampleTrace, FinalizeSkipsUnmonitoredLayers)
+{
+    SampleTrace s = makeSample({0.1, 0.2}, {0.4, -1.0});
+    EXPECT_NEAR(s.avgSparsity, 0.4, 1e-12);
+    EXPECT_FALSE(s.layers[1].monitored());
+    EXPECT_TRUE(s.layers[0].monitored());
+}
+
+TEST(TraceSet, StatsAreSampleAverages)
+{
+    TraceSet set = tinySet();
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.layerCount(), 3u);
+    EXPECT_NEAR(set.avgTotalLatency(), 0.6, 1e-12);
+    EXPECT_NEAR(set.avgLayerLatency()[0], 0.2, 1e-12);
+    EXPECT_NEAR(set.avgLayerLatency()[2], 0.2, 1e-12);
+    EXPECT_NEAR(set.avgLayerSparsity()[0], 0.4, 1e-12);
+    // Unmonitored layer keeps the sentinel.
+    EXPECT_LT(set.avgLayerSparsity()[1], 0.0);
+}
+
+TEST(TraceSet, KeyFormat)
+{
+    TraceSet set = tinySet();
+    EXPECT_EQ(set.key(), "toy/random");
+    EXPECT_EQ(TraceSet::makeKey("bert", SparsityPattern::Dense),
+              "bert/dense");
+}
+
+TEST(TraceSet, InconsistentLayerCountPanics)
+{
+    TraceSet set = tinySet();
+    EXPECT_DEATH(set.add(makeSample({0.1}, {0.5})),
+                 "inconsistent layer count");
+}
+
+TEST(TraceSet, SaveLoadRoundTrip)
+{
+    std::string path = "/tmp/dysta_test_traces.csv";
+    TraceSet set = tinySet();
+    set.save(path);
+    TraceSet loaded = TraceSet::load(path);
+
+    EXPECT_EQ(loaded.modelName(), "toy");
+    EXPECT_EQ(loaded.pattern(), SparsityPattern::RandomPointwise);
+    EXPECT_EQ(loaded.family(), ModelFamily::CNN);
+    ASSERT_EQ(loaded.size(), set.size());
+    for (size_t i = 0; i < set.size(); ++i) {
+        for (size_t l = 0; l < set.layerCount(); ++l) {
+            EXPECT_NEAR(loaded.sample(i).layers[l].latency,
+                        set.sample(i).layers[l].latency, 1e-12);
+            EXPECT_NEAR(loaded.sample(i).layers[l].monitoredSparsity,
+                        set.sample(i).layers[l].monitoredSparsity,
+                        1e-12);
+        }
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(TraceSet, LoadMissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceSet::load("/nonexistent/file.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(Profiler, CnnTraceShapeAndDeterminism)
+{
+    ModelDesc model = makeMobileNetV1();
+    EyerissV2Model accel;
+    ProfileConfig cfg;
+    cfg.numSamples = 20;
+    cfg.seed = 77;
+    TraceSet a = profileCnn(model, SparsityPattern::BlockNM,
+                            imagenetWithDarkProfile(), accel, cfg);
+    TraceSet b = profileCnn(model, SparsityPattern::BlockNM,
+                            imagenetWithDarkProfile(), accel, cfg);
+    ASSERT_EQ(a.size(), 20u);
+    EXPECT_EQ(a.layerCount(), model.layers.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.sample(i).totalLatency,
+                         b.sample(i).totalLatency);
+    }
+}
+
+TEST(Profiler, SeedChangesTraces)
+{
+    ModelDesc model = makeMobileNetV1();
+    EyerissV2Model accel;
+    ProfileConfig cfg_a;
+    cfg_a.numSamples = 10;
+    cfg_a.seed = 1;
+    ProfileConfig cfg_b = cfg_a;
+    cfg_b.seed = 2;
+    TraceSet a = profileCnn(model, SparsityPattern::BlockNM,
+                            imagenetWithDarkProfile(), accel, cfg_a);
+    TraceSet b = profileCnn(model, SparsityPattern::BlockNM,
+                            imagenetWithDarkProfile(), accel, cfg_b);
+    int equal = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        equal += a.sample(i).totalLatency == b.sample(i).totalLatency;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Profiler, AttnTraceRecordsSeqLen)
+{
+    ModelDesc bert = makeBertBase();
+    SangerModel accel;
+    ProfileConfig cfg;
+    cfg.numSamples = 15;
+    TraceSet set = profileAttn(bert, squadProfile(), accel, cfg);
+    for (const auto& s : set.all()) {
+        EXPECT_GE(s.seqLen, squadProfile().seqMin);
+        EXPECT_LE(s.seqLen, squadProfile().seqMax);
+    }
+}
+
+TEST(Profiler, FamilyMismatchIsFatal)
+{
+    EyerissV2Model eyeriss;
+    SangerModel sanger;
+    ProfileConfig cfg;
+    cfg.numSamples = 2;
+    EXPECT_EXIT(profileCnn(makeBertBase(),
+                           SparsityPattern::RandomPointwise,
+                           imagenetProfile(), eyeriss, cfg),
+                ::testing::ExitedWithCode(1), "not a CNN");
+    EXPECT_EXIT(profileAttn(makeResNet50(), squadProfile(), sanger,
+                            cfg),
+                ::testing::ExitedWithCode(1), "not an AttNN");
+}
+
+TEST(Profiler, ProfileModelDispatchesByFamily)
+{
+    EyerissV2Model eyeriss;
+    SangerModel sanger;
+    ProfileConfig cfg;
+    cfg.numSamples = 5;
+    TraceSet cnn = profileModel(makeMobileNetV1(),
+                                SparsityPattern::ChannelWise, eyeriss,
+                                sanger, cfg);
+    EXPECT_EQ(cnn.family(), ModelFamily::CNN);
+    EXPECT_EQ(cnn.pattern(), SparsityPattern::ChannelWise);
+    TraceSet attn = profileModel(makeGpt2Small(),
+                                 SparsityPattern::ChannelWise, eyeriss,
+                                 sanger, cfg);
+    EXPECT_EQ(attn.family(), ModelFamily::AttNN);
+    EXPECT_EQ(attn.pattern(), SparsityPattern::Dense);
+}
+
+// --- ModelInfoLut ---
+
+TEST(ModelInfoLut, SuffixSumsAndAverages)
+{
+    ModelInfoLut lut;
+    lut.addFromTrace(tinySet());
+    const ModelInfo& info =
+        lut.lookup("toy", SparsityPattern::RandomPointwise);
+
+    EXPECT_NEAR(info.avgLatency, 0.6, 1e-12);
+    ASSERT_EQ(info.remainingFrom.size(), 4u);
+    EXPECT_NEAR(info.remainingFrom[0], 0.6, 1e-12);
+    EXPECT_NEAR(info.remainingFrom[1], 0.4, 1e-12);
+    EXPECT_NEAR(info.remainingFrom[3], 0.0, 1e-12);
+    EXPECT_NEAR(info.estRemaining(1), 0.4, 1e-12);
+    EXPECT_NEAR(info.estRemaining(3), 0.0, 1e-12);
+    EXPECT_NEAR(info.estRemaining(99), 0.0, 1e-12);
+}
+
+TEST(ModelInfoLut, NetworkSparsityIgnoresUnmonitored)
+{
+    ModelInfoLut lut;
+    lut.addFromTrace(tinySet());
+    const ModelInfo& info =
+        lut.lookup("toy", SparsityPattern::RandomPointwise);
+    // Monitored layers average 0.4 and 0.6 -> 0.5.
+    EXPECT_NEAR(info.avgNetworkSparsity, 0.5, 1e-12);
+}
+
+TEST(ModelInfoLut, ContainsAndMissingLookup)
+{
+    ModelInfoLut lut;
+    lut.addFromTrace(tinySet());
+    EXPECT_TRUE(lut.contains("toy", SparsityPattern::RandomPointwise));
+    EXPECT_FALSE(lut.contains("toy", SparsityPattern::BlockNM));
+    EXPECT_EXIT(lut.lookup("toy", SparsityPattern::BlockNM),
+                ::testing::ExitedWithCode(1), "no entry");
+}
+
+TEST(ModelInfoLut, EmptyTraceSetIsFatal)
+{
+    ModelInfoLut lut;
+    TraceSet empty("x", ModelFamily::CNN, SparsityPattern::Dense);
+    EXPECT_EXIT(lut.addFromTrace(empty), ::testing::ExitedWithCode(1),
+                "empty trace set");
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for workload generation: Poisson arrivals, model mixes,
+ * pattern assignment, per-model SLO references and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "exp/experiments.hh"
+#include "util/stats.hh"
+#include "workload/workload.hh"
+
+using namespace dysta;
+
+namespace {
+
+/** One shared small context for all workload tests. */
+BenchContext&
+ctx()
+{
+    static std::unique_ptr<BenchContext> instance = [] {
+        BenchSetup setup;
+        setup.samplesPerModel = 30;
+        return makeBenchContext(setup);
+    }();
+    return *instance;
+}
+
+} // namespace
+
+TEST(Workload, GeneratesRequestedCount)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.numRequests = 123;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    EXPECT_EQ(reqs.size(), 123u);
+}
+
+TEST(Workload, ArrivalsAreMonotoneAndPoisson)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.arrivalRate = 25.0;
+    cfg.numRequests = 4000;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+
+    OnlineStats gaps;
+    for (size_t i = 1; i < reqs.size(); ++i) {
+        EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+        gaps.add(reqs[i].arrival - reqs[i - 1].arrival);
+    }
+    // Exponential gaps: mean 1/rate, stddev == mean.
+    EXPECT_NEAR(gaps.mean(), 1.0 / 25.0, 0.002);
+    EXPECT_NEAR(gaps.stddev(), 1.0 / 25.0, 0.004);
+}
+
+TEST(Workload, AttnnMixUsesLanguageModelsOnly)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.numRequests = 300;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    std::set<std::string> seen;
+    for (const auto& r : reqs) {
+        seen.insert(r.modelName);
+        EXPECT_EQ(r.pattern, SparsityPattern::Dense);
+    }
+    EXPECT_EQ(seen, (std::set<std::string>{"bert", "gpt2", "bart"}));
+}
+
+TEST(Workload, CnnMixCoversModelsAndPatterns)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiCNN;
+    cfg.arrivalRate = 3.0;
+    cfg.numRequests = 600;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    std::set<std::string> models;
+    std::set<SparsityPattern> patterns;
+    for (const auto& r : reqs) {
+        models.insert(r.modelName);
+        patterns.insert(r.pattern);
+    }
+    EXPECT_EQ(models,
+              (std::set<std::string>{"ssd300", "vgg16", "resnet50",
+                                     "mobilenet"}));
+    EXPECT_EQ(patterns.size(), 3u);
+}
+
+TEST(Workload, SsdIsOversampledInCnnMix)
+{
+    // SSD appears twice in the mix (detection + hand tracking).
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiCNN;
+    cfg.numRequests = 5000;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    int ssd = 0;
+    for (const auto& r : reqs)
+        ssd += r.modelName == "ssd300";
+    EXPECT_NEAR(static_cast<double>(ssd) / 5000.0, 0.4, 0.03);
+}
+
+TEST(Workload, DeadlineUsesModelAverageReference)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.sloMultiplier = 7.0;
+    cfg.numRequests = 50;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    for (const auto& r : reqs) {
+        double ref =
+            ctx().registry.get(r.modelName, r.pattern)
+                .avgTotalLatency();
+        EXPECT_NEAR(r.deadline, r.arrival + 7.0 * ref, 1e-9);
+    }
+}
+
+TEST(Workload, DeterministicPerSeed)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiCNN;
+    cfg.numRequests = 100;
+    cfg.seed = 31;
+    auto a = generateWorkload(cfg, ctx().registry);
+    auto b = generateWorkload(cfg, ctx().registry);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].modelName, b[i].modelName);
+        EXPECT_EQ(a[i].trace, b[i].trace);
+    }
+    cfg.seed = 32;
+    auto c = generateWorkload(cfg, ctx().registry);
+    int same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        same += a[i].modelName == c[i].modelName &&
+                a[i].trace == c[i].trace;
+    EXPECT_LT(same, 30);
+}
+
+TEST(Workload, RegistryMissLookupIsFatal)
+{
+    EXPECT_EXIT(
+        ctx().registry.get("resnet50", SparsityPattern::Dense),
+        ::testing::ExitedWithCode(1), "missing traces");
+}
+
+TEST(Workload, BuildLutCoversAllSets)
+{
+    ModelInfoLut lut = ctx().registry.buildLut();
+    EXPECT_EQ(lut.size(), ctx().registry.size());
+    EXPECT_TRUE(lut.contains("bert", SparsityPattern::Dense));
+    EXPECT_TRUE(
+        lut.contains("resnet50", SparsityPattern::ChannelWise));
+}
+
+TEST(Workload, InvalidConfigIsFatal)
+{
+    WorkloadConfig cfg;
+    cfg.arrivalRate = 0.0;
+    EXPECT_EXIT(generateWorkload(cfg, ctx().registry),
+                ::testing::ExitedWithCode(1), "arrival rate");
+    cfg.arrivalRate = 1.0;
+    cfg.numRequests = 0;
+    EXPECT_EXIT(generateWorkload(cfg, ctx().registry),
+                ::testing::ExitedWithCode(1), "at least one request");
+}
+
+TEST(Workload, KindNames)
+{
+    EXPECT_EQ(toString(WorkloadKind::MultiAttNN), "multi-AttNN");
+    EXPECT_EQ(toString(WorkloadKind::MultiCNN), "multi-CNN");
+}
+
+TEST(Workload, RegistrySaveLoadRoundTrip)
+{
+    namespace fs = std::filesystem;
+    std::string dir = "/tmp/dysta_registry_test";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    ctx().registry.saveAll(dir);
+    TraceRegistry loaded = TraceRegistry::loadAll(dir);
+
+    EXPECT_EQ(loaded.size(), ctx().registry.size());
+    EXPECT_EQ(loaded.keys(), ctx().registry.keys());
+    const TraceSet& orig =
+        ctx().registry.get("bert", SparsityPattern::Dense);
+    const TraceSet& back =
+        loaded.get("bert", SparsityPattern::Dense);
+    ASSERT_EQ(back.size(), orig.size());
+    EXPECT_NEAR(back.avgTotalLatency(), orig.avgTotalLatency(),
+                1e-12);
+    for (size_t l = 0; l < orig.layerCount(); ++l) {
+        EXPECT_NEAR(back.avgLayerSparsity()[l],
+                    orig.avgLayerSparsity()[l], 1e-9);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(Workload, LoadAllEmptyDirIsFatal)
+{
+    namespace fs = std::filesystem;
+    std::string dir = "/tmp/dysta_registry_empty";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    EXPECT_EXIT(TraceRegistry::loadAll(dir),
+                ::testing::ExitedWithCode(1), "no trace files");
+    fs::remove_all(dir);
+}
