@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cluster scaling sweep: fleet size x front-end dispatcher x arrival
+ * process, on the multi-AttNN scenario at a saturating offered load.
+ *
+ * Each cell serves one seeded workload on a homogeneous cluster whose
+ * nodes run the Dysta per-node policy; reported are system throughput,
+ * ANTT, SLO violation rate and (when admission control is on) the
+ * shed count. Expected reads:
+ *  - throughput scales monotonically with the node count while the
+ *    offered load saturates the fleet;
+ *  - backlog-aware placement beats round-robin under bursty (MMPP)
+ *    and diurnal traffic, where instantaneous load imbalance is the
+ *    failure mode.
+ *
+ * Usage: bench_cluster_scaling [--requests N] [--rate R] [--seed S]
+ *                              [--sched NAME] [--admission 0|1]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 400);
+    double rate = argDouble(argc, argv, "--rate", 120.0);
+    int seed = argInt(argc, argv, "--seed", 42);
+    std::string sched = argStr(argc, argv, "--sched", "Dysta");
+    bool admission = argInt(argc, argv, "--admission", 0) != 0;
+
+    std::printf("Profiling AttNN models on Sanger...\n");
+    BenchSetup setup;
+    setup.includeCnn = false;
+    auto ctx = makeBenchContext(setup);
+
+    const size_t fleet_sizes[] = {1, 2, 4, 8};
+
+    struct ArrivalCase
+    {
+        const char* label;
+        ArrivalConfig config;
+    };
+    std::vector<ArrivalCase> arrivals;
+    arrivals.push_back({"poisson", {}});
+    {
+        ArrivalConfig mmpp;
+        mmpp.kind = ArrivalKind::Mmpp;
+        arrivals.push_back({"mmpp", mmpp});
+    }
+    {
+        ArrivalConfig diurnal;
+        diurnal.kind = ArrivalKind::Diurnal;
+        arrivals.push_back({"diurnal", diurnal});
+    }
+
+    for (const ArrivalCase& arrival : arrivals) {
+        // One simulation per (dispatcher, fleet size); every metric
+        // table below reads from this cache.
+        std::vector<std::vector<Metrics>> cells;
+        for (const std::string& disp : allDispatchers()) {
+            cells.emplace_back();
+            for (size_t n : fleet_sizes) {
+                WorkloadConfig wl;
+                wl.kind = WorkloadKind::MultiAttNN;
+                wl.arrivalRate = rate;
+                wl.arrival = arrival.config;
+                wl.numRequests = requests;
+                wl.seed = static_cast<uint64_t>(seed);
+
+                ClusterRunConfig cluster;
+                cluster.numNodes = n;
+                cluster.dispatcher = disp;
+                cluster.nodeScheduler = sched;
+                cluster.admission.enabled = admission;
+
+                cells.back().push_back(
+                    runCluster(*ctx, wl, cluster).metrics);
+            }
+        }
+
+        for (const char* metric :
+             {"throughput", "ANTT", "violation", "shed"}) {
+            if (std::string(metric) == "shed" && !admission)
+                continue;
+
+            // `rate` is the process's base rate; MMPP's long-run
+            // offered load is higher (~1.67x with default bursts).
+            AsciiTable t(std::string("Cluster scaling (") + metric +
+                         "), " + arrival.label + " arrivals @ base " +
+                         AsciiTable::num(rate, 0) + " req/s, " +
+                         sched + " per node");
+            std::vector<std::string> header = {"dispatcher"};
+            for (size_t n : fleet_sizes)
+                header.push_back(std::to_string(n) + " node" +
+                                 (n > 1 ? "s" : ""));
+            t.setHeader(header);
+
+            std::vector<std::string> dispatchers = allDispatchers();
+            for (size_t d = 0; d < dispatchers.size(); ++d) {
+                std::vector<std::string> row = {dispatchers[d]};
+                for (const Metrics& m : cells[d]) {
+                    std::string cell;
+                    if (std::string(metric) == "throughput")
+                        cell = AsciiTable::num(m.throughput, 1);
+                    else if (std::string(metric) == "ANTT")
+                        cell = AsciiTable::num(m.antt, 1);
+                    else if (std::string(metric) == "violation")
+                        cell = AsciiTable::num(
+                                   m.violationRate * 100.0, 1) + "%";
+                    else
+                        cell = std::to_string(m.shed);
+                    row.push_back(cell);
+                }
+                t.addRow(row);
+            }
+            t.print();
+        }
+    }
+    std::printf("Read: under saturating load, throughput tracks the "
+                "fleet size for every dispatcher; under bursty and "
+                "diurnal arrivals the backlog-aware front-end keeps "
+                "ANTT and SLO violations below oblivious rotation.\n");
+    return 0;
+}

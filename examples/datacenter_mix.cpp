@@ -1,20 +1,26 @@
 /**
  * @file
- * Data-center visual perception scenario (Table 3): object detection
- * (SSD) and image classification (VGG-16, ResNet-50) served from a
- * shared sparse CNN accelerator under bursty tenant traffic.
+ * Data-center visual perception scenario (Table 3), served from a
+ * small accelerator *cluster*: object detection (SSD) and image
+ * classification (VGG-16, ResNet-50) under bursty tenant traffic,
+ * placed by a front-end dispatcher onto sparse CNN accelerator nodes
+ * each running its own layer-granular scheduler.
  *
- * Sweeps the offered load and shows how Dysta's advantage over the
- * status-quo schedulers grows as the accelerator saturates — the
- * capacity-planning view an operator would look at.
+ * Two views an operator would look at:
+ *  1. capacity planning: offered load vs ANTT/violations for a fixed
+ *     fleet, comparing front-end placement policies;
+ *  2. load shedding: the same sweep with SLO-aware admission control,
+ *     trading shed requests for bounded tail turnaround.
  *
- * Usage: datacenter_mix [--requests N] [--seeds K]
+ * Usage: datacenter_mix [--requests N] [--nodes K] [--seed S]
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "exp/experiments.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,44 +29,94 @@ int
 main(int argc, char** argv)
 {
     int requests = argInt(argc, argv, "--requests", 500);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    int nodes = argInt(argc, argv, "--nodes", 4);
+    int seed = argInt(argc, argv, "--seed", 21);
+    fatalIf(nodes <= 0, "datacenter_mix: --nodes must be positive");
 
     std::printf("Profiling perception models on Eyeriss-V2...\n");
     BenchSetup setup;
     setup.includeAttnn = false;
     auto ctx = makeBenchContext(setup);
 
-    const double rates[] = {2.0, 3.0, 4.0, 5.0};
+    // Per-node saturation sits near 3.5 req/s (see the single-
+    // accelerator sweep); scale the offered load with the fleet.
+    // Rates below are the MMPP *base* rates — with the default burst
+    // parameters (5x rate, 10s/2s dwells) the long-run offered load
+    // is ~1.67x the base, so the sweep straddles saturation.
+    std::vector<double> rates;
+    for (double per_node : {2.0, 3.0, 4.0, 5.0})
+        rates.push_back(per_node * nodes);
 
-    for (const char* metric : {"ANTT", "violation"}) {
-        AsciiTable t(std::string("Data-center multi-CNN: ") + metric +
-                     " vs offered load");
-        std::vector<std::string> header = {"scheduler"};
-        for (double r : rates)
-            header.push_back(AsciiTable::num(r, 1) + " req/s");
-        t.setHeader(header);
+    // Bursty tenants: 5x base rate during exponential on-phases.
+    ArrivalConfig bursty;
+    bursty.kind = ArrivalKind::Mmpp;
 
-        for (const char* name : {"FCFS", "SJF", "Planaria", "Dysta"}) {
-            std::vector<std::string> row = {name};
+    const std::vector<std::string> dispatchers = {
+        "round-robin", "least-outstanding", "least-backlog"};
+
+    auto sweep = [&](bool admission) {
+        // One simulation per (dispatcher, rate); the metric tables
+        // below read from this cache.
+        std::vector<std::vector<Metrics>> cells;
+        for (const std::string& disp : dispatchers) {
+            cells.emplace_back();
             for (double rate : rates) {
                 WorkloadConfig wl;
                 wl.kind = WorkloadKind::MultiCNN;
                 wl.arrivalRate = rate;
+                wl.arrival = bursty;
                 wl.sloMultiplier = 10.0;
                 wl.numRequests = requests;
-                wl.seed = 21;
-                Metrics m = runAveraged(*ctx, wl, name, seeds);
-                row.push_back(std::string(metric) == "ANTT"
-                    ? AsciiTable::num(m.antt, 2)
-                    : AsciiTable::num(m.violationRate * 100, 1) + "%");
+                wl.seed = static_cast<uint64_t>(seed);
+
+                ClusterRunConfig cluster;
+                cluster.numNodes = static_cast<size_t>(nodes);
+                cluster.dispatcher = disp;
+                cluster.nodeScheduler = "Dysta";
+                cluster.admission.enabled = admission;
+
+                cells.back().push_back(
+                    runCluster(*ctx, wl, cluster).metrics);
             }
-            t.addRow(row);
         }
-        t.print();
-    }
-    std::printf("Read: at 2 req/s any scheduler works; past ~3.5 "
-                "req/s (the accelerator's capacity) only informed "
-                "preemption keeps turnaround and SLOs under "
-                "control.\n");
+
+        for (const char* metric : {"ANTT", "violation", "shed"}) {
+            if (std::string(metric) == "shed" && !admission)
+                continue;
+            AsciiTable t(std::string("Data-center multi-CNN on ") +
+                         std::to_string(nodes) + " nodes (" + metric +
+                         "), bursty arrivals" +
+                         (admission ? ", SLO admission" : ""));
+            std::vector<std::string> header = {"dispatcher"};
+            for (double r : rates)
+                header.push_back(AsciiTable::num(r, 1) + " base r/s");
+            t.setHeader(header);
+
+            for (size_t d = 0; d < dispatchers.size(); ++d) {
+                std::vector<std::string> row = {dispatchers[d]};
+                for (const Metrics& m : cells[d]) {
+                    if (std::string(metric) == "ANTT")
+                        row.push_back(AsciiTable::num(m.antt, 2));
+                    else if (std::string(metric) == "violation")
+                        row.push_back(AsciiTable::num(
+                                          m.violationRate * 100, 1) +
+                                      "%");
+                    else
+                        row.push_back(std::to_string(m.shed));
+                }
+                t.addRow(row);
+            }
+            t.print();
+        }
+    };
+
+    sweep(/*admission=*/false);
+    sweep(/*admission=*/true);
+
+    std::printf("Read: at low load any placement works; as the fleet "
+                "saturates, backlog-aware placement absorbs tenant "
+                "bursts that rotation spreads badly, and SLO-aware "
+                "admission converts hopeless requests into bounded "
+                "shed counts instead of unbounded queueing.\n");
     return 0;
 }

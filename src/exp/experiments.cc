@@ -150,6 +150,56 @@ runAveraged(const BenchContext& ctx, WorkloadConfig workload,
     return avg;
 }
 
+std::vector<std::string>
+allDispatchers()
+{
+    return {"round-robin", "least-outstanding", "least-backlog",
+            "least-backlog-lut"};
+}
+
+std::unique_ptr<Dispatcher>
+makeDispatcherByName(const std::string& name, const BenchContext& ctx)
+{
+    if (name == "round-robin")
+        return std::make_unique<RoundRobinDispatcher>();
+    if (name == "least-outstanding")
+        return std::make_unique<LeastOutstandingDispatcher>();
+    if (name == "least-backlog")
+        return std::make_unique<LeastBacklogDispatcher>(ctx.lut);
+    if (name == "least-backlog-lut") {
+        return std::make_unique<LeastBacklogDispatcher>(
+            ctx.lut, PredictorConfig{}, /*sparsity_aware=*/false);
+    }
+    fatal("makeDispatcherByName: unknown dispatcher '" + name + "'");
+}
+
+ClusterResult
+runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
+           const ClusterRunConfig& cluster)
+{
+    ClusterConfig cfg;
+    if (!cluster.nodes.empty()) {
+        cfg.nodes = cluster.nodes;
+    } else {
+        fatalIf(cluster.numNodes == 0,
+                "runCluster: need at least one node");
+        cfg = homogeneousCluster(cluster.numNodes);
+    }
+    cfg.admission = cluster.admission;
+    cfg.lut = &ctx.lut;
+
+    std::vector<Request> requests =
+        generateWorkload(workload, ctx.registry);
+    auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx);
+    ClusterEngine engine(cfg);
+    return engine.run(
+        requests, *dispatcher,
+        [&](const NodeProfile&, int) {
+            return makeSchedulerByName(cluster.nodeScheduler, ctx,
+                                       workload.kind);
+        });
+}
+
 int
 argInt(int argc, char** argv, const std::string& flag, int fallback)
 {
@@ -167,6 +217,17 @@ argDouble(int argc, char** argv, const std::string& flag,
     for (int i = 1; i + 1 < argc; ++i) {
         if (flag == argv[i])
             return std::atof(argv[i + 1]);
+    }
+    return fallback;
+}
+
+std::string
+argStr(int argc, char** argv, const std::string& flag,
+       const std::string& fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (flag == argv[i])
+            return argv[i + 1];
     }
     return fallback;
 }

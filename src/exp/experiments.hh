@@ -16,6 +16,7 @@
 #include "accel/sanger.hh"
 #include "core/dysta.hh"
 #include "sched/engine.hh"
+#include "serve/cluster_engine.hh"
 #include "workload/workload.hh"
 
 namespace dysta {
@@ -74,6 +75,37 @@ EngineResult runOne(const BenchContext& ctx,
 Metrics runAveraged(const BenchContext& ctx, WorkloadConfig workload,
                     const std::string& scheduler_name, int num_seeds);
 
+/** Front-end dispatcher names this harness can construct. */
+std::vector<std::string> allDispatchers();
+
+/**
+ * Construct a dispatcher by name: round-robin, least-outstanding,
+ * least-backlog or least-backlog-lut (the sparsity-blind ablation).
+ * fatal() on unknown names.
+ */
+std::unique_ptr<Dispatcher>
+makeDispatcherByName(const std::string& name, const BenchContext& ctx);
+
+/** Cluster-run knobs layered on top of a workload. */
+struct ClusterRunConfig
+{
+    /** Homogeneous fleet size (ignored when `nodes` is non-empty). */
+    size_t numNodes = 4;
+    /** Explicit (possibly heterogeneous) node profiles. */
+    std::vector<NodeProfile> nodes;
+    /** Front-end placement policy name. */
+    std::string dispatcher = "least-backlog";
+    /** Per-node scheduling policy name (see makeSchedulerByName). */
+    std::string nodeScheduler = "Dysta";
+    /** Front-door SLO-aware load shedding. */
+    AdmissionConfig admission;
+};
+
+/** Generate one workload and serve it on a simulated cluster. */
+ClusterResult runCluster(const BenchContext& ctx,
+                         const WorkloadConfig& workload,
+                         const ClusterRunConfig& cluster);
+
 /** Parse "--flag value" integer arguments for bench binaries. */
 int argInt(int argc, char** argv, const std::string& flag,
            int fallback);
@@ -81,6 +113,10 @@ int argInt(int argc, char** argv, const std::string& flag,
 /** Parse "--flag value" floating-point arguments. */
 double argDouble(int argc, char** argv, const std::string& flag,
                  double fallback);
+
+/** Parse "--flag value" string arguments. */
+std::string argStr(int argc, char** argv, const std::string& flag,
+                   const std::string& fallback);
 
 } // namespace dysta
 

@@ -25,6 +25,7 @@ SchedulerEngine::run(std::vector<Request>& requests,
         req.executedTime = 0.0;
         req.lastRunEnd = req.arrival;
         req.finishTime = -1.0;
+        req.shed = false;
     }
 
     // Arrival order (stable on ties by id).

@@ -1,28 +1,50 @@
 #include "sched/metrics.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 #include "util/stats.hh"
 
 namespace dysta {
 
+double
+Metrics::shedRate() const
+{
+    size_t offered = completed + shed;
+    return offered > 0
+               ? static_cast<double>(shed) / static_cast<double>(offered)
+               : 0.0;
+}
+
+namespace {
+
+/**
+ * Shared aggregation loop. When `allow_shed` is set, shed requests
+ * are skipped and counted; otherwise any unfinished request panics.
+ */
 Metrics
-computeMetrics(const std::vector<Request>& requests)
+aggregate(const std::vector<Request>& requests, bool allow_shed)
 {
     Metrics m;
     if (requests.empty())
         return m;
 
-    double first_arrival = requests.front().arrival;
+    double first_arrival = std::numeric_limits<double>::infinity();
     double last_finish = 0.0;
     size_t violations = 0;
     std::vector<double> turnarounds;
     turnarounds.reserve(requests.size());
 
     for (const auto& req : requests) {
+        if (allow_shed && req.shed) {
+            ++m.shed;
+            continue;
+        }
         panicIf(req.finishTime < 0.0,
                 "computeMetrics: unfinished request in result set");
+        // Shed requests never occupied the system, so the busy
+        // interval spans served arrivals only.
         first_arrival = std::min(first_arrival, req.arrival);
         last_finish = std::max(last_finish, req.finishTime);
         double nt = req.normalizedTurnaround();
@@ -33,14 +55,31 @@ computeMetrics(const std::vector<Request>& requests)
             ++violations;
     }
 
-    double n = static_cast<double>(requests.size());
-    m.completed = requests.size();
+    m.completed = turnarounds.size();
+    if (m.completed == 0)
+        return m; // everything was shed: only the count is meaningful
+
+    double n = static_cast<double>(m.completed);
     m.antt /= n;
     m.violationRate = static_cast<double>(violations) / n;
     m.makespan = last_finish - first_arrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
     m.p99Turnaround = percentile(turnarounds, 99.0);
     return m;
+}
+
+} // namespace
+
+Metrics
+computeMetrics(const std::vector<Request>& requests)
+{
+    return aggregate(requests, false);
+}
+
+Metrics
+computeMetricsCompleted(const std::vector<Request>& requests)
+{
+    return aggregate(requests, true);
 }
 
 } // namespace dysta

@@ -20,7 +20,7 @@ struct Metrics
 {
     /** ANTT: mean over requests of T_multi / T_isol (>= 1). */
     double antt = 0.0;
-    /** Fraction of requests finishing past their deadline, in [0,1]. */
+    /** Fraction of completed requests past their deadline, in [0,1]. */
     double violationRate = 0.0;
     /** Completed inferences per second over the busy interval. */
     double throughput = 0.0;
@@ -30,12 +30,28 @@ struct Metrics
     double p99Turnaround = 0.0;
     /** Number of completed requests. */
     size_t completed = 0;
+    /** Requests rejected by admission control (cluster runs). */
+    size_t shed = 0;
     /** Last finish time minus first arrival. */
     double makespan = 0.0;
+
+    /** Shed fraction of all offered requests, in [0, 1]. */
+    double shedRate() const;
 };
 
-/** Compute metrics from a fully-executed request set. */
+/**
+ * Compute metrics from a fully-executed request set.
+ * panic() on any unfinished request; empty input yields zero metrics.
+ */
 Metrics computeMetrics(const std::vector<Request>& requests);
+
+/**
+ * Metrics over the completed subset of a cluster run: shed requests
+ * (finishTime < 0 with the shed flag) are excluded from turnaround
+ * and violation statistics and counted in Metrics::shed instead.
+ * panic() on unfinished requests that were not shed.
+ */
+Metrics computeMetricsCompleted(const std::vector<Request>& requests);
 
 } // namespace dysta
 

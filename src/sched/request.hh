@@ -45,6 +45,11 @@ struct Request
     double lastRunEnd = 0.0;
     /** Completion time; negative while in flight. */
     double finishTime = -1.0;
+    /**
+     * Rejected by cluster admission control (never executed;
+     * finishTime stays negative). Single-accelerator runs never shed.
+     */
+    bool shed = false;
 
     size_t layerCount() const { return trace->layers.size(); }
     bool done() const { return nextLayer >= layerCount(); }

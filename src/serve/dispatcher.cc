@@ -1,0 +1,131 @@
+#include "serve/dispatcher.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+size_t
+RoundRobinDispatcher::selectNode(
+    const Request& req,
+    const std::vector<std::unique_ptr<ServeNode>>& nodes, double now)
+{
+    (void)req;
+    (void)now;
+    panicIf(nodes.empty(), "RoundRobinDispatcher: no nodes");
+    return static_cast<size_t>(next++ % nodes.size());
+}
+
+size_t
+LeastOutstandingDispatcher::selectNode(
+    const Request& req,
+    const std::vector<std::unique_ptr<ServeNode>>& nodes, double now)
+{
+    (void)req;
+    (void)now;
+    panicIf(nodes.empty(), "LeastOutstandingDispatcher: no nodes");
+    size_t best = 0;
+    for (size_t i = 1; i < nodes.size(); ++i) {
+        if (nodes[i]->outstanding() < nodes[best]->outstanding())
+            best = i;
+    }
+    return best;
+}
+
+LeastBacklogDispatcher::LeastBacklogDispatcher(
+    const ModelInfoLut& lut, PredictorConfig predictor_cfg,
+    bool sparsity_aware)
+    : lut(&lut), pcfg(predictor_cfg), sparsityAware(sparsity_aware)
+{
+}
+
+std::string
+LeastBacklogDispatcher::name() const
+{
+    return sparsityAware ? "least-backlog" : "least-backlog-lut";
+}
+
+void
+LeastBacklogDispatcher::reset()
+{
+    predictors.clear();
+}
+
+double
+LeastBacklogDispatcher::estRemaining(const Request& req) const
+{
+    auto it = predictors.find(req.id);
+    if (it != predictors.end())
+        return it->second.predictRemaining(req.nextLayer);
+    return lut->lookup(req.modelName, req.pattern)
+        .estRemaining(req.nextLayer);
+}
+
+double
+LeastBacklogDispatcher::backlogEstimate(const ServeNode& node) const
+{
+    double work = 0.0;
+    for (const Request* req : node.queue())
+        work += estRemaining(*req);
+    return work / node.profile().speedFactor;
+}
+
+size_t
+LeastBacklogDispatcher::selectNode(
+    const Request& req,
+    const std::vector<std::unique_ptr<ServeNode>>& nodes, double now)
+{
+    (void)now;
+    panicIf(nodes.empty(), "LeastBacklogDispatcher: no nodes");
+
+    double iso = lut->lookup(req.modelName, req.pattern).avgLatency;
+    size_t best = 0;
+    double best_score = 0.0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+        // Backlog already on the node plus the candidate itself, in
+        // node-seconds: a fast node absorbs the same queue sooner.
+        double score = backlogEstimate(*nodes[i]) +
+                       iso / nodes[i]->profile().speedFactor;
+        if (i == 0 || score < best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+
+    if (sparsityAware) {
+        predictors.emplace(req.id, SparseLatencyPredictor(
+            lut->lookup(req.modelName, req.pattern), pcfg));
+    }
+    return best;
+}
+
+void
+LeastBacklogDispatcher::onLayerComplete(const ServeNode& node,
+                                        const Request& req, double now,
+                                        double monitored_sparsity)
+{
+    (void)node;
+    (void)now;
+    if (!sparsityAware || monitored_sparsity < 0.0)
+        return;
+    auto it = predictors.find(req.id);
+    if (it != predictors.end() && req.nextLayer > 0)
+        it->second.observe(req.nextLayer - 1, monitored_sparsity);
+}
+
+void
+LeastBacklogDispatcher::onComplete(const ServeNode& node,
+                                   const Request& req, double now)
+{
+    (void)node;
+    (void)now;
+    predictors.erase(req.id);
+}
+
+void
+LeastBacklogDispatcher::onShed(const Request& req, double now)
+{
+    (void)now;
+    predictors.erase(req.id);
+}
+
+} // namespace dysta

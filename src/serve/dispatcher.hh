@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cluster front-end placement policies.
+ *
+ * The dispatcher assigns every arriving request to one accelerator
+ * node; placement is final (no cross-node migration), matching the
+ * cost of moving activations between accelerators. Three policies:
+ *
+ *  - round-robin: tenant-oblivious rotation;
+ *  - least-outstanding: fewest queued-or-running requests;
+ *  - least-backlog: smallest *estimated work* backlog, where each
+ *    queued request's remaining latency comes from the ModelInfoLut
+ *    refined by the monitored per-layer sparsity — the Sparse-DySta
+ *    signal (Alg. 3) lifted from the node scheduler to cluster scope.
+ *    Backlogs are normalized by node speed, so the policy also
+ *    handles heterogeneous fleets.
+ */
+
+#ifndef DYSTA_SERVE_DISPATCHER_HH
+#define DYSTA_SERVE_DISPATCHER_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/latency_predictor.hh"
+#include "core/model_info.hh"
+#include "serve/node.hh"
+
+namespace dysta {
+
+/** Abstract front-end placement policy. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    /** Policy name as reported in result tables. */
+    virtual std::string name() const = 0;
+
+    /** Clear all per-run state (called before every cluster run). */
+    virtual void reset() {}
+
+    /**
+     * Choose the node for an arriving request.
+     * @param nodes all cluster nodes (non-empty)
+     * @return index into `nodes`
+     */
+    virtual size_t
+    selectNode(const Request& req,
+               const std::vector<std::unique_ptr<ServeNode>>& nodes,
+               double now) = 0;
+
+    /**
+     * A layer of `req` finished on `node`; the zero-count monitor
+     * reported `monitored_sparsity` (negative when not captured).
+     */
+    virtual void
+    onLayerComplete(const ServeNode& node, const Request& req,
+                    double now, double monitored_sparsity)
+    {
+        (void)node;
+        (void)req;
+        (void)now;
+        (void)monitored_sparsity;
+    }
+
+    /** `req` fully completed on `node` at `now`. */
+    virtual void
+    onComplete(const ServeNode& node, const Request& req, double now)
+    {
+        (void)node;
+        (void)req;
+        (void)now;
+    }
+
+    /**
+     * Admission control shed `req` right after selectNode chose its
+     * node: the placement never happened, so policies must roll back
+     * any per-request side effects of the selection.
+     */
+    virtual void
+    onShed(const Request& req, double now)
+    {
+        (void)req;
+        (void)now;
+    }
+};
+
+/** Tenant-oblivious rotation over the nodes. */
+class RoundRobinDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "round-robin"; }
+    void reset() override { next = 0; }
+
+    size_t selectNode(
+        const Request& req,
+        const std::vector<std::unique_ptr<ServeNode>>& nodes,
+        double now) override;
+
+  private:
+    /**
+     * Monotone counter (reduced mod fleet size at use). A shed
+     * request still consumes its rotation slot: rolling the pointer
+     * back would pin it to an overloaded node and livelock the
+     * front door while the rest of the fleet idles.
+     */
+    uint64_t next = 0;
+};
+
+/** Fewest outstanding (queued + running) requests; ties by node id. */
+class LeastOutstandingDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "least-outstanding"; }
+
+    size_t selectNode(
+        const Request& req,
+        const std::vector<std::unique_ptr<ServeNode>>& nodes,
+        double now) override;
+};
+
+/**
+ * Sparsity-aware least-estimated-backlog placement. Remaining
+ * latencies of in-flight requests are LUT estimates scaled by each
+ * request's online sparsity coefficient gamma (SparseLatencyPredictor,
+ * Alg. 3); the arriving request goes to the node whose speed-
+ * normalized backlog is smallest. Setting `sparsityAware` false
+ * pins gamma to 1, giving the pure LUT-backlog ablation.
+ */
+class LeastBacklogDispatcher : public Dispatcher
+{
+  public:
+    explicit LeastBacklogDispatcher(const ModelInfoLut& lut,
+                                    PredictorConfig predictor_cfg = {},
+                                    bool sparsity_aware = true);
+
+    std::string name() const override;
+    void reset() override;
+
+    size_t selectNode(
+        const Request& req,
+        const std::vector<std::unique_ptr<ServeNode>>& nodes,
+        double now) override;
+
+    void onLayerComplete(const ServeNode& node, const Request& req,
+                         double now,
+                         double monitored_sparsity) override;
+
+    void onComplete(const ServeNode& node, const Request& req,
+                    double now) override;
+
+    void onShed(const Request& req, double now) override;
+
+    /**
+     * Estimated seconds of sparsity-refined work queued on `node`,
+     * normalized by its speed factor.
+     */
+    double backlogEstimate(const ServeNode& node) const;
+
+    /** Refined remaining-latency estimate for one in-flight request. */
+    double estRemaining(const Request& req) const;
+
+  private:
+    const ModelInfoLut* lut;
+    PredictorConfig pcfg;
+    bool sparsityAware;
+    std::unordered_map<int, SparseLatencyPredictor> predictors;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SERVE_DISPATCHER_HH

@@ -1,0 +1,135 @@
+#include "workload/arrival.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::string
+toString(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson: return "poisson";
+      case ArrivalKind::Mmpp: return "mmpp";
+      case ArrivalKind::Diurnal: return "diurnal";
+    }
+    panic("toString: unknown ArrivalKind");
+}
+
+// --- Poisson ---------------------------------------------------------------
+
+PoissonArrivals::PoissonArrivals(double rate)
+    : rate(rate)
+{
+    fatalIf(rate <= 0.0, "PoissonArrivals: rate must be positive");
+}
+
+double
+PoissonArrivals::nextArrival(double now, Rng& rng)
+{
+    return now + rng.exponential(rate);
+}
+
+// --- MMPP ------------------------------------------------------------------
+
+MmppArrivals::MmppArrivals(double base_rate, double burst_multiplier,
+                           double mean_base_dwell,
+                           double mean_burst_dwell)
+    : baseRate(base_rate),
+      burstRate(base_rate * burst_multiplier),
+      meanBaseDwell(mean_base_dwell),
+      meanBurstDwell(mean_burst_dwell)
+{
+    fatalIf(base_rate < 0.0, "MmppArrivals: negative base rate");
+    fatalIf(burstRate <= 0.0,
+            "MmppArrivals: burst rate must be positive");
+    fatalIf(mean_base_dwell <= 0.0 || mean_burst_dwell <= 0.0,
+            "MmppArrivals: dwell times must be positive");
+}
+
+void
+MmppArrivals::reset()
+{
+    burst = false;
+    stateEnd = -1.0;
+}
+
+double
+MmppArrivals::nextArrival(double now, Rng& rng)
+{
+    if (stateEnd < 0.0)
+        stateEnd = now + rng.exponential(1.0 / meanBaseDwell);
+
+    double t = now;
+    for (;;) {
+        double rate = burst ? burstRate : baseRate;
+        if (rate > 0.0) {
+            // Memoryless within the state: sample from `t` and accept
+            // the arrival if it lands before the state flips.
+            double candidate = t + rng.exponential(rate);
+            if (candidate <= stateEnd)
+                return candidate;
+        }
+        // Advance to the state boundary and flip the chain.
+        t = stateEnd;
+        burst = !burst;
+        double dwell = burst ? meanBurstDwell : meanBaseDwell;
+        stateEnd = t + rng.exponential(1.0 / dwell);
+    }
+}
+
+// --- Diurnal ---------------------------------------------------------------
+
+DiurnalArrivals::DiurnalArrivals(double base_rate, double amplitude,
+                                 double period)
+    : baseRate(base_rate), amplitude(amplitude), period(period)
+{
+    fatalIf(base_rate <= 0.0, "DiurnalArrivals: rate must be positive");
+    fatalIf(amplitude < 0.0 || amplitude >= 1.0,
+            "DiurnalArrivals: amplitude must be in [0, 1)");
+    fatalIf(period <= 0.0, "DiurnalArrivals: period must be positive");
+}
+
+double
+DiurnalArrivals::rateAt(double t) const
+{
+    return baseRate *
+           (1.0 + amplitude * std::sin(2.0 * M_PI * t / period));
+}
+
+double
+DiurnalArrivals::nextArrival(double now, Rng& rng)
+{
+    // Lewis-Shedler thinning against the curve's peak rate.
+    double peak = baseRate * (1.0 + amplitude);
+    double t = now;
+    for (;;) {
+        t += rng.exponential(peak);
+        if (rng.uniform() * peak <= rateAt(t))
+            return t;
+    }
+}
+
+// --- factory ---------------------------------------------------------------
+
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalConfig& config, double rate)
+{
+    fatalIf(rate <= 0.0,
+            "makeArrivalProcess: arrival rate must be positive");
+    switch (config.kind) {
+      case ArrivalKind::Poisson:
+        return std::make_unique<PoissonArrivals>(rate);
+      case ArrivalKind::Mmpp:
+        return std::make_unique<MmppArrivals>(
+            rate, config.burstMultiplier, config.meanBaseDwell,
+            config.meanBurstDwell);
+      case ArrivalKind::Diurnal:
+        return std::make_unique<DiurnalArrivals>(
+            rate, config.amplitude, config.period);
+    }
+    panic("makeArrivalProcess: unknown ArrivalKind");
+}
+
+} // namespace dysta

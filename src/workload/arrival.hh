@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Arrival-process abstraction for workload generation.
+ *
+ * The paper evaluates a single Poisson stream (MLPerf server
+ * scenario); a production front-end also faces bursty tenants and
+ * time-of-day load swings. Three generators share one interface:
+ *
+ *  - Poisson: homogeneous rate (the seed behaviour, bit-identical);
+ *  - MMPP: two-state Markov-modulated Poisson process alternating
+ *    between a base state and a burst state with exponentially
+ *    distributed dwell times (on/off bursty tenant traffic);
+ *  - Diurnal: inhomogeneous Poisson whose rate follows a sinusoidal
+ *    day curve, sampled by Lewis-Shedler thinning.
+ *
+ * All processes draw from an explicitly seeded Rng, so workloads stay
+ * deterministic per seed across platforms.
+ */
+
+#ifndef DYSTA_WORKLOAD_ARRIVAL_HH
+#define DYSTA_WORKLOAD_ARRIVAL_HH
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hh"
+
+namespace dysta {
+
+/** Arrival-process families selectable in a WorkloadConfig. */
+enum class ArrivalKind
+{
+    Poisson, ///< homogeneous Poisson (the paper's server scenario)
+    Mmpp,    ///< two-state on/off burst process
+    Diurnal, ///< sinusoidal rate curve (time-of-day swing)
+};
+
+std::string toString(ArrivalKind kind);
+
+/** Parameters of an arrival process; `rate` is the base rate (req/s). */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    // --- MMPP (kind == Mmpp) ---
+    /** Burst-state arrival rate as a multiple of the base rate. */
+    double burstMultiplier = 5.0;
+    /** Mean dwell time in the base state (seconds). */
+    double meanBaseDwell = 10.0;
+    /** Mean dwell time in the burst state (seconds). */
+    double meanBurstDwell = 2.0;
+
+    // --- Diurnal (kind == Diurnal) ---
+    /** Relative swing of the rate curve, in [0, 1). */
+    double amplitude = 0.8;
+    /** Seconds per full day-curve cycle. */
+    double period = 120.0;
+};
+
+/**
+ * A point process generating request arrival times. Stateful: MMPP
+ * carries its modulating chain across calls. Call reset() before
+ * reusing a process for a fresh workload.
+ */
+class ArrivalProcess
+{
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Forget all modulating state (fresh workload). */
+    virtual void reset() {}
+
+    /**
+     * Time of the next arrival after an arrival at `now`.
+     * @return absolute time, strictly >= now
+     */
+    virtual double nextArrival(double now, Rng& rng) = 0;
+};
+
+/** Homogeneous Poisson arrivals at `rate` requests/s. */
+class PoissonArrivals : public ArrivalProcess
+{
+  public:
+    explicit PoissonArrivals(double rate);
+
+    std::string name() const override { return "poisson"; }
+    double nextArrival(double now, Rng& rng) override;
+
+  private:
+    double rate;
+};
+
+/**
+ * Two-state Markov-modulated Poisson process. The chain alternates
+ * between a base state (rate `baseRate`) and a burst state (rate
+ * `baseRate * burstMultiplier`); dwell times in each state are
+ * exponential. A zero base rate yields a pure on/off process.
+ */
+class MmppArrivals : public ArrivalProcess
+{
+  public:
+    MmppArrivals(double base_rate, double burst_multiplier,
+                 double mean_base_dwell, double mean_burst_dwell);
+
+    std::string name() const override { return "mmpp"; }
+    void reset() override;
+    double nextArrival(double now, Rng& rng) override;
+
+    /** Whether the modulating chain is currently in the burst state. */
+    bool inBurst() const { return burst; }
+
+  private:
+    double baseRate;
+    double burstRate;
+    double meanBaseDwell;
+    double meanBurstDwell;
+
+    bool burst = false;
+    /** End of the current dwell; negative before the first draw. */
+    double stateEnd = -1.0;
+};
+
+/**
+ * Inhomogeneous Poisson with sinusoidal rate
+ *     rate(t) = base * (1 + amplitude * sin(2 pi t / period)),
+ * sampled by thinning against the peak rate.
+ */
+class DiurnalArrivals : public ArrivalProcess
+{
+  public:
+    DiurnalArrivals(double base_rate, double amplitude, double period);
+
+    std::string name() const override { return "diurnal"; }
+    double nextArrival(double now, Rng& rng) override;
+
+    /** Instantaneous rate of the curve at time t. */
+    double rateAt(double t) const;
+
+  private:
+    double baseRate;
+    double amplitude;
+    double period;
+};
+
+/**
+ * Construct an arrival process from a config and a base rate.
+ * fatal() on non-positive rate or malformed parameters.
+ */
+std::unique_ptr<ArrivalProcess>
+makeArrivalProcess(const ArrivalConfig& config, double rate);
+
+} // namespace dysta
+
+#endif // DYSTA_WORKLOAD_ARRIVAL_HH

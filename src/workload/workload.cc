@@ -66,8 +66,10 @@ TraceRegistry::keys() const
 void
 TraceRegistry::saveAll(const std::string& dir) const
 {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
     fatalIf(!std::filesystem::is_directory(dir),
-            "TraceRegistry::saveAll: not a directory: " + dir);
+            "TraceRegistry::saveAll: cannot create directory: " + dir);
     for (const auto& [key, set] : sets) {
         std::string file = key;
         std::replace(file.begin(), file.end(), '/', '_');
@@ -121,11 +123,14 @@ generateWorkload(const WorkloadConfig& config,
             ? cnnPatterns()
             : std::vector<SparsityPattern>{SparsityPattern::Dense};
 
+    std::unique_ptr<ArrivalProcess> arrivals =
+        makeArrivalProcess(config.arrival, config.arrivalRate);
+
     std::vector<Request> requests;
     requests.reserve(config.numRequests);
     double now = 0.0;
     for (int i = 0; i < config.numRequests; ++i) {
-        now += rng.exponential(config.arrivalRate);
+        now = arrivals->nextArrival(now, rng);
         const std::string& model =
             models[rng.uniformInt(0, models.size() - 1)];
         SparsityPattern pattern =

@@ -18,6 +18,7 @@
 #include "core/model_info.hh"
 #include "sched/request.hh"
 #include "trace/trace.hh"
+#include "workload/arrival.hh"
 
 namespace dysta {
 
@@ -34,8 +35,10 @@ std::string toString(WorkloadKind kind);
 struct WorkloadConfig
 {
     WorkloadKind kind = WorkloadKind::MultiAttNN;
-    /** Poisson arrival rate in requests/s. */
+    /** Base arrival rate in requests/s. */
     double arrivalRate = 30.0;
+    /** Arrival process shape (Poisson / bursty MMPP / diurnal). */
+    ArrivalConfig arrival;
     /** Latency SLO multiplier M_slo. */
     double sloMultiplier = 10.0;
     /** Requests per workload (paper: 1000). */
@@ -67,7 +70,7 @@ class TraceRegistry
     /**
      * Persist every trace set as "<dir>/<model>_<pattern>.csv",
      * mirroring the paper's Phase-1 "save runtime information as
-     * files" step. The directory must exist.
+     * files" step. The directory is created if missing.
      */
     void saveAll(const std::string& dir) const;
 

@@ -13,6 +13,7 @@
 #include "models/zoo.hh"
 #include "trace/profiler.hh"
 #include "trace/trace.hh"
+#include "workload/workload.hh"
 
 using namespace dysta;
 
@@ -244,4 +245,39 @@ TEST(ModelInfoLut, EmptyTraceSetIsFatal)
     TraceSet empty("x", ModelFamily::CNN, SparsityPattern::Dense);
     EXPECT_EXIT(lut.addFromTrace(empty), ::testing::ExitedWithCode(1),
                 "empty trace set");
+}
+
+// --- TraceRegistry persistence ---------------------------------------------
+
+TEST(TraceRegistry, SaveAllCreatesDirectoryAndRoundTrips)
+{
+    namespace fs = std::filesystem;
+    // Nested path that does not exist yet: saveAll must create it.
+    std::string dir = "/tmp/dysta_registry_roundtrip/nested/out";
+    fs::remove_all("/tmp/dysta_registry_roundtrip");
+    ASSERT_FALSE(fs::exists(dir));
+
+    TraceRegistry registry;
+    registry.add(tinySet());
+    registry.saveAll(dir);
+    ASSERT_TRUE(fs::is_directory(dir));
+
+    TraceRegistry loaded = TraceRegistry::loadAll(dir);
+    ASSERT_EQ(loaded.size(), registry.size());
+    EXPECT_EQ(loaded.keys(), registry.keys());
+    const TraceSet& orig =
+        registry.get("toy", SparsityPattern::RandomPointwise);
+    const TraceSet& back =
+        loaded.get("toy", SparsityPattern::RandomPointwise);
+    ASSERT_EQ(back.size(), orig.size());
+    for (size_t i = 0; i < orig.size(); ++i) {
+        for (size_t l = 0; l < orig.layerCount(); ++l) {
+            EXPECT_NEAR(back.sample(i).layers[l].latency,
+                        orig.sample(i).layers[l].latency, 1e-12);
+            EXPECT_NEAR(back.sample(i).layers[l].monitoredSparsity,
+                        orig.sample(i).layers[l].monitoredSparsity,
+                        1e-12);
+        }
+    }
+    fs::remove_all("/tmp/dysta_registry_roundtrip");
 }

@@ -211,3 +211,92 @@ TEST(Workload, LoadAllEmptyDirIsFatal)
                 ::testing::ExitedWithCode(1), "no trace files");
     fs::remove_all(dir);
 }
+
+// --- arrival processes -----------------------------------------------------
+
+TEST(Arrival, KindNames)
+{
+    EXPECT_EQ(toString(ArrivalKind::Poisson), "poisson");
+    EXPECT_EQ(toString(ArrivalKind::Mmpp), "mmpp");
+    EXPECT_EQ(toString(ArrivalKind::Diurnal), "diurnal");
+}
+
+TEST(Arrival, MmppIsMonotoneDeterministicAndBurstier)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.arrivalRate = 25.0;
+    cfg.arrival.kind = ArrivalKind::Mmpp;
+    cfg.numRequests = 4000;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    auto again = generateWorkload(cfg, ctx().registry);
+
+    OnlineStats gaps;
+    for (size_t i = 1; i < reqs.size(); ++i) {
+        EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+        EXPECT_DOUBLE_EQ(reqs[i].arrival, again[i].arrival);
+        gaps.add(reqs[i].arrival - reqs[i - 1].arrival);
+    }
+    // A modulated Poisson process is overdispersed: the gap
+    // coefficient of variation exceeds the exponential's 1.
+    EXPECT_GT(gaps.stddev() / gaps.mean(), 1.1);
+}
+
+TEST(Arrival, MmppMeanRateBetweenBaseAndBurst)
+{
+    Rng rng(99);
+    MmppArrivals mmpp(/*base=*/10.0, /*burst_mult=*/5.0,
+                      /*base_dwell=*/10.0, /*burst_dwell=*/2.0);
+    double t = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        t = mmpp.nextArrival(t, rng);
+    double mean_rate = n / t;
+    EXPECT_GT(mean_rate, 10.0);
+    EXPECT_LT(mean_rate, 50.0);
+}
+
+TEST(Arrival, DiurnalRateCurveAndThinning)
+{
+    DiurnalArrivals diurnal(/*base=*/20.0, /*amplitude=*/0.5,
+                            /*period=*/100.0);
+    EXPECT_NEAR(diurnal.rateAt(0.0), 20.0, 1e-9);
+    EXPECT_NEAR(diurnal.rateAt(25.0), 30.0, 1e-9); // peak at T/4
+    EXPECT_NEAR(diurnal.rateAt(75.0), 10.0, 1e-9); // trough at 3T/4
+
+    // Long-run average rate matches the base rate (sin averages out).
+    Rng rng(5);
+    double t = 0.0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        t = diurnal.nextArrival(t, rng);
+    EXPECT_NEAR(n / t, 20.0, 1.0);
+}
+
+TEST(Arrival, DiurnalWorkloadIsMonotone)
+{
+    WorkloadConfig cfg;
+    cfg.kind = WorkloadKind::MultiAttNN;
+    cfg.arrivalRate = 25.0;
+    cfg.arrival.kind = ArrivalKind::Diurnal;
+    cfg.numRequests = 500;
+    auto reqs = generateWorkload(cfg, ctx().registry);
+    for (size_t i = 1; i < reqs.size(); ++i)
+        EXPECT_GE(reqs[i].arrival, reqs[i - 1].arrival);
+}
+
+TEST(Arrival, InvalidParametersAreFatal)
+{
+    ArrivalConfig cfg;
+    EXPECT_EXIT(makeArrivalProcess(cfg, 0.0),
+                ::testing::ExitedWithCode(1), "rate must be positive");
+    cfg.kind = ArrivalKind::Mmpp;
+    cfg.meanBurstDwell = 0.0;
+    EXPECT_EXIT(makeArrivalProcess(cfg, 1.0),
+                ::testing::ExitedWithCode(1), "dwell");
+    cfg = ArrivalConfig{};
+    cfg.kind = ArrivalKind::Diurnal;
+    cfg.amplitude = 1.5;
+    EXPECT_EXIT(makeArrivalProcess(cfg, 1.0),
+                ::testing::ExitedWithCode(1), "amplitude");
+}
