@@ -5,8 +5,9 @@
  *
  * Each cell serves one seeded workload on a homogeneous cluster whose
  * nodes run the Dysta per-node policy; reported are system throughput,
- * ANTT, SLO violation rate and (when admission control is on) the
- * shed count. Expected reads:
+ * ANTT, SLO violation rate, tail latency percentiles (p50/p95/p99
+ * end-to-end latency and p99 normalized turnaround) and (when
+ * admission control is on) the shed count. Expected reads:
  *  - throughput scales monotonically with the node count while the
  *    offered load saturates the fleet;
  *  - backlog-aware placement beats round-robin under bursty (MMPP)
@@ -86,7 +87,8 @@ main(int argc, char** argv)
         }
 
         for (const char* metric :
-             {"throughput", "ANTT", "violation", "shed"}) {
+             {"throughput", "ANTT", "violation", "p50 lat [ms]",
+              "p95 lat [ms]", "p99 lat [ms]", "p99 ANT", "shed"}) {
             if (std::string(metric) == "shed" && !admission)
                 continue;
 
@@ -114,6 +116,14 @@ main(int argc, char** argv)
                     else if (std::string(metric) == "violation")
                         cell = AsciiTable::num(
                                    m.violationRate * 100.0, 1) + "%";
+                    else if (std::string(metric) == "p50 lat [ms]")
+                        cell = AsciiTable::num(m.p50Latency * 1e3, 2);
+                    else if (std::string(metric) == "p95 lat [ms]")
+                        cell = AsciiTable::num(m.p95Latency * 1e3, 2);
+                    else if (std::string(metric) == "p99 lat [ms]")
+                        cell = AsciiTable::num(m.p99Latency * 1e3, 2);
+                    else if (std::string(metric) == "p99 ANT")
+                        cell = AsciiTable::num(m.p99Turnaround, 1);
                     else
                         cell = std::to_string(m.shed);
                     row.push_back(cell);

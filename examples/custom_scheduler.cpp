@@ -6,7 +6,11 @@
  * executed the least runs next — a classic size-oblivious policy) by
  * subclassing Scheduler, and pits it against SJF and Dysta on the
  * multi-AttNN workload. Subclasses only need selectNext(); the
- * arrival/progress callbacks are optional hooks.
+ * arrival/progress callbacks are optional hooks (call the base-class
+ * implementation when overriding them), and policies with a
+ * heap-orderable key can additionally override pickNext() with an
+ * IndexedMinHeap-backed fast path — see sched/fcfs.cc for the
+ * pattern; the default pickNext() simply delegates to selectNext().
  *
  * Usage: custom_scheduler [--requests N]
  */

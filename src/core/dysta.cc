@@ -8,7 +8,10 @@ namespace dysta {
 
 DystaScheduler::DystaScheduler(const ModelInfoLut& lut,
                                DystaConfig config)
-    : lut(&lut), cfg(config)
+    : Scheduler(std::make_unique<DystaEstimator>(
+          lut, config.predictor,
+          /*refine=*/config.dynamicLevel && config.sparsityAware)),
+      cfg(config)
 {
 }
 
@@ -25,73 +28,106 @@ DystaScheduler::name() const
 void
 DystaScheduler::reset()
 {
-    state.clear();
+    Scheduler::reset();
+    order.clear();
+    slot.clear();
+    staticQueue.clear();
+    nextSeq = 0;
 }
 
 void
 DystaScheduler::onArrival(const Request& req, double now)
 {
-    (void)now;
-    const ModelInfo& info = lut->lookup(req.modelName, req.pattern);
+    Scheduler::onArrival(req, now);
+    panicIf(slot.count(req.id) > 0, "Dysta: duplicate request id");
 
     // Alg. 1: Lat from the LUT; slack against the request's SLO;
     // initial score balances ANTT (latency term) and violations
     // (slack term) through beta.
-    double lat = info.avgLatency;
+    double lat = est->isolated(req);
     double slo_rel = req.deadline - req.arrival;
     double slack = slo_rel - lat;
     double score = lat + cfg.beta * slack;
 
-    auto [it, inserted] = state.try_emplace(
-        req.id, info, cfg.predictor);
-    panicIf(!inserted, "Dysta: duplicate request id");
-    it->second.staticScore = score;
+    Entry e;
+    e.req = &req;
+    e.staticScore = score;
+    e.remaining = est->remaining(req);
+    e.isol = std::max(lat, 1e-12);
+    e.seq = nextSeq++;
+    slot[req.id] = order.size();
+    order.push_back(e);
+
+    if (!cfg.dynamicLevel)
+        staticQueue.push(&req, {score, e.seq});
 }
 
 void
 DystaScheduler::onLayerComplete(const Request& req, double now,
                                 double monitored_sparsity)
 {
-    (void)now;
-    if (!cfg.dynamicLevel || !cfg.sparsityAware)
+    // Zero-count monitor feeds the shared estimator (Alg. 3); the
+    // estimator gates on the refinement ablation and on whether the
+    // monitor captured the layer.
+    Scheduler::onLayerComplete(req, now, monitored_sparsity);
+
+    auto it = slot.find(req.id);
+    if (it == slot.end()) {
+        panicIf(cfg.dynamicLevel && cfg.sparsityAware &&
+                    monitored_sparsity >= 0.0,
+                "Dysta: unknown request");
         return;
-    // Alg. 3 line 3: only when the monitor captured the layer.
-    if (monitored_sparsity < 0.0)
-        return;
-    auto it = state.find(req.id);
-    panicIf(it == state.end(), "Dysta: unknown request");
-    // Zero-count monitor feeds the per-request predictor (Alg. 3).
-    it->second.predictor.observe(req.nextLayer - 1, monitored_sparsity);
+    }
+    // Lazy re-key: progress (and possibly a sparsity observation)
+    // changed only this request's remainder.
+    order[it->second].remaining = est->remaining(req);
 }
 
 void
 DystaScheduler::onComplete(const Request& req, double now)
 {
-    (void)now;
-    state.erase(req.id);
+    Scheduler::onComplete(req, now);
+    auto it = slot.find(req.id);
+    if (it == slot.end())
+        return;
+    size_t idx = it->second;
+    slot.erase(it);
+    if (idx != order.size() - 1) {
+        order[idx] = order.back();
+        slot[order[idx].req->id] = idx;
+    }
+    order.pop_back();
+    if (staticQueue.contains(req.id))
+        staticQueue.erase(req.id);
+}
+
+double
+DystaScheduler::scoreFrom(const Entry& e, double now,
+                          double queue_size) const
+{
+    const Request& req = *e.req;
+    double slack = std::clamp(req.deadline - now - e.remaining,
+                              cfg.slackFloor,
+                              cfg.slackCapFactor * e.isol);
+    double wait = std::max(0.0, now - req.lastRunEnd);
+    double penalty =
+        std::min(wait / e.isol, cfg.penaltyCap) / queue_size;
+    return e.remaining + cfg.eta * (slack + penalty);
 }
 
 double
 DystaScheduler::dynamicScore(const Request& req, double now,
                              size_t queue_size) const
 {
-    auto it = state.find(req.id);
-    panicIf(it == state.end(), "Dysta: unknown request");
-    const RequestState& rs = it->second;
+    auto it = slot.find(req.id);
+    panicIf(it == slot.end(), "Dysta: unknown request");
 
-    // T_remain: sparsity-refined for requests with monitored layers,
-    // the profiled average for untouched ones (gamma == 1).
-    double remaining = rs.predictor.predictRemaining(req.nextLayer);
-
-    double isol = std::max(estIsolated(*lut, req), 1e-12);
-    double slack = std::clamp(req.deadline - now - remaining,
-                              cfg.slackFloor,
-                              cfg.slackCapFactor * isol);
-    double wait = std::max(0.0, now - req.lastRunEnd);
-    double penalty = std::min(wait / isol, cfg.penaltyCap) /
-                     static_cast<double>(queue_size);
-
-    return remaining + cfg.eta * (slack + penalty);
+    // Fresh estimates (not the cache): the reference path must be
+    // exact even for direct calls outside the engine.
+    Entry e = order[it->second];
+    e.remaining = est->remaining(req);
+    e.isol = std::max(est->isolated(req), 1e-12);
+    return scoreFrom(e, now, static_cast<double>(queue_size));
 }
 
 size_t
@@ -105,9 +141,9 @@ DystaScheduler::selectNext(const std::vector<const Request*>& ready,
         if (cfg.dynamicLevel) {
             score = dynamicScore(*ready[i], now, ready.size());
         } else {
-            auto it = state.find(ready[i]->id);
-            panicIf(it == state.end(), "Dysta: unknown request");
-            score = it->second.staticScore;
+            auto it = slot.find(ready[i]->id);
+            panicIf(it == slot.end(), "Dysta: unknown request");
+            score = order[it->second].staticScore;
         }
         if (i == 0 || score < best_score) {
             best = i;
@@ -115,6 +151,38 @@ DystaScheduler::selectNext(const std::vector<const Request*>& ready,
         }
     }
     return best;
+}
+
+Request*
+DystaScheduler::pickNext(const std::vector<Request*>& ready, double now)
+{
+    if (!cfg.dynamicLevel) {
+        // Frozen static scores are time-invariant: O(1) heap peek.
+        panicIf(staticQueue.size() != ready.size(),
+                "DystaScheduler: ready queue out of sync with engine "
+                "(missing onArrival/onComplete callbacks?)");
+        return const_cast<Request*>(staticQueue.top());
+    }
+
+    panicIf(order.size() != ready.size(),
+            "DystaScheduler: ready queue out of sync with engine "
+            "(missing onArrival/onComplete callbacks?)");
+
+    // One tight pass over the dense cache — identical decisions to
+    // selectNext, but no per-candidate hash, LUT or predictor work.
+    double queue_size = static_cast<double>(order.size());
+    const Entry* best = nullptr;
+    double best_score = 0.0;
+    for (const Entry& e : order) {
+        double score = scoreFrom(e, now, queue_size);
+        if (best == nullptr || score < best_score ||
+            (score == best_score && e.seq < best->seq)) {
+            best = &e;
+            best_score = score;
+        }
+    }
+    panicIf(best == nullptr, "DystaScheduler: empty ready set");
+    return const_cast<Request*>(best->req);
 }
 
 DystaConfig

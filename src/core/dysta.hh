@@ -7,12 +7,22 @@
  * the profiled average latency of its model-pattern pair.
  *
  * Level 2 (hardware, Alg. 2): at every layer completion the running
- * request's remaining-time estimate is refined by the sparse latency
- * predictor from the monitored layer sparsity; all queued requests are
- * re-scored as
+ * request's remaining-time estimate is refined by the shared
+ * `DystaEstimator` (sparse latency predictor, Alg. 3) from the
+ * monitored layer sparsity; all queued requests are re-scored as
  *     score_i = T_remain_i + eta * (T_slack_i + T_penalty_i)
  * and the minimum-score request runs next. The penalty term
  * (T_wait / T_isol) / |Q| discourages gratuitous preemption.
+ *
+ * Ready-set machinery: with the dynamic level disabled the frozen
+ * static scores are time-invariant, so the queue is an
+ * IndexedMinHeap and pickNext is an O(1) peek. Dynamic scores drift
+ * with wall-clock time at per-request rates (slack and penalty),
+ * so they cannot sit in a static heap; instead the policy keeps a
+ * dense cache of score inputs — remaining estimates re-keyed lazily
+ * on sparsity updates — and scans it with O(1) arithmetic per
+ * candidate (the legacy path paid a hash lookup, a string-keyed LUT
+ * fetch and a predictor re-evaluation per candidate).
  *
  * Ablation switches reproduce the paper's Dysta-w/o-sparse variant
  * (Fig. 13): with the dynamic level disabled the frozen static score
@@ -23,11 +33,13 @@
 #ifndef DYSTA_CORE_DYSTA_HH
 #define DYSTA_CORE_DYSTA_HH
 
-#include <memory>
 #include <unordered_map>
+#include <vector>
 
+#include "core/estimator.hh"
 #include "core/latency_predictor.hh"
 #include "sched/scheduler.hh"
+#include "sim/ready_queue.hh"
 
 namespace dysta {
 
@@ -93,6 +105,9 @@ class DystaScheduler : public Scheduler
     size_t selectNext(const std::vector<const Request*>& ready,
                       double now) override;
 
+    Request* pickNext(const std::vector<Request*>& ready,
+                      double now) override;
+
     const DystaConfig& config() const { return cfg; }
 
     /** Current dynamic-score of a queued request (for inspection). */
@@ -100,20 +115,30 @@ class DystaScheduler : public Scheduler
                         size_t queue_size) const;
 
   private:
-    struct RequestState
+    /** Cached score inputs of one queued request. */
+    struct Entry
     {
-        double staticScore = 0.0;
-        SparseLatencyPredictor predictor;
-
-        RequestState(const ModelInfo& info, PredictorConfig pcfg)
-            : predictor(info, pcfg)
-        {
-        }
+        const Request* req;
+        double staticScore = 0.0; ///< Alg. 1 score, frozen at arrival
+        double remaining = 0.0;   ///< refined estimate (lazy re-key)
+        double isol = 0.0;        ///< max(estimated isolated, eps)
+        /**
+         * Admission order, the explicit tie-break: completions
+         * swap-erase the dense cache (O(1)), so storage order is
+         * not admission order and score ties must compare seq to
+         * match the legacy first-in-queue-order scan.
+         */
+        int64_t seq = 0;
     };
 
-    const ModelInfoLut* lut;
     DystaConfig cfg;
-    std::unordered_map<int, RequestState> state;
+    std::vector<Entry> order;             ///< dense cache (unordered)
+    std::unordered_map<int, size_t> slot; ///< request id -> index
+    IndexedMinHeap staticQueue; ///< static-level heap (dynamic off)
+    int64_t nextSeq = 0;
+
+    double scoreFrom(const Entry& e, double now,
+                     double queue_size) const;
 };
 
 /** Factory for the paper's Dysta-w/o-sparse ablation. */

@@ -1,0 +1,106 @@
+#include "core/estimator.hh"
+
+namespace dysta {
+
+// --- LutEstimator -----------------------------------------------------------
+
+const ModelInfo&
+LutEstimator::info(const Request& req) const
+{
+    auto it = tracked.find(req.id);
+    if (it != tracked.end())
+        return *it->second;
+    return lut->lookup(req.modelName, req.pattern);
+}
+
+void
+LutEstimator::admit(const Request& req)
+{
+    tracked.try_emplace(req.id,
+                        &lut->lookup(req.modelName, req.pattern));
+}
+
+void
+LutEstimator::release(const Request& req)
+{
+    tracked.erase(req.id);
+}
+
+double
+LutEstimator::remaining(const Request& req) const
+{
+    return info(req).estRemaining(req.nextLayer);
+}
+
+double
+LutEstimator::isolated(const Request& req) const
+{
+    return info(req).avgLatency;
+}
+
+// --- DystaEstimator ---------------------------------------------------------
+
+DystaEstimator::DystaEstimator(const ModelInfoLut& lut,
+                               PredictorConfig predictor_cfg,
+                               bool refine)
+    : lut(&lut), pcfg(predictor_cfg), refineEnabled(refine)
+{
+}
+
+void
+DystaEstimator::reset()
+{
+    predictors.clear();
+}
+
+void
+DystaEstimator::admit(const Request& req)
+{
+    const ModelInfo& info = lut->lookup(req.modelName, req.pattern);
+    predictors.try_emplace(req.id, SparseLatencyPredictor(info, pcfg));
+}
+
+void
+DystaEstimator::observe(const Request& req, double monitored_sparsity)
+{
+    // Alg. 3 line 3: refine only when the monitor captured the layer.
+    if (!refineEnabled || monitored_sparsity < 0.0)
+        return;
+    auto it = predictors.find(req.id);
+    if (it != predictors.end() && req.nextLayer > 0)
+        it->second.observe(req.nextLayer - 1, monitored_sparsity);
+}
+
+void
+DystaEstimator::release(const Request& req)
+{
+    predictors.erase(req.id);
+}
+
+double
+DystaEstimator::remaining(const Request& req) const
+{
+    auto it = predictors.find(req.id);
+    if (it != predictors.end())
+        return it->second.predictRemaining(req.nextLayer);
+    return lut->lookup(req.modelName, req.pattern)
+        .estRemaining(req.nextLayer);
+}
+
+double
+DystaEstimator::isolated(const Request& req) const
+{
+    // SLOs are published against the profiled average, so the
+    // isolated reference stays the LUT value even for refined
+    // requests.
+    return lut->lookup(req.modelName, req.pattern).avgLatency;
+}
+
+double
+DystaEstimator::gamma(int request_id) const
+{
+    auto it = predictors.find(request_id);
+    return it != predictors.end() ? it->second.gamma() : 1.0;
+}
+
+} // namespace dysta

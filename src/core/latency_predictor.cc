@@ -13,6 +13,7 @@ toString(PredictorStrategy strategy)
       case PredictorStrategy::AverageAll: return "average-all";
       case PredictorStrategy::LastN: return "last-n";
       case PredictorStrategy::LastOne: return "last-one";
+      case PredictorStrategy::Ema: return "ema";
     }
     panic("toString: unknown PredictorStrategy");
 }
@@ -22,6 +23,8 @@ SparseLatencyPredictor::SparseLatencyPredictor(const ModelInfo& info,
     : info(&info), cfg(config)
 {
     fatalIf(cfg.lastN < 1, "SparseLatencyPredictor: lastN must be >= 1");
+    fatalIf(cfg.emaWeight <= 0.0 || cfg.emaWeight > 1.0,
+            "SparseLatencyPredictor: emaWeight must be in (0, 1]");
 }
 
 void
@@ -85,6 +88,19 @@ SparseLatencyPredictor::gamma() const
         double base =
             density(info->avgLayerSparsity[observedLayers.back()]);
         return clampGamma(obs / base);
+      }
+      case PredictorStrategy::Ema: {
+        // Each observation contributes its own density ratio against
+        // its layer's LUT baseline, folded into an exponential
+        // moving average seeded at the profile prior gamma = 1.
+        double g = 1.0;
+        for (size_t k = 0; k < observedSparsity.size(); ++k) {
+            double base =
+                density(info->avgLayerSparsity[observedLayers[k]]);
+            double ratio = density(observedSparsity[k]) / base;
+            g = (1.0 - cfg.emaWeight) * g + cfg.emaWeight * ratio;
+        }
+        return clampGamma(g);
       }
     }
     panic("SparseLatencyPredictor: unknown strategy");

@@ -32,12 +32,20 @@
 
 namespace dysta {
 
-/** Sparsity-coefficient estimation strategy (Table 4). */
+/**
+ * Sparsity-coefficient estimation strategy (Table 4), plus an EMA
+ * variant: an exponential moving average over per-layer density
+ * ratios (observed density / the layer's own LUT density). The EMA
+ * keeps per-layer baselines like last-one but smooths over the
+ * window like average-all, and converges toward the request's true
+ * density ratio as layers complete.
+ */
 enum class PredictorStrategy
 {
     AverageAll,
     LastN,
     LastOne,
+    Ema,
 };
 
 std::string toString(PredictorStrategy strategy);
@@ -48,6 +56,8 @@ struct PredictorConfig
     PredictorStrategy strategy = PredictorStrategy::LastOne;
     /** Window for last-N (paper grid-searched N = 3). */
     int lastN = 3;
+    /** Per-observation weight of the EMA strategy, in (0, 1]. */
+    double emaWeight = 0.25;
     /** Hardware sparsity-to-latency effectiveness (Sec. 5.1). */
     double alpha = 1.0;
     /** Clamp range for the sparsity coefficient. */

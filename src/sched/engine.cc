@@ -1,8 +1,12 @@
+// Compatibility shim: the layer-granular execution loop that used to
+// live here is now implemented exactly once in the unified simulation
+// core (src/sim/core.cc). A single-accelerator run delegates to
+// runSimulation with one node and a SingleNodeDispatcher — it IS a
+// 1-node cluster.
+
 #include "sched/engine.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
+#include "sim/core.hh"
 
 namespace dysta {
 
@@ -15,110 +19,30 @@ EngineResult
 SchedulerEngine::run(std::vector<Request>& requests,
                      Scheduler& policy) const
 {
-    EngineResult result;
     policy.reset();
 
-    for (auto& req : requests) {
-        panicIf(req.trace == nullptr || req.trace->layers.empty(),
-                "SchedulerEngine: request without a trace");
-        req.nextLayer = 0;
-        req.executedTime = 0.0;
-        req.lastRunEnd = req.arrival;
-        req.finishTime = -1.0;
-        req.shed = false;
-    }
+    SimConfig sim;
+    NodeProfile profile = referenceNodeProfile("accelerator");
+    profile.decisionOverheadSec = cfg.decisionOverheadSec;
+    profile.layerBlockSize = cfg.layerBlockSize;
+    sim.nodes.push_back(profile);
+    sim.recordEvents = cfg.recordEvents;
 
-    // Arrival order (stable on ties by id).
-    std::vector<Request*> pending;
-    pending.reserve(requests.size());
-    for (auto& req : requests)
-        pending.push_back(&req);
-    std::stable_sort(pending.begin(), pending.end(),
-                     [](const Request* a, const Request* b) {
-                         if (a->arrival != b->arrival)
-                             return a->arrival < b->arrival;
-                         return a->id < b->id;
-                     });
-
-    std::vector<Request*> ready;
-    std::vector<const Request*> ready_view;
-    size_t next_arrival = 0;
-    size_t completed = 0;
-    double now = 0.0;
-
-    auto admitUpTo = [&](double time) {
-        while (next_arrival < pending.size() &&
-               pending[next_arrival]->arrival <= time) {
-            Request* req = pending[next_arrival++];
-            ready.push_back(req);
-            policy.onArrival(*req, time);
-        }
+    SingleNodeDispatcher dispatcher;
+    PolicyFactory factory = [&policy](const NodeProfile&, int) {
+        return std::make_unique<ForwardingScheduler>(policy);
     };
 
-    const Request* last_running = nullptr;
+    SimResult sr = runSimulation(sim, requests, dispatcher, factory);
 
-    while (completed < requests.size()) {
-        if (ready.empty()) {
-            panicIf(next_arrival >= pending.size(),
-                    "SchedulerEngine: idle with no pending arrivals");
-            now = std::max(now, pending[next_arrival]->arrival);
-            admitUpTo(now);
-            continue;
-        }
-
-        ready_view.assign(ready.begin(), ready.end());
-        size_t pick = policy.selectNext(ready_view, now);
-        ++result.decisions;
-        panicIf(pick >= ready.size(),
-                "SchedulerEngine: scheduler returned invalid index");
-        Request* running = ready[pick];
-
-        if (last_running != nullptr && running != last_running &&
-            last_running->nextLayer > 0 && !last_running->done()) {
-            ++result.preemptions;
-        }
-
-        now += cfg.decisionOverheadSec;
-
-        // Execute one non-preemptible block of layers. The monitor
-        // fires per layer; the next dispatch decision happens at the
-        // block boundary.
-        size_t block = std::max<size_t>(1, cfg.layerBlockSize);
-        for (size_t k = 0; k < block && !running->done(); ++k) {
-            const LayerTrace& layer = running->trace->layers[
-                running->nextLayer];
-            double start = now;
-            now += layer.latency;
-            running->executedTime += layer.latency;
-            size_t layer_idx = running->nextLayer;
-            ++running->nextLayer;
-            running->lastRunEnd = now;
-
-            if (cfg.recordEvents) {
-                result.events.push_back(
-                    {running->id, layer_idx, start, now});
-            }
-
-            // Arrivals that happened while the layer ran join the
-            // queue before the next decision.
-            admitUpTo(now);
-
-            policy.onLayerComplete(*running, now,
-                                   layer.monitoredSparsity);
-        }
-
-        if (running->done()) {
-            running->finishTime = now;
-            policy.onComplete(*running, now);
-            ready.erase(std::find(ready.begin(), ready.end(), running));
-            ++completed;
-            last_running = nullptr;
-        } else {
-            last_running = running;
-        }
-    }
-
-    result.metrics = computeMetrics(requests);
+    EngineResult result;
+    result.metrics = sr.metrics;
+    result.preemptions = sr.preemptions;
+    result.decisions = sr.decisions;
+    result.events.reserve(sr.events.size());
+    for (const ClusterEvent& ev : sr.events)
+        result.events.push_back(
+            {ev.requestId, ev.layer, ev.start, ev.end});
     return result;
 }
 

@@ -7,6 +7,11 @@
  * non-preemptible within a layer; the scheduler is re-invoked at every
  * layer boundary, so preemption happens exactly at the granularity the
  * paper assumes.
+ *
+ * This is a thin facade: the run delegates to the unified simulation
+ * core in src/sim/ (one node, SingleNodeDispatcher), so single- and
+ * multi-accelerator runs share one event calendar, one execution
+ * loop and one set of counting rules.
  */
 
 #ifndef DYSTA_SCHED_ENGINE_HH

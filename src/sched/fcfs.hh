@@ -3,12 +3,17 @@
  * First-Come First-Served baseline: requests run to completion in
  * arrival order (effectively non-preemptive, since the earliest
  * arrival stays the earliest until it finishes).
+ *
+ * The ready queue is an IndexedMinHeap keyed by (arrival, id) — a
+ * static key, so pickNext is an O(1) peek and queue maintenance is
+ * O(log n) per arrival/completion.
  */
 
 #ifndef DYSTA_SCHED_FCFS_HH
 #define DYSTA_SCHED_FCFS_HH
 
 #include "sched/scheduler.hh"
+#include "sim/ready_queue.hh"
 
 namespace dysta {
 
@@ -18,8 +23,18 @@ class FcfsScheduler : public Scheduler
   public:
     std::string name() const override { return "FCFS"; }
 
+    void reset() override;
+    void onArrival(const Request& req, double now) override;
+    void onComplete(const Request& req, double now) override;
+
     size_t selectNext(const std::vector<const Request*>& ready,
                       double now) override;
+
+    Request* pickNext(const std::vector<Request*>& ready,
+                      double now) override;
+
+  private:
+    IndexedMinHeap queue;
 };
 
 } // namespace dysta

@@ -34,7 +34,9 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
     double last_finish = 0.0;
     size_t violations = 0;
     std::vector<double> turnarounds;
+    std::vector<double> latencies;
     turnarounds.reserve(requests.size());
+    latencies.reserve(requests.size());
 
     for (const auto& req : requests) {
         if (allow_shed && req.shed) {
@@ -49,6 +51,7 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
         last_finish = std::max(last_finish, req.finishTime);
         double nt = req.normalizedTurnaround();
         turnarounds.push_back(nt);
+        latencies.push_back(req.finishTime - req.arrival);
         m.antt += nt;
         m.stp += 1.0 / nt;
         if (req.violated())
@@ -64,7 +67,12 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
     m.violationRate = static_cast<double>(violations) / n;
     m.makespan = last_finish - first_arrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.p50Turnaround = percentile(turnarounds, 50.0);
+    m.p95Turnaround = percentile(turnarounds, 95.0);
     m.p99Turnaround = percentile(turnarounds, 99.0);
+    m.p50Latency = percentile(latencies, 50.0);
+    m.p95Latency = percentile(latencies, 95.0);
+    m.p99Latency = percentile(latencies, 99.0);
     return m;
 }
 

@@ -26,8 +26,18 @@ struct Metrics
     double throughput = 0.0;
     /** Eyerman-Eeckhout STP: sum of per-request speedups. */
     double stp = 0.0;
+    /** Median normalized turnaround (ANT percentile). */
+    double p50Turnaround = 0.0;
+    /** 95th-percentile normalized turnaround. */
+    double p95Turnaround = 0.0;
     /** 99th-percentile normalized turnaround. */
     double p99Turnaround = 0.0;
+    /** Median end-to-end latency (finish - arrival), seconds. */
+    double p50Latency = 0.0;
+    /** 95th-percentile end-to-end latency, seconds. */
+    double p95Latency = 0.0;
+    /** 99th-percentile end-to-end latency, seconds. */
+    double p99Latency = 0.0;
     /** Number of completed requests. */
     size_t completed = 0;
     /** Requests rejected by admission control (cluster runs). */

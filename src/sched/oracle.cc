@@ -14,14 +14,14 @@ OracleScheduler::selectNext(const std::vector<const Request*>& ready,
 
     for (size_t i = 0; i < ready.size(); ++i) {
         const Request& req = *ready[i];
-        double remaining = req.trueRemaining();
+        double remaining = est->remaining(req);
+        double isol = est->isolated(req);
         // Same slack clamp as Dysta: blown deadlines stop sinking
         // and comfortable ones saturate at one isolated latency.
         double slack = std::clamp(req.deadline - now - remaining, 0.0,
-                                  req.isolated());
+                                  isol);
         double wait = std::max(0.0, now - req.lastRunEnd);
-        double penalty =
-            std::min(wait / req.isolated(), 2.0) / queue_size;
+        double penalty = std::min(wait / isol, 2.0) / queue_size;
         double score = remaining + eta * (slack + penalty);
         if (i == 0 || score < best_score) {
             best = i;

@@ -1,10 +1,11 @@
 /**
  * @file
  * Oracle scheduler: Dysta's dynamic scoring with a perfect latency
- * predictor. It reads the ground-truth remaining time of every
- * request instead of estimating it from profiles and monitored
- * sparsity, upper-bounding what any sparsity-aware predictor can
- * achieve (the "Oracle" series in Figs. 14-15).
+ * predictor. Its estimator is the `OracleEstimator`, which reads the
+ * ground-truth remaining time of every request instead of estimating
+ * it from profiles and monitored sparsity, upper-bounding what any
+ * sparsity-aware predictor can achieve (the "Oracle" series in
+ * Figs. 14-15).
  */
 
 #ifndef DYSTA_SCHED_ORACLE_HH
@@ -19,7 +20,10 @@ class OracleScheduler : public Scheduler
 {
   public:
     /** @param eta slack/penalty weight (matches Dysta's eta). */
-    explicit OracleScheduler(double eta = 0.2) : eta(eta) {}
+    explicit OracleScheduler(double eta = 0.2)
+        : Scheduler(std::make_unique<OracleEstimator>()), eta(eta)
+    {
+    }
 
     std::string name() const override { return "Oracle"; }
 

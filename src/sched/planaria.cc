@@ -16,7 +16,7 @@ PlanariaScheduler::selectNext(const std::vector<const Request*>& ready,
     double best_key = 0.0;
 
     for (size_t i = 0; i < ready.size(); ++i) {
-        double remaining = estRemaining(*lut, *ready[i]);
+        double remaining = est->remaining(*ready[i]);
         double slack = ready[i]->deadline - now - remaining;
         bool feasible = slack >= 0.0;
         double key = feasible ? slack : remaining;

@@ -22,15 +22,15 @@ namespace dysta {
 class PlanariaScheduler : public Scheduler
 {
   public:
-    explicit PlanariaScheduler(const ModelInfoLut& lut) : lut(&lut) {}
+    explicit PlanariaScheduler(const ModelInfoLut& lut)
+        : Scheduler(std::make_unique<LutEstimator>(lut))
+    {
+    }
 
     std::string name() const override { return "Planaria"; }
 
     size_t selectNext(const std::vector<const Request*>& ready,
                       double now) override;
-
-  private:
-    const ModelInfoLut* lut;
 };
 
 } // namespace dysta

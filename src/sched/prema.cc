@@ -9,46 +9,79 @@ namespace dysta {
 void
 PremaScheduler::reset()
 {
-    state.clear();
+    Scheduler::reset();
+    order.clear();
+    slot.clear();
+    nextSeq = 0;
+}
+
+PremaScheduler::Entry&
+PremaScheduler::entryOf(const Request& req)
+{
+    auto it = slot.find(req.id);
+    panicIf(it == slot.end(), "PREMA: unknown request");
+    return order[it->second];
+}
+
+double
+PremaScheduler::tokenOf(const Entry& e, double now) const
+{
+    // Token = priority x normalized waiting time (estimated
+    // slowdown). Waiting excludes execution time, so a running
+    // task's token freezes while it holds the accelerator.
+    double waited = std::max(
+        0.0, now - e.req->arrival - e.req->executedTime);
+    return e.priority * waited / e.isol;
 }
 
 void
 PremaScheduler::onArrival(const Request& req, double now)
 {
-    TaskState ts;
-    ts.token = 0.0;
-    ts.lastUpdate = now;
-    // The benchmark has no user-assigned priority classes; all
-    // requests share the base priority, as in the paper's setup.
-    ts.priority = 1.0;
-    state[req.id] = ts;
+    Scheduler::onArrival(req, now);
+    panicIf(slot.count(req.id) > 0, "PREMA: duplicate request id");
+    Entry e;
+    e.req = &req;
+    e.isol = std::max(est->isolated(req), 1e-12);
+    e.remaining = est->remaining(req);
+    e.seq = nextSeq++;
+    slot[req.id] = order.size();
+    order.push_back(e);
+}
+
+void
+PremaScheduler::onLayerComplete(const Request& req, double now,
+                                double monitored_sparsity)
+{
+    Scheduler::onLayerComplete(req, now, monitored_sparsity);
+    // Lazy re-key: only the progressed request's remainder changed.
+    auto it = slot.find(req.id);
+    if (it != slot.end())
+        order[it->second].remaining = est->remaining(req);
 }
 
 void
 PremaScheduler::onComplete(const Request& req, double now)
 {
-    (void)now;
-    state.erase(req.id);
+    Scheduler::onComplete(req, now);
+    auto it = slot.find(req.id);
+    if (it == slot.end())
+        return;
+    size_t idx = it->second;
+    slot.erase(it);
+    if (idx != order.size() - 1) {
+        order[idx] = order.back();
+        slot[order[idx].req->id] = idx;
+    }
+    order.pop_back();
 }
 
 size_t
 PremaScheduler::selectNext(const std::vector<const Request*>& ready,
                            double now)
 {
-    // Token = priority x normalized waiting time (estimated
-    // slowdown). Waiting excludes execution time, so a running task's
-    // token freezes while it holds the accelerator.
     double max_token = 0.0;
-    for (const Request* req : ready) {
-        auto it = state.find(req->id);
-        panicIf(it == state.end(), "PREMA: unknown request");
-        TaskState& ts = it->second;
-        double isol = std::max(estIsolated(*lut, *req), 1e-12);
-        double waited =
-            std::max(0.0, now - req->arrival - req->executedTime);
-        ts.token = ts.priority * waited / isol;
-        max_token = std::max(max_token, ts.token);
-    }
+    for (const Request* req : ready)
+        max_token = std::max(max_token, tokenOf(entryOf(*req), now));
 
     // Candidates: tokens at (>=) the threshold; SJF among them. The
     // degrading-threshold mechanism of the PREMA paper admits every
@@ -59,9 +92,11 @@ PremaScheduler::selectNext(const std::vector<const Request*>& ready,
     size_t best = ready.size();
     double best_remaining = 0.0;
     for (size_t i = 0; i < ready.size(); ++i) {
-        if (state[ready[i]->id].token < threshold)
+        if (tokenOf(entryOf(*ready[i]), now) < threshold)
             continue;
-        double remaining = estRemaining(*lut, *ready[i]);
+        // Fresh estimate (not the cache): the reference path must
+        // be exact even for direct calls outside the engine.
+        double remaining = est->remaining(*ready[i]);
         if (best == ready.size() || remaining < best_remaining) {
             best = i;
             best_remaining = remaining;
@@ -69,6 +104,33 @@ PremaScheduler::selectNext(const std::vector<const Request*>& ready,
     }
     panicIf(best == ready.size(), "PREMA: empty candidate set");
     return best;
+}
+
+Request*
+PremaScheduler::pickNext(const std::vector<Request*>& ready, double now)
+{
+    panicIf(order.size() != ready.size(),
+            "PremaScheduler: ready queue out of sync with engine "
+            "(missing onArrival/onComplete callbacks?)");
+
+    // Two tight passes over the dense cache — identical decisions to
+    // selectNext, but no per-candidate hash or LUT lookups.
+    double max_token = 0.0;
+    for (const Entry& e : order)
+        max_token = std::max(max_token, tokenOf(e, now));
+
+    const double threshold = 0.5 * max_token;
+    const Entry* best = nullptr;
+    for (const Entry& e : order) {
+        if (tokenOf(e, now) < threshold)
+            continue;
+        if (best == nullptr || e.remaining < best->remaining ||
+            (e.remaining == best->remaining && e.seq < best->seq)) {
+            best = &e;
+        }
+    }
+    panicIf(best == nullptr, "PREMA: empty candidate set");
+    return const_cast<Request*>(best->req);
 }
 
 } // namespace dysta

@@ -1,18 +1,17 @@
 #include "sched/scheduler.hh"
 
+#include "util/logging.hh"
+
 namespace dysta {
 
-double
-Scheduler::estRemaining(const ModelInfoLut& lut, const Request& req)
+Request*
+Scheduler::pickNext(const std::vector<Request*>& ready, double now)
 {
-    const ModelInfo& info = lut.lookup(req.modelName, req.pattern);
-    return info.estRemaining(req.nextLayer);
-}
-
-double
-Scheduler::estIsolated(const ModelInfoLut& lut, const Request& req)
-{
-    return lut.lookup(req.modelName, req.pattern).avgLatency;
+    std::vector<const Request*> view(ready.begin(), ready.end());
+    size_t pick = selectNext(view, now);
+    panicIf(pick >= ready.size(),
+            "Scheduler: scheduler returned invalid index");
+    return ready[pick];
 }
 
 } // namespace dysta

@@ -6,17 +6,35 @@
  * of the running request completes and whenever the accelerator is
  * idle with work pending — the paper's preemptive time-multiplexing
  * model (Sec. 4.2.2). Schedulers observe request progress and the
- * monitored layer sparsity; honest schedulers estimate latencies from
- * the offline ModelInfoLut, never from the ground-truth trace.
+ * monitored layer sparsity; honest schedulers estimate latencies
+ * through a `LatencyEstimator` built on the offline ModelInfoLut,
+ * never from the ground-truth trace.
+ *
+ * Two selection entry points exist:
+ *  - `selectNext(view, now)` — the reference implementation over an
+ *    explicit candidate view. Subclasses must provide it; it is the
+ *    semantic definition of the policy and what the property tests
+ *    compare against.
+ *  - `pickNext(ready, now)` — what the simulation core actually
+ *    calls. The default builds a view and delegates to selectNext;
+ *    built-in policies override it with heap-backed or densely
+ *    cached fast paths that return the *same* request in O(log n)
+ *    or O(1)-per-candidate time. Overriding subclasses must keep
+ *    both paths decision-equivalent.
+ *
+ * Subclasses that override the lifecycle hooks (onArrival /
+ * onLayerComplete / onComplete / reset) must call the base-class
+ * implementation, which forwards to the policy's estimator.
  */
 
 #ifndef DYSTA_SCHED_SCHEDULER_HH
 #define DYSTA_SCHED_SCHEDULER_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/model_info.hh"
+#include "core/estimator.hh"
 #include "sched/request.hh"
 
 namespace dysta {
@@ -31,14 +49,20 @@ class Scheduler
     virtual std::string name() const = 0;
 
     /** Clear all per-run state (called before every engine run). */
-    virtual void reset() {}
+    virtual void
+    reset()
+    {
+        if (est)
+            est->reset();
+    }
 
     /** A new request entered the system at time `now`. */
     virtual void
     onArrival(const Request& req, double now)
     {
-        (void)req;
         (void)now;
+        if (est)
+            est->admit(req);
     }
 
     /**
@@ -49,17 +73,18 @@ class Scheduler
     onLayerComplete(const Request& req, double now,
                     double monitored_sparsity)
     {
-        (void)req;
         (void)now;
-        (void)monitored_sparsity;
+        if (est)
+            est->observe(req, monitored_sparsity);
     }
 
     /** `req` fully completed at `now`. */
     virtual void
     onComplete(const Request& req, double now)
     {
-        (void)req;
         (void)now;
+        if (est)
+            est->release(req);
     }
 
     /**
@@ -70,17 +95,28 @@ class Scheduler
     virtual size_t selectNext(const std::vector<const Request*>& ready,
                               double now) = 0;
 
-  protected:
     /**
-     * LUT-estimated remaining latency for a request: the profiled
-     * average latency of the layers still ahead of it.
+     * Choose the next request directly from the engine-maintained
+     * ready set (admission order, non-empty). Must return an element
+     * of `ready` and agree with selectNext on the choice.
      */
-    static double estRemaining(const ModelInfoLut& lut,
-                               const Request& req);
+    virtual Request* pickNext(const std::vector<Request*>& ready,
+                              double now);
 
-    /** LUT-estimated isolated (end-to-end) latency for a request. */
-    static double estIsolated(const ModelInfoLut& lut,
-                              const Request& req);
+    /** This policy's latency estimator (nullptr for e.g. FCFS). */
+    const LatencyEstimator* estimator() const { return est.get(); }
+
+  protected:
+    Scheduler() = default;
+
+    /** Construct with the estimator all latency queries go through. */
+    explicit Scheduler(std::unique_ptr<LatencyEstimator> estimator)
+        : est(std::move(estimator))
+    {
+    }
+
+    /** Estimator owned by this policy (may be null). */
+    std::unique_ptr<LatencyEstimator> est;
 };
 
 } // namespace dysta

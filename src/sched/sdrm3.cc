@@ -13,8 +13,8 @@ Sdrm3Scheduler::selectNext(const std::vector<const Request*>& ready,
 
     for (size_t i = 0; i < ready.size(); ++i) {
         const Request& req = *ready[i];
-        double isol = std::max(estIsolated(*lut, req), 1e-12);
-        double remaining = estRemaining(*lut, req);
+        double isol = std::max(est->isolated(req), 1e-12);
+        double remaining = est->remaining(req);
 
         // Urgency: estimated demand over the time left to deadline,
         // growing without bound once the deadline is blown (deadline

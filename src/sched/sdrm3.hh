@@ -25,7 +25,7 @@ class Sdrm3Scheduler : public Scheduler
      * @param alpha urgency-vs-fairness weight in [0, 1]
      */
     explicit Sdrm3Scheduler(const ModelInfoLut& lut, double alpha = 0.8)
-        : lut(&lut), alpha(alpha)
+        : Scheduler(std::make_unique<LutEstimator>(lut)), alpha(alpha)
     {
     }
 
@@ -35,7 +35,6 @@ class Sdrm3Scheduler : public Scheduler
                       double now) override;
 
   private:
-    const ModelInfoLut* lut;
     double alpha;
 };
 

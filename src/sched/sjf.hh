@@ -1,15 +1,24 @@
 /**
  * @file
  * Shortest-Job First baseline (the paper's Fig. 5 variant): at every
- * layer boundary the request with the smallest LUT-estimated
- * remaining time runs next, i.e. preemptive shortest-remaining-time
- * scheduling driven by sparsity-unaware average latencies.
+ * layer boundary the request with the smallest estimated remaining
+ * time runs next, i.e. preemptive shortest-remaining-time scheduling.
+ * With the default LutEstimator the estimates are the sparsity-
+ * unaware profiled averages; injecting a DystaEstimator or
+ * OracleEstimator yields sparsity-refined or perfect SRTF.
+ *
+ * The ready queue is an IndexedMinHeap keyed by (estimated
+ * remaining, enqueue order). Remainders change only when a layer of
+ * that request completes (or a sparsity observation refines its
+ * estimate), so the heap is re-keyed lazily in onLayerComplete and
+ * pickNext is an O(1) peek.
  */
 
 #ifndef DYSTA_SCHED_SJF_HH
 #define DYSTA_SCHED_SJF_HH
 
 #include "sched/scheduler.hh"
+#include "sim/ready_queue.hh"
 
 namespace dysta {
 
@@ -18,15 +27,34 @@ class SjfScheduler : public Scheduler
 {
   public:
     /** @param lut offline profile estimates (kept by reference). */
-    explicit SjfScheduler(const ModelInfoLut& lut) : lut(&lut) {}
+    explicit SjfScheduler(const ModelInfoLut& lut)
+        : Scheduler(std::make_unique<LutEstimator>(lut))
+    {
+    }
+
+    /** SRTF under an arbitrary estimator. */
+    explicit SjfScheduler(std::unique_ptr<LatencyEstimator> estimator)
+        : Scheduler(std::move(estimator))
+    {
+    }
 
     std::string name() const override { return "SJF"; }
+
+    void reset() override;
+    void onArrival(const Request& req, double now) override;
+    void onLayerComplete(const Request& req, double now,
+                         double monitored_sparsity) override;
+    void onComplete(const Request& req, double now) override;
 
     size_t selectNext(const std::vector<const Request*>& ready,
                       double now) override;
 
+    Request* pickNext(const std::vector<Request*>& ready,
+                      double now) override;
+
   private:
-    const ModelInfoLut* lut;
+    IndexedMinHeap queue;
+    int64_t nextSeq = 0; ///< enqueue order, the legacy tie-break
 };
 
 } // namespace dysta

@@ -1,15 +1,12 @@
-#include "serve/cluster_engine.hh"
+// Compatibility shim: the cluster event loop that used to live here
+// is now the unified simulation core (src/sim/core.cc); ClusterEngine
+// just forwards its configuration.
 
-#include <algorithm>
-#include <limits>
+#include "serve/cluster_engine.hh"
 
 #include "util/logging.hh"
 
 namespace dysta {
-
-namespace {
-constexpr double kNever = std::numeric_limits<double>::infinity();
-} // namespace
 
 ClusterConfig
 homogeneousCluster(size_t n)
@@ -26,7 +23,8 @@ ClusterEngine::ClusterEngine(ClusterConfig config)
     : cfg(std::move(config))
 {
     fatalIf(cfg.nodes.empty(), "ClusterEngine: need at least one node");
-    fatalIf(cfg.admission.enabled && cfg.lut == nullptr,
+    fatalIf(cfg.admission.enabled && cfg.lut == nullptr &&
+                cfg.admissionEstimator == nullptr,
             "ClusterEngine: admission control requires a ModelInfoLut");
     fatalIf(cfg.admission.enabled && cfg.admission.margin <= 0.0,
             "ClusterEngine: admission margin must be positive");
@@ -37,169 +35,13 @@ ClusterEngine::run(std::vector<Request>& requests,
                    Dispatcher& dispatcher,
                    const PolicyFactory& make_policy) const
 {
-    ClusterResult result;
-    dispatcher.reset();
-
-    std::vector<std::unique_ptr<ServeNode>> nodes;
-    nodes.reserve(cfg.nodes.size());
-    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
-        auto policy = make_policy(cfg.nodes[i], static_cast<int>(i));
-        panicIf(policy == nullptr,
-                "ClusterEngine: policy factory returned null");
-        nodes.push_back(std::make_unique<ServeNode>(
-            static_cast<int>(i), cfg.nodes[i], std::move(policy)));
-    }
-
-    for (auto& req : requests) {
-        panicIf(req.trace == nullptr || req.trace->layers.empty(),
-                "ClusterEngine: request without a trace");
-        req.shed = false;
-        req.finishTime = -1.0;
-    }
-
-    // Arrival order (stable on ties by id).
-    std::vector<Request*> pending;
-    pending.reserve(requests.size());
-    for (auto& req : requests)
-        pending.push_back(&req);
-    std::stable_sort(pending.begin(), pending.end(),
-                     [](const Request* a, const Request* b) {
-                         if (a->arrival != b->arrival)
-                             return a->arrival < b->arrival;
-                         return a->id < b->id;
-                     });
-
-    // LUT-estimated queued work on a node, in node-seconds; used by
-    // admission control independently of the dispatcher's own view.
-    // Mirrors LeastBacklogDispatcher::backlogEstimate's sparsity-
-    // blind path — keep the two formulas in sync.
-    auto lutBacklog = [&](const ServeNode& node) {
-        double work = 0.0;
-        for (const Request* r : node.queue()) {
-            work += cfg.lut->lookup(r->modelName, r->pattern)
-                        .estRemaining(r->nextLayer);
-        }
-        return work / node.profile().speedFactor;
-    };
-
-    size_t next_arrival = 0;
-    size_t finished = 0;
-    size_t shed_count = 0;
-
-    while (finished + shed_count < requests.size()) {
-        // Earliest in-flight layer completion (ties: lowest node id).
-        ServeNode* event_node = nullptr;
-        for (auto& n : nodes) {
-            if (n->busy() &&
-                (event_node == nullptr ||
-                 n->eventTime() < event_node->eventTime())) {
-                event_node = n.get();
-            }
-        }
-        double t_node =
-            event_node != nullptr ? event_node->eventTime() : kNever;
-        double t_arrival = next_arrival < pending.size()
-                               ? pending[next_arrival]->arrival
-                               : kNever;
-        panicIf(t_node == kNever && t_arrival == kNever,
-                "ClusterEngine: deadlock with unfinished requests");
-
-        if (t_arrival <= t_node) {
-            // --- arrivals: place (or shed) every request arriving at
-            // this instant before any dispatch decision, mirroring
-            // SchedulerEngine's admit-then-select ordering for
-            // simultaneous arrivals ---
-            double now = t_arrival;
-            while (next_arrival < pending.size() &&
-                   pending[next_arrival]->arrival == now) {
-                Request* req = pending[next_arrival++];
-
-                size_t pick = dispatcher.selectNode(*req, nodes, now);
-                panicIf(pick >= nodes.size(),
-                        "ClusterEngine: dispatcher returned invalid "
-                        "node");
-                ServeNode& node = *nodes[pick];
-
-                if (cfg.admission.enabled) {
-                    const ModelInfo& info =
-                        cfg.lut->lookup(req->modelName, req->pattern);
-                    auto delayOn = [&](const ServeNode& n) {
-                        return lutBacklog(n) +
-                               info.avgLatency /
-                                   n.profile().speedFactor;
-                    };
-                    if (now + cfg.admission.margin * delayOn(node) >
-                        req->deadline) {
-                        // The chosen node cannot make the deadline:
-                        // fall back to the least-loaded node before
-                        // shedding, so an admission-blind placement
-                        // (e.g. round-robin) doesn't drop requests
-                        // the rest of the fleet could still serve.
-                        size_t best = 0;
-                        double best_delay = 0.0;
-                        for (size_t i = 0; i < nodes.size(); ++i) {
-                            double delay = delayOn(*nodes[i]);
-                            if (i == 0 || delay < best_delay) {
-                                best = i;
-                                best_delay = delay;
-                            }
-                        }
-                        if (now + cfg.admission.margin * best_delay >
-                            req->deadline) {
-                            req->shed = true;
-                            ++shed_count;
-                            dispatcher.onShed(*req, now);
-                            continue;
-                        }
-                        pick = best;
-                    }
-                }
-
-                nodes[pick]->enqueue(req, now);
-            }
-            for (auto& node : nodes) {
-                if (!node->busy() && node->outstanding() > 0)
-                    node->beginBlock(now);
-            }
-        } else {
-            // --- layer completion on event_node ---
-            ServeNode& node = *event_node;
-            double now = t_node;
-            const Request* req = node.current();
-            size_t layer_idx = req->nextLayer;
-
-            if (cfg.recordEvents) {
-                double lat = node.layerLatency(
-                    req->trace->layers[layer_idx]);
-                result.events.push_back({node.id(), req->id,
-                                         layer_idx, now - lat, now});
-            }
-
-            Request* done = node.completeLayer();
-            dispatcher.onLayerComplete(node, *req, now,
-                                       node.lastMonitoredSparsity());
-            if (done != nullptr) {
-                dispatcher.onComplete(node, *done, now);
-                ++finished;
-            }
-
-            // Continue the non-preemptible block, or make a fresh
-            // dispatch decision at the block boundary.
-            if (node.blockContinues())
-                node.continueBlock(now);
-            else if (node.outstanding() > 0)
-                node.beginBlock(now);
-        }
-    }
-
-    result.metrics = computeMetricsCompleted(requests);
-    result.perNodeCompleted.reserve(nodes.size());
-    for (const auto& n : nodes) {
-        result.perNodeCompleted.push_back(n->completedCount());
-        result.preemptions += n->preemptionCount();
-        result.decisions += n->decisionCount();
-    }
-    return result;
+    SimConfig sim;
+    sim.nodes = cfg.nodes;
+    sim.recordEvents = cfg.recordEvents;
+    sim.admission = cfg.admission;
+    sim.lut = cfg.lut;
+    sim.admissionEstimator = cfg.admissionEstimator;
+    return runSimulation(sim, requests, dispatcher, make_policy);
 }
 
 } // namespace dysta

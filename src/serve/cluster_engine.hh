@@ -1,51 +1,33 @@
 /**
  * @file
- * Discrete-event multi-accelerator serving simulator.
+ * Discrete-event multi-accelerator serving simulator — compatibility
+ * facade over the unified simulation core (src/sim/core.hh).
  *
  * A ClusterEngine runs N accelerator nodes, each executing the
- * layer-granular per-node scheduling loop of `SchedulerEngine`, fed
- * by a front-end `Dispatcher` that places every arriving request on
- * one node. Optional SLO-aware admission control sheds requests whose
- * LUT-estimated completion would already miss their deadline at
- * arrival; shed counts are reported through `Metrics::shed`.
+ * layer-granular per-node scheduling loop, fed by a front-end
+ * `Dispatcher` that places every arriving request on one node.
+ * Optional SLO-aware admission control sheds requests whose
+ * estimated completion (through the LatencyEstimator layer) would
+ * already miss their deadline at arrival; shed counts are reported
+ * through `Metrics::shed`.
  *
- * The simulation is event-driven over two event types — request
- * arrivals and per-node layer completions — processed in global time
- * order with deterministic tie-breaking (arrivals first, then lowest
- * node id), so a fixed workload seed always reproduces the same
- * schedule.
+ * The run itself is `runSimulation`: one global event calendar over
+ * arrival / layer-complete / decision events with deterministic
+ * tie-breaking, so a fixed workload seed always reproduces the same
+ * schedule. A single-accelerator `SchedulerEngine` run is the same
+ * core with one node — the two engines cannot drift apart.
  */
 
 #ifndef DYSTA_SERVE_CLUSTER_ENGINE_HH
 #define DYSTA_SERVE_CLUSTER_ENGINE_HH
 
-#include <functional>
-#include <memory>
 #include <vector>
 
-#include "core/model_info.hh"
-#include "sched/metrics.hh"
 #include "serve/dispatcher.hh"
 #include "serve/node.hh"
+#include "sim/core.hh"
 
 namespace dysta {
-
-/** SLO-aware admission control knobs. */
-struct AdmissionConfig
-{
-    /** Shed hopeless requests at the front door. */
-    bool enabled = false;
-    /**
-     * Conservativeness multiplier on the estimated completion delay:
-     * a node can serve a request when
-     *     now + margin * (backlog + isolated) / speed <= deadline.
-     * When the dispatcher's chosen node fails the test, the request
-     * falls back to the node with the smallest estimated delay and
-     * is shed only if that node fails too. Values < 1 admit
-     * optimistically, > 1 shed early.
-     */
-    double margin = 1.0;
-};
 
 /** Cluster topology and simulation knobs. */
 struct ClusterConfig
@@ -61,41 +43,18 @@ struct ClusterConfig
      * admission is enabled; unused otherwise.
      */
     const ModelInfoLut* lut = nullptr;
+    /**
+     * Optional admission estimator override (not owned); see
+     * SimConfig::admissionEstimator.
+     */
+    const LatencyEstimator* admissionEstimator = nullptr;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */
 ClusterConfig homogeneousCluster(size_t n);
 
-/** One scheduled execution slot on one node (optional Gantt record). */
-struct ClusterEvent
-{
-    int nodeId = -1;
-    int requestId = -1;
-    size_t layer = 0;
-    double start = 0.0;
-    double end = 0.0;
-};
-
-/** Result of one cluster run. */
-struct ClusterResult
-{
-    /** Metrics over completed requests; shed requests in `shed`. */
-    Metrics metrics;
-    /** Preemptions summed over nodes. */
-    size_t preemptions = 0;
-    /** Scheduling decisions summed over nodes. */
-    size_t decisions = 0;
-    /** Completed-request count per node (load balance view). */
-    std::vector<size_t> perNodeCompleted;
-    std::vector<ClusterEvent> events;
-};
-
-/**
- * Builds one per-node scheduling policy. Invoked once per node per
- * run so every node owns independent policy state.
- */
-using PolicyFactory = std::function<std::unique_ptr<Scheduler>(
-    const NodeProfile& profile, int node_id)>;
+/** Result of one cluster run (the simulation core's result). */
+using ClusterResult = SimResult;
 
 /** Multi-accelerator, layer-granular serving simulator. */
 class ClusterEngine

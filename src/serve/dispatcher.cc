@@ -34,8 +34,14 @@ LeastOutstandingDispatcher::selectNode(
 LeastBacklogDispatcher::LeastBacklogDispatcher(
     const ModelInfoLut& lut, PredictorConfig predictor_cfg,
     bool sparsity_aware)
-    : lut(&lut), pcfg(predictor_cfg), sparsityAware(sparsity_aware)
+    : sparsityAware(sparsity_aware)
 {
+    if (sparsityAware) {
+        est = std::make_unique<DystaEstimator>(lut, predictor_cfg,
+                                               /*refine=*/true);
+    } else {
+        est = std::make_unique<LutEstimator>(lut);
+    }
 }
 
 std::string
@@ -47,17 +53,13 @@ LeastBacklogDispatcher::name() const
 void
 LeastBacklogDispatcher::reset()
 {
-    predictors.clear();
+    est->reset();
 }
 
 double
 LeastBacklogDispatcher::estRemaining(const Request& req) const
 {
-    auto it = predictors.find(req.id);
-    if (it != predictors.end())
-        return it->second.predictRemaining(req.nextLayer);
-    return lut->lookup(req.modelName, req.pattern)
-        .estRemaining(req.nextLayer);
+    return est->remaining(req);
 }
 
 double
@@ -77,7 +79,7 @@ LeastBacklogDispatcher::selectNode(
     (void)now;
     panicIf(nodes.empty(), "LeastBacklogDispatcher: no nodes");
 
-    double iso = lut->lookup(req.modelName, req.pattern).avgLatency;
+    double iso = est->isolated(req);
     size_t best = 0;
     double best_score = 0.0;
     for (size_t i = 0; i < nodes.size(); ++i) {
@@ -91,10 +93,7 @@ LeastBacklogDispatcher::selectNode(
         }
     }
 
-    if (sparsityAware) {
-        predictors.emplace(req.id, SparseLatencyPredictor(
-            lut->lookup(req.modelName, req.pattern), pcfg));
-    }
+    est->admit(req);
     return best;
 }
 
@@ -105,11 +104,7 @@ LeastBacklogDispatcher::onLayerComplete(const ServeNode& node,
 {
     (void)node;
     (void)now;
-    if (!sparsityAware || monitored_sparsity < 0.0)
-        return;
-    auto it = predictors.find(req.id);
-    if (it != predictors.end() && req.nextLayer > 0)
-        it->second.observe(req.nextLayer - 1, monitored_sparsity);
+    est->observe(req, monitored_sparsity);
 }
 
 void
@@ -118,14 +113,14 @@ LeastBacklogDispatcher::onComplete(const ServeNode& node,
 {
     (void)node;
     (void)now;
-    predictors.erase(req.id);
+    est->release(req);
 }
 
 void
 LeastBacklogDispatcher::onShed(const Request& req, double now)
 {
     (void)now;
-    predictors.erase(req.id);
+    est->release(req);
 }
 
 } // namespace dysta

@@ -2,18 +2,21 @@
  * @file
  * Cluster front-end placement policies.
  *
- * The dispatcher assigns every arriving request to one accelerator
- * node; placement is final (no cross-node migration), matching the
- * cost of moving activations between accelerators. Three policies:
+ * The abstract `Dispatcher` interface lives in the simulation core
+ * (src/sim/dispatcher.hh); this file provides the concrete cluster
+ * policies. Placement is final (no cross-node migration), matching
+ * the cost of moving activations between accelerators. Three
+ * policies:
  *
  *  - round-robin: tenant-oblivious rotation;
  *  - least-outstanding: fewest queued-or-running requests;
  *  - least-backlog: smallest *estimated work* backlog, where each
- *    queued request's remaining latency comes from the ModelInfoLut
- *    refined by the monitored per-layer sparsity — the Sparse-DySta
- *    signal (Alg. 3) lifted from the node scheduler to cluster scope.
- *    Backlogs are normalized by node speed, so the policy also
- *    handles heterogeneous fleets.
+ *    queued request's remaining latency comes from the shared
+ *    `LatencyEstimator` layer — a sparsity-refined `DystaEstimator`
+ *    (the Sparse-DySta signal of Alg. 3 lifted from the node
+ *    scheduler to cluster scope) or a static `LutEstimator` for the
+ *    sparsity-blind ablation. Backlogs are normalized by node
+ *    speed, so the policy also handles heterogeneous fleets.
  */
 
 #ifndef DYSTA_SERVE_DISPATCHER_HH
@@ -21,72 +24,14 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "core/latency_predictor.hh"
+#include "core/estimator.hh"
 #include "core/model_info.hh"
 #include "serve/node.hh"
+#include "sim/dispatcher.hh"
 
 namespace dysta {
-
-/** Abstract front-end placement policy. */
-class Dispatcher
-{
-  public:
-    virtual ~Dispatcher() = default;
-
-    /** Policy name as reported in result tables. */
-    virtual std::string name() const = 0;
-
-    /** Clear all per-run state (called before every cluster run). */
-    virtual void reset() {}
-
-    /**
-     * Choose the node for an arriving request.
-     * @param nodes all cluster nodes (non-empty)
-     * @return index into `nodes`
-     */
-    virtual size_t
-    selectNode(const Request& req,
-               const std::vector<std::unique_ptr<ServeNode>>& nodes,
-               double now) = 0;
-
-    /**
-     * A layer of `req` finished on `node`; the zero-count monitor
-     * reported `monitored_sparsity` (negative when not captured).
-     */
-    virtual void
-    onLayerComplete(const ServeNode& node, const Request& req,
-                    double now, double monitored_sparsity)
-    {
-        (void)node;
-        (void)req;
-        (void)now;
-        (void)monitored_sparsity;
-    }
-
-    /** `req` fully completed on `node` at `now`. */
-    virtual void
-    onComplete(const ServeNode& node, const Request& req, double now)
-    {
-        (void)node;
-        (void)req;
-        (void)now;
-    }
-
-    /**
-     * Admission control shed `req` right after selectNode chose its
-     * node: the placement never happened, so policies must roll back
-     * any per-request side effects of the selection.
-     */
-    virtual void
-    onShed(const Request& req, double now)
-    {
-        (void)req;
-        (void)now;
-    }
-};
 
 /** Tenant-oblivious rotation over the nodes. */
 class RoundRobinDispatcher : public Dispatcher
@@ -123,12 +68,12 @@ class LeastOutstandingDispatcher : public Dispatcher
 };
 
 /**
- * Sparsity-aware least-estimated-backlog placement. Remaining
- * latencies of in-flight requests are LUT estimates scaled by each
- * request's online sparsity coefficient gamma (SparseLatencyPredictor,
- * Alg. 3); the arriving request goes to the node whose speed-
- * normalized backlog is smallest. Setting `sparsityAware` false
- * pins gamma to 1, giving the pure LUT-backlog ablation.
+ * Estimated-backlog placement: the arriving request goes to the node
+ * whose speed-normalized backlog of estimated remaining work is
+ * smallest. With `sparsity_aware` the estimates are refined online
+ * by the monitored layer sparsity (DystaEstimator); without, they
+ * are the frozen LUT averages (LutEstimator) — the pure LUT-backlog
+ * ablation.
  */
 class LeastBacklogDispatcher : public Dispatcher
 {
@@ -155,7 +100,7 @@ class LeastBacklogDispatcher : public Dispatcher
     void onShed(const Request& req, double now) override;
 
     /**
-     * Estimated seconds of sparsity-refined work queued on `node`,
+     * Estimated seconds of estimator-refined work queued on `node`,
      * normalized by its speed factor.
      */
     double backlogEstimate(const ServeNode& node) const;
@@ -163,11 +108,12 @@ class LeastBacklogDispatcher : public Dispatcher
     /** Refined remaining-latency estimate for one in-flight request. */
     double estRemaining(const Request& req) const;
 
+    /** The estimator all placement decisions flow through. */
+    const LatencyEstimator& estimator() const { return *est; }
+
   private:
-    const ModelInfoLut* lut;
-    PredictorConfig pcfg;
     bool sparsityAware;
-    std::unordered_map<int, SparseLatencyPredictor> predictors;
+    std::unique_ptr<LatencyEstimator> est;
 };
 
 } // namespace dysta

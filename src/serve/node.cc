@@ -1,143 +1,9 @@
+// Compatibility shim: the per-node layer-granular execution loop that
+// used to live here is now implemented exactly once in the unified
+// simulation core — see src/sim/node.cc (SimNode) for the mechanics
+// and src/sim/core.cc for the event loop driving it. ServeNode
+// delegates to src/sim/ via the alias in serve/node.hh; the profile
+// constructors (referenceNodeProfile, scaledNodeProfile) moved to
+// sim/node.cc alongside the NodeProfile definition.
+
 #include "serve/node.hh"
-
-#include <algorithm>
-
-#include "util/logging.hh"
-
-namespace dysta {
-
-NodeProfile
-referenceNodeProfile(const std::string& name)
-{
-    NodeProfile p;
-    p.name = name;
-    p.speedFactor = 1.0;
-    return p;
-}
-
-NodeProfile
-scaledNodeProfile(const std::string& name, double speed)
-{
-    fatalIf(speed <= 0.0,
-            "scaledNodeProfile: speed factor must be positive");
-    NodeProfile p;
-    p.name = name;
-    p.speedFactor = speed;
-    return p;
-}
-
-ServeNode::ServeNode(int id, NodeProfile profile,
-                     std::unique_ptr<Scheduler> policy)
-    : nodeId(id), prof(std::move(profile)), sched(std::move(policy))
-{
-    panicIf(sched == nullptr, "ServeNode: null scheduling policy");
-    fatalIf(prof.speedFactor <= 0.0,
-            "ServeNode: speed factor must be positive");
-}
-
-double
-ServeNode::eventTime() const
-{
-    panicIf(!busy(), "ServeNode::eventTime on idle node");
-    return layerEnd;
-}
-
-double
-ServeNode::layerLatency(const LayerTrace& layer) const
-{
-    return layer.latency / prof.speedFactor;
-}
-
-void
-ServeNode::enqueue(Request* req, double now)
-{
-    panicIf(req == nullptr || req->trace == nullptr ||
-                req->trace->layers.empty(),
-            "ServeNode: request without a trace");
-    req->nextLayer = 0;
-    req->executedTime = 0.0;
-    req->lastRunEnd = req->arrival;
-    req->finishTime = -1.0;
-    ready.push_back(req);
-    sched->onArrival(*req, now);
-}
-
-double
-ServeNode::startLayer(double now)
-{
-    const LayerTrace& layer =
-        blockOwner->trace->layers[blockOwner->nextLayer];
-    running = blockOwner;
-    layerEnd = now + layerLatency(layer);
-    return layerEnd;
-}
-
-double
-ServeNode::beginBlock(double now)
-{
-    panicIf(busy(), "ServeNode::beginBlock while busy");
-    panicIf(ready.empty(), "ServeNode::beginBlock with empty queue");
-
-    std::vector<const Request*> view(ready.begin(), ready.end());
-    size_t pick = sched->selectNext(view, now);
-    ++numDecisions;
-    panicIf(pick >= ready.size(),
-            "ServeNode: scheduler returned invalid index");
-    blockOwner = ready[pick];
-    blockExecuted = 0;
-
-    if (lastRun != nullptr && blockOwner != lastRun &&
-        lastRun->nextLayer > 0 && !lastRun->done()) {
-        ++numPreemptions;
-    }
-
-    return startLayer(now + prof.decisionOverheadSec);
-}
-
-Request*
-ServeNode::completeLayer()
-{
-    panicIf(!busy(), "ServeNode::completeLayer on idle node");
-    Request* req = running;
-    const LayerTrace& layer = req->trace->layers[req->nextLayer];
-
-    req->executedTime += layerLatency(layer);
-    ++req->nextLayer;
-    req->lastRunEnd = layerEnd;
-    lastSparsity = layer.monitoredSparsity;
-    ++blockExecuted;
-    running = nullptr;
-
-    sched->onLayerComplete(*req, layerEnd, layer.monitoredSparsity);
-
-    if (req->done()) {
-        req->finishTime = layerEnd;
-        sched->onComplete(*req, layerEnd);
-        ready.erase(std::find(ready.begin(), ready.end(), req));
-        ++numCompleted;
-        blockOwner = nullptr;
-        lastRun = nullptr;
-        return req;
-    }
-    lastRun = req;
-    return nullptr;
-}
-
-bool
-ServeNode::blockContinues() const
-{
-    panicIf(busy(), "ServeNode::blockContinues while busy");
-    size_t block = std::max<size_t>(1, prof.layerBlockSize);
-    return blockOwner != nullptr && !blockOwner->done() &&
-           blockExecuted < block;
-}
-
-double
-ServeNode::continueBlock(double now)
-{
-    panicIf(!blockContinues(), "ServeNode::continueBlock at boundary");
-    (void)now; // layers within a block run back to back
-    return startLayer(layerEnd);
-}
-
-} // namespace dysta

@@ -1,0 +1,204 @@
+#include "sim/core.hh"
+
+#include <algorithm>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+SimResult
+runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
+              Dispatcher& dispatcher, const PolicyFactory& make_policy)
+{
+    fatalIf(cfg.nodes.empty(), "runSimulation: need at least one node");
+    fatalIf(cfg.admission.enabled && cfg.lut == nullptr &&
+                cfg.admissionEstimator == nullptr,
+            "runSimulation: admission control requires a ModelInfoLut");
+    fatalIf(cfg.admission.enabled && cfg.admission.margin <= 0.0,
+            "runSimulation: admission margin must be positive");
+
+    SimResult result;
+    dispatcher.reset();
+
+    std::vector<std::unique_ptr<SimNode>> nodes;
+    nodes.reserve(cfg.nodes.size());
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+        auto policy = make_policy(cfg.nodes[i], static_cast<int>(i));
+        panicIf(policy == nullptr,
+                "runSimulation: policy factory returned null");
+        nodes.push_back(std::make_unique<SimNode>(
+            static_cast<int>(i), cfg.nodes[i], std::move(policy)));
+    }
+
+    // All admission estimates flow through the estimator layer; the
+    // default is the static LUT view of queued work.
+    std::unique_ptr<LutEstimator> owned_estimator;
+    const LatencyEstimator* admission_est = cfg.admissionEstimator;
+    if (cfg.admission.enabled && admission_est == nullptr) {
+        owned_estimator = std::make_unique<LutEstimator>(*cfg.lut);
+        admission_est = owned_estimator.get();
+    }
+
+    for (auto& req : requests) {
+        panicIf(req.trace == nullptr || req.trace->layers.empty(),
+                "runSimulation: request without a trace");
+        req.nextLayer = 0;
+        req.executedTime = 0.0;
+        req.lastRunEnd = req.arrival;
+        req.finishTime = -1.0;
+        req.shed = false;
+    }
+
+    // Arrival order (stable on ties by id), encoded as calendar
+    // events whose push order is the final tie-break.
+    std::vector<Request*> pending;
+    pending.reserve(requests.size());
+    for (auto& req : requests)
+        pending.push_back(&req);
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const Request* a, const Request* b) {
+                         if (a->arrival != b->arrival)
+                             return a->arrival < b->arrival;
+                         return a->id < b->id;
+                     });
+
+    EventQueue calendar;
+    for (Request* req : pending) {
+        SimEvent ev;
+        ev.time = req->arrival;
+        ev.kind = SimEventKind::Arrival;
+        ev.req = req;
+        calendar.push(ev);
+    }
+
+    // Estimated queued work on a node in node-seconds: a fast node
+    // absorbs the same queue sooner.
+    auto delayOn = [&](const SimNode& node, const Request& req) {
+        double work = 0.0;
+        for (const Request* r : node.queue())
+            work += admission_est->remaining(*r);
+        return (work + admission_est->isolated(req)) /
+               node.profile().speedFactor;
+    };
+
+    auto pushLayerEnd = [&](const SimNode& node, double end) {
+        SimEvent ev;
+        ev.time = end;
+        ev.kind = SimEventKind::LayerComplete;
+        ev.node = node.id();
+        calendar.push(ev);
+    };
+
+    size_t finished = 0;
+    size_t shed_count = 0;
+    bool decision_pending = false;
+
+    while (finished + shed_count < requests.size()) {
+        panicIf(calendar.empty(),
+                "runSimulation: empty calendar with unfinished "
+                "requests");
+        SimEvent ev = calendar.pop();
+        double now = ev.time;
+
+        switch (ev.kind) {
+          case SimEventKind::Arrival: {
+            Request* req = ev.req;
+            size_t pick = dispatcher.selectNode(*req, nodes, now);
+            panicIf(pick >= nodes.size(),
+                    "runSimulation: dispatcher returned invalid node");
+
+            if (cfg.admission.enabled) {
+                if (now + cfg.admission.margin *
+                              delayOn(*nodes[pick], *req) >
+                    req->deadline) {
+                    // The chosen node cannot make the deadline: fall
+                    // back to the least-loaded node before shedding,
+                    // so an admission-blind placement (e.g. round-
+                    // robin) doesn't drop requests the rest of the
+                    // fleet could still serve.
+                    size_t best = 0;
+                    double best_delay = 0.0;
+                    for (size_t i = 0; i < nodes.size(); ++i) {
+                        double delay = delayOn(*nodes[i], *req);
+                        if (i == 0 || delay < best_delay) {
+                            best = i;
+                            best_delay = delay;
+                        }
+                    }
+                    if (now + cfg.admission.margin * best_delay >
+                        req->deadline) {
+                        req->shed = true;
+                        ++shed_count;
+                        dispatcher.onShed(*req, now);
+                        break;
+                    }
+                    pick = best;
+                }
+            }
+
+            nodes[pick]->enqueue(req, now);
+            // Dispatch after every arrival of this instant has been
+            // placed (admit-then-select): the Decision kind sorts
+            // after all same-time arrivals and completions.
+            if (!decision_pending) {
+                SimEvent decide;
+                decide.time = now;
+                decide.kind = SimEventKind::Decision;
+                calendar.push(decide);
+                decision_pending = true;
+            }
+            break;
+          }
+
+          case SimEventKind::Decision: {
+            decision_pending = false;
+            for (auto& node : nodes) {
+                if (!node->busy() && node->outstanding() > 0)
+                    pushLayerEnd(*node, node->beginBlock(now));
+            }
+            break;
+          }
+
+          case SimEventKind::LayerComplete: {
+            SimNode& node = *nodes[ev.node];
+            const Request* req = node.current();
+            size_t layer_idx = req->nextLayer;
+
+            if (cfg.recordEvents) {
+                double lat = node.layerLatency(
+                    req->trace->layers[layer_idx]);
+                result.events.push_back({node.id(), req->id,
+                                         layer_idx, now - lat, now});
+            }
+
+            Request* done = node.completeLayer();
+            dispatcher.onLayerComplete(node, *req, now,
+                                       node.lastMonitoredSparsity());
+            if (done != nullptr) {
+                dispatcher.onComplete(node, *done, now);
+                ++finished;
+            }
+
+            // Continue the non-preemptible block, or make a fresh
+            // dispatch decision at the block boundary.
+            if (node.blockContinues())
+                pushLayerEnd(node, node.continueBlock(now));
+            else if (node.outstanding() > 0)
+                pushLayerEnd(node, node.beginBlock(now));
+            break;
+          }
+        }
+    }
+
+    result.metrics = computeMetricsCompleted(requests);
+    result.perNodeCompleted.reserve(nodes.size());
+    for (const auto& n : nodes) {
+        result.perNodeCompleted.push_back(n->completedCount());
+        result.preemptions += n->preemptionCount();
+        result.decisions += n->decisionCount();
+    }
+    return result;
+}
+
+} // namespace dysta

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The unified discrete-event simulation core.
+ *
+ * `runSimulation` is the single implementation of the paper's
+ * Fig. 7 layer-granular execution loop. A global `EventQueue`
+ * calendar (arrival / layer-complete / decision events) drives N
+ * `SimNode`s, each owning a ready queue and a per-node `Scheduler`;
+ * a front-end `Dispatcher` places every arriving request on one
+ * node, optionally behind SLO-aware admission control whose
+ * estimates flow through the `LatencyEstimator` layer.
+ *
+ * Both public engines are thin shims over this function:
+ * `SchedulerEngine` (src/sched/engine.cc) runs it with one node and
+ * a `SingleNodeDispatcher`; `ClusterEngine` (src/serve/) passes its
+ * fleet straight through. Preemption and decision counting are
+ * therefore defined once, in `SimNode`, and reported identically by
+ * every engine.
+ */
+
+#ifndef DYSTA_SIM_CORE_HH
+#define DYSTA_SIM_CORE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.hh"
+#include "core/model_info.hh"
+#include "sched/metrics.hh"
+#include "sim/dispatcher.hh"
+#include "sim/node.hh"
+
+namespace dysta {
+
+/** SLO-aware admission control knobs. */
+struct AdmissionConfig
+{
+    /** Shed hopeless requests at the front door. */
+    bool enabled = false;
+    /**
+     * Conservativeness multiplier on the estimated completion delay:
+     * a node can serve a request when
+     *     now + margin * (backlog + isolated) / speed <= deadline.
+     * When the dispatcher's chosen node fails the test, the request
+     * falls back to the node with the smallest estimated delay and
+     * is shed only if that node fails too. Values < 1 admit
+     * optimistically, > 1 shed early.
+     */
+    double margin = 1.0;
+};
+
+/** One scheduled execution slot on one node (optional Gantt record). */
+struct ClusterEvent
+{
+    int nodeId = -1;
+    int requestId = -1;
+    size_t layer = 0;
+    double start = 0.0;
+    double end = 0.0;
+};
+
+/** Simulation topology and knobs. */
+struct SimConfig
+{
+    /** One profile per node (size = fleet size). */
+    std::vector<NodeProfile> nodes;
+    /** Record per-layer schedule events (memory-heavy; off for sweeps). */
+    bool recordEvents = false;
+    /** Front-door load shedding. */
+    AdmissionConfig admission;
+    /**
+     * LUT backing the default admission estimator (not owned).
+     * Required when admission is enabled and no explicit
+     * `admissionEstimator` is given; unused otherwise.
+     */
+    const ModelInfoLut* lut = nullptr;
+    /**
+     * Optional admission estimator override (not owned). Defaults
+     * to a `LutEstimator` over `lut` — inject e.g. an
+     * `OracleEstimator` to bound what perfect admission could do.
+     */
+    const LatencyEstimator* admissionEstimator = nullptr;
+};
+
+/** Result of one simulation run. */
+struct SimResult
+{
+    /** Metrics over completed requests; shed requests in `shed`. */
+    Metrics metrics;
+    /** Preemptions summed over nodes. */
+    size_t preemptions = 0;
+    /** Scheduling decisions summed over nodes. */
+    size_t decisions = 0;
+    /** Completed-request count per node (load balance view). */
+    std::vector<size_t> perNodeCompleted;
+    std::vector<ClusterEvent> events;
+};
+
+/**
+ * Builds one per-node scheduling policy. Invoked once per node per
+ * run so every node owns independent policy state.
+ */
+using PolicyFactory = std::function<std::unique_ptr<Scheduler>(
+    const NodeProfile& profile, int node_id)>;
+
+/**
+ * Non-owning adapter presenting a caller-owned policy as a
+ * `unique_ptr`-owned one, so engines that take a `Scheduler&`
+ * (SchedulerEngine) can feed it to a `PolicyFactory`. Forwards
+ * every callback, including the heap-backed `pickNext` fast path.
+ */
+class ForwardingScheduler : public Scheduler
+{
+  public:
+    explicit ForwardingScheduler(Scheduler& inner) : inner(&inner) {}
+
+    std::string name() const override { return inner->name(); }
+    void reset() override { inner->reset(); }
+
+    void
+    onArrival(const Request& req, double now) override
+    {
+        inner->onArrival(req, now);
+    }
+
+    void
+    onLayerComplete(const Request& req, double now,
+                    double monitored_sparsity) override
+    {
+        inner->onLayerComplete(req, now, monitored_sparsity);
+    }
+
+    void
+    onComplete(const Request& req, double now) override
+    {
+        inner->onComplete(req, now);
+    }
+
+    size_t
+    selectNext(const std::vector<const Request*>& ready,
+               double now) override
+    {
+        return inner->selectNext(ready, now);
+    }
+
+    Request*
+    pickNext(const std::vector<Request*>& ready, double now) override
+    {
+        return inner->pickNext(ready, now);
+    }
+
+  private:
+    Scheduler* inner;
+};
+
+/**
+ * Serve all requests to completion (or shed them) under
+ * `dispatcher`, with per-node policies from `make_policy`.
+ * Requests are mutated in place (progress, finish times, shed
+ * flags).
+ * @pre every request has a trace with at least one layer
+ */
+SimResult runSimulation(const SimConfig& cfg,
+                        std::vector<Request>& requests,
+                        Dispatcher& dispatcher,
+                        const PolicyFactory& make_policy);
+
+} // namespace dysta
+
+#endif // DYSTA_SIM_CORE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Front-end placement interface of the simulation core.
+ *
+ * The dispatcher assigns every arriving request to one accelerator
+ * node; placement is final (no cross-node migration), matching the
+ * cost of moving activations between accelerators. Concrete
+ * cluster policies (round-robin, least-outstanding, sparsity-aware
+ * least-backlog) live in `src/serve/dispatcher.hh`; the trivial
+ * `SingleNodeDispatcher` here is what makes a single-accelerator
+ * run exactly a 1-node cluster.
+ */
+
+#ifndef DYSTA_SIM_DISPATCHER_HH
+#define DYSTA_SIM_DISPATCHER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.hh"
+
+namespace dysta {
+
+/** Abstract front-end placement policy. */
+class Dispatcher
+{
+  public:
+    virtual ~Dispatcher() = default;
+
+    /** Policy name as reported in result tables. */
+    virtual std::string name() const = 0;
+
+    /** Clear all per-run state (called before every cluster run). */
+    virtual void reset() {}
+
+    /**
+     * Choose the node for an arriving request.
+     * @param nodes all cluster nodes (non-empty)
+     * @return index into `nodes`
+     */
+    virtual size_t
+    selectNode(const Request& req,
+               const std::vector<std::unique_ptr<SimNode>>& nodes,
+               double now) = 0;
+
+    /**
+     * A layer of `req` finished on `node`; the zero-count monitor
+     * reported `monitored_sparsity` (negative when not captured).
+     */
+    virtual void
+    onLayerComplete(const SimNode& node, const Request& req,
+                    double now, double monitored_sparsity)
+    {
+        (void)node;
+        (void)req;
+        (void)now;
+        (void)monitored_sparsity;
+    }
+
+    /** `req` fully completed on `node` at `now`. */
+    virtual void
+    onComplete(const SimNode& node, const Request& req, double now)
+    {
+        (void)node;
+        (void)req;
+        (void)now;
+    }
+
+    /**
+     * Admission control shed `req` right after selectNode chose its
+     * node: the placement never happened, so policies must roll back
+     * any per-request side effects of the selection.
+     */
+    virtual void
+    onShed(const Request& req, double now)
+    {
+        (void)req;
+        (void)now;
+    }
+};
+
+/** Degenerate placement for single-accelerator runs: node 0. */
+class SingleNodeDispatcher : public Dispatcher
+{
+  public:
+    std::string name() const override { return "single-node"; }
+
+    size_t
+    selectNode(const Request& req,
+               const std::vector<std::unique_ptr<SimNode>>& nodes,
+               double now) override
+    {
+        (void)req;
+        (void)now;
+        (void)nodes;
+        return 0;
+    }
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SIM_DISPATCHER_HH

@@ -1,0 +1,66 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+bool
+operator<(const SimEvent& a, const SimEvent& b)
+{
+    if (a.time != b.time)
+        return a.time < b.time;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    if (a.node != b.node)
+        return a.node < b.node;
+    return a.seq < b.seq;
+}
+
+namespace {
+
+/** std::*_heap comparator for a min-heap of events. */
+struct EventAfter
+{
+    bool operator()(const SimEvent& a, const SimEvent& b) const
+    {
+        return b < a;
+    }
+};
+
+} // namespace
+
+void
+EventQueue::clear()
+{
+    heap.clear();
+    nextSeq = 0;
+}
+
+void
+EventQueue::push(SimEvent ev)
+{
+    ev.seq = nextSeq++;
+    heap.push_back(ev);
+    std::push_heap(heap.begin(), heap.end(), EventAfter{});
+}
+
+const SimEvent&
+EventQueue::top() const
+{
+    panicIf(heap.empty(), "EventQueue: top of empty calendar");
+    return heap.front();
+}
+
+SimEvent
+EventQueue::pop()
+{
+    panicIf(heap.empty(), "EventQueue: pop of empty calendar");
+    std::pop_heap(heap.begin(), heap.end(), EventAfter{});
+    SimEvent ev = heap.back();
+    heap.pop_back();
+    return ev;
+}
+
+} // namespace dysta

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The global event calendar of the discrete-event simulation core.
+ *
+ * One binary heap of typed events drives every engine in the repo:
+ *
+ *  - Arrival: a request reaches the cluster front door;
+ *  - LayerComplete: the in-flight layer of one node finishes (the
+ *    zero-count monitor fires here; block boundaries are where the
+ *    next dispatch decision happens);
+ *  - Decision: a coalesced sweep that starts blocks on idle nodes
+ *    after the arrivals of one instant have all been placed —
+ *    preserving the admit-then-select ordering for simultaneous
+ *    arrivals.
+ *
+ * Ties are broken deterministically by (time, kind, node, push
+ * order): arrivals before completions before decisions, completions
+ * by lowest node id — so a fixed workload seed always reproduces
+ * the same schedule, independent of fleet size or policy cost.
+ */
+
+#ifndef DYSTA_SIM_EVENT_QUEUE_HH
+#define DYSTA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/request.hh"
+
+namespace dysta {
+
+/** Calendar event types, in tie-break priority order. */
+enum class SimEventKind : uint8_t
+{
+    Arrival = 0,
+    LayerComplete = 1,
+    Decision = 2,
+};
+
+/** One calendar entry. */
+struct SimEvent
+{
+    double time = 0.0;
+    SimEventKind kind = SimEventKind::Decision;
+    /** Node owning the completing layer; -1 for global events. */
+    int node = -1;
+    /** Arriving request; nullptr for non-arrival events. */
+    Request* req = nullptr;
+    /** Push order, assigned by the queue (final tie-break). */
+    uint64_t seq = 0;
+};
+
+/** Deterministic min-heap calendar. */
+class EventQueue
+{
+  public:
+    bool empty() const { return heap.empty(); }
+    size_t size() const { return heap.size(); }
+    void clear();
+
+    /** Schedule an event (its `seq` is overwritten). */
+    void push(SimEvent ev);
+
+    /** Earliest event. @pre !empty() */
+    const SimEvent& top() const;
+
+    /** Remove and return the earliest event. @pre !empty() */
+    SimEvent pop();
+
+  private:
+    std::vector<SimEvent> heap;
+    uint64_t nextSeq = 0;
+};
+
+/** Calendar ordering: time, kind, node, push order. */
+bool operator<(const SimEvent& a, const SimEvent& b);
+
+} // namespace dysta
+
+#endif // DYSTA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,138 @@
+#include "sim/node.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+NodeProfile
+referenceNodeProfile(const std::string& name)
+{
+    NodeProfile p;
+    p.name = name;
+    p.speedFactor = 1.0;
+    return p;
+}
+
+NodeProfile
+scaledNodeProfile(const std::string& name, double speed)
+{
+    fatalIf(speed <= 0.0,
+            "scaledNodeProfile: speed factor must be positive");
+    NodeProfile p;
+    p.name = name;
+    p.speedFactor = speed;
+    return p;
+}
+
+SimNode::SimNode(int id, NodeProfile profile,
+                 std::unique_ptr<Scheduler> policy)
+    : nodeId(id), prof(std::move(profile)), sched(std::move(policy))
+{
+    panicIf(sched == nullptr, "SimNode: null scheduling policy");
+    fatalIf(prof.speedFactor <= 0.0,
+            "SimNode: speed factor must be positive");
+}
+
+double
+SimNode::layerLatency(const LayerTrace& layer) const
+{
+    return layer.latency / prof.speedFactor;
+}
+
+void
+SimNode::enqueue(Request* req, double now)
+{
+    panicIf(req == nullptr || req->trace == nullptr ||
+                req->trace->layers.empty(),
+            "SimNode: request without a trace");
+    req->nextLayer = 0;
+    req->executedTime = 0.0;
+    req->lastRunEnd = req->arrival;
+    req->finishTime = -1.0;
+    ready.push_back(req);
+    sched->onArrival(*req, now);
+}
+
+double
+SimNode::startLayer(double now)
+{
+    const LayerTrace& layer =
+        blockOwner->trace->layers[blockOwner->nextLayer];
+    running = blockOwner;
+    layerEnd = now + layerLatency(layer);
+    return layerEnd;
+}
+
+double
+SimNode::beginBlock(double now)
+{
+    panicIf(busy(), "SimNode::beginBlock while busy");
+    panicIf(ready.empty(), "SimNode::beginBlock with empty queue");
+
+    Request* pick = sched->pickNext(ready, now);
+    ++numDecisions;
+    // Containment for buggy pickNext overrides (e.g. a user heap
+    // that forgot to erase on completion): fail deterministically
+    // instead of indexing a finished trace.
+    panicIf(pick == nullptr || pick->done(),
+            "SimNode: scheduler returned an invalid request");
+    blockOwner = pick;
+    blockExecuted = 0;
+
+    if (lastRun != nullptr && blockOwner != lastRun &&
+        lastRun->nextLayer > 0 && !lastRun->done()) {
+        ++numPreemptions;
+    }
+
+    return startLayer(now + prof.decisionOverheadSec);
+}
+
+Request*
+SimNode::completeLayer()
+{
+    panicIf(!busy(), "SimNode::completeLayer on idle node");
+    Request* req = running;
+    const LayerTrace& layer = req->trace->layers[req->nextLayer];
+
+    req->executedTime += layerLatency(layer);
+    ++req->nextLayer;
+    req->lastRunEnd = layerEnd;
+    lastSparsity = layer.monitoredSparsity;
+    ++blockExecuted;
+    running = nullptr;
+
+    sched->onLayerComplete(*req, layerEnd, layer.monitoredSparsity);
+
+    if (req->done()) {
+        req->finishTime = layerEnd;
+        sched->onComplete(*req, layerEnd);
+        ready.erase(std::find(ready.begin(), ready.end(), req));
+        ++numCompleted;
+        blockOwner = nullptr;
+        lastRun = nullptr;
+        return req;
+    }
+    lastRun = req;
+    return nullptr;
+}
+
+bool
+SimNode::blockContinues() const
+{
+    panicIf(busy(), "SimNode::blockContinues while busy");
+    size_t block = std::max<size_t>(1, prof.layerBlockSize);
+    return blockOwner != nullptr && !blockOwner->done() &&
+           blockExecuted < block;
+}
+
+double
+SimNode::continueBlock(double now)
+{
+    panicIf(!blockContinues(), "SimNode::continueBlock at boundary");
+    (void)now; // layers within a block run back to back
+    return startLayer(layerEnd);
+}
+
+} // namespace dysta

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * One accelerator node of the unified simulation core.
+ *
+ * A `SimNode` owns a local ready queue and a per-node scheduling
+ * policy (any `Scheduler`: FCFS ... Dysta) and executes requests
+ * with layer-granular, non-preemptible-block semantics — the
+ * paper's Fig. 7 loop, implemented exactly once for every engine in
+ * the repository. The single-accelerator `SchedulerEngine` is a
+ * 1-node instance of this machinery; `ClusterEngine` drives N of
+ * them off one event calendar. Heterogeneity is expressed through a
+ * `NodeProfile` speed factor scaling the Phase-1 trace latencies,
+ * so a cluster can mix e.g. full-size Sanger nodes with smaller
+ * Eyeriss-v2-class nodes against one trace pool.
+ *
+ * Counting semantics (identical for every engine built on this
+ * node, by construction):
+ *  - a *decision* is one policy invocation at a block boundary
+ *    (`pickNext`), including the trivial single-candidate case;
+ *  - a *preemption* is a decision that switches away from a request
+ *    that has started (nextLayer > 0) and not finished.
+ */
+
+#ifndef DYSTA_SIM_NODE_HH
+#define DYSTA_SIM_NODE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/request.hh"
+#include "sched/scheduler.hh"
+
+namespace dysta {
+
+/** Static description of one accelerator node. */
+struct NodeProfile
+{
+    /** Profile name as reported in result tables. */
+    std::string name = "eyeriss-v2";
+    /**
+     * Relative throughput: trace layer latencies are divided by this.
+     * 1.0 replays the Phase-1 traces verbatim.
+     */
+    double speedFactor = 1.0;
+    /** Time charged per scheduling decision on this node. */
+    double decisionOverheadSec = 0.0;
+    /** Layers per non-preemptible block (see EngineConfig). */
+    size_t layerBlockSize = 1;
+};
+
+/** Full-size node replaying traces at profiled speed. */
+NodeProfile referenceNodeProfile(const std::string& name = "reference");
+
+/** A node with `speed` times the reference throughput. */
+NodeProfile scaledNodeProfile(const std::string& name, double speed);
+
+/**
+ * Execution state of one accelerator node inside the simulation
+ * core. The event loop drives it event by event; the node never
+ * advances time itself.
+ */
+class SimNode
+{
+  public:
+    SimNode(int id, NodeProfile profile,
+            std::unique_ptr<Scheduler> policy);
+
+    int id() const { return nodeId; }
+    const NodeProfile& profile() const { return prof; }
+    Scheduler& policy() { return *sched; }
+    const Scheduler& policy() const { return *sched; }
+
+    /** Requests placed on this node and not yet completed. */
+    const std::vector<Request*>& queue() const { return ready; }
+
+    /** Queued plus running request count. */
+    size_t outstanding() const { return ready.size(); }
+
+    /** Whether a layer is currently executing. */
+    bool busy() const { return running != nullptr; }
+
+    /** Currently executing request (nullptr when idle). */
+    const Request* current() const { return running; }
+
+    /** Latency of `layer` on this node (speed-scaled). */
+    double layerLatency(const LayerTrace& layer) const;
+
+    /** Completed-request count (for per-node load reporting). */
+    size_t completedCount() const { return numCompleted; }
+    size_t preemptionCount() const { return numPreemptions; }
+    size_t decisionCount() const { return numDecisions; }
+
+    /** Place an arriving request on this node at time `now`. */
+    void enqueue(Request* req, double now);
+
+    /**
+     * Invoke the policy and start the first layer of a new
+     * non-preemptible block.
+     * @pre !busy() && outstanding() > 0
+     * @return completion time of the started layer
+     */
+    double beginBlock(double now);
+
+    /**
+     * Finish the in-flight layer at its completion time.
+     * @return the completed request if it just finished, else nullptr
+     */
+    Request* completeLayer();
+
+    /**
+     * Whether the node should immediately continue with the next
+     * layer of the current block (request unfinished, block not
+     * exhausted). @pre !busy() (layer just completed)
+     */
+    bool blockContinues() const;
+
+    /** Start the next layer of the current block. @pre blockContinues() */
+    double continueBlock(double now);
+
+    /** Monitored sparsity reported by the layer just completed. */
+    double lastMonitoredSparsity() const { return lastSparsity; }
+
+  private:
+    int nodeId;
+    NodeProfile prof;
+    std::unique_ptr<Scheduler> sched;
+
+    std::vector<Request*> ready;
+    Request* running = nullptr;      ///< request owning the in-flight layer
+    Request* blockOwner = nullptr;   ///< request owning the current block
+    size_t blockExecuted = 0;        ///< layers done in the current block
+    double layerEnd = 0.0;           ///< completion time of in-flight layer
+    double lastSparsity = -1.0;
+    const Request* lastRun = nullptr; ///< preemption detection
+
+    size_t numCompleted = 0;
+    size_t numPreemptions = 0;
+    size_t numDecisions = 0;
+
+    double startLayer(double now);
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SIM_NODE_HH

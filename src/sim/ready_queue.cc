@@ -1,0 +1,108 @@
+#include "sim/ready_queue.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+void
+IndexedMinHeap::clear()
+{
+    heap.clear();
+    pos.clear();
+}
+
+void
+IndexedMinHeap::place(size_t i, Slot slot)
+{
+    heap[i] = slot;
+    pos[slot.req->id] = i;
+}
+
+void
+IndexedMinHeap::siftUp(size_t i)
+{
+    Slot moving = heap[i];
+    while (i > 0) {
+        size_t parent = (i - 1) / 2;
+        if (!(moving.key < heap[parent].key))
+            break;
+        place(i, heap[parent]);
+        i = parent;
+    }
+    place(i, moving);
+}
+
+void
+IndexedMinHeap::siftDown(size_t i)
+{
+    Slot moving = heap[i];
+    size_t n = heap.size();
+    while (true) {
+        size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heap[child + 1].key < heap[child].key)
+            ++child;
+        if (!(heap[child].key < moving.key))
+            break;
+        place(i, heap[child]);
+        i = child;
+    }
+    place(i, moving);
+}
+
+void
+IndexedMinHeap::push(const Request* req, ReadyKey key)
+{
+    panicIf(req == nullptr, "IndexedMinHeap: null request");
+    panicIf(contains(req->id),
+            "IndexedMinHeap: duplicate request id");
+    heap.push_back({req, key});
+    pos[req->id] = heap.size() - 1;
+    siftUp(heap.size() - 1);
+}
+
+void
+IndexedMinHeap::erase(int request_id)
+{
+    auto it = pos.find(request_id);
+    panicIf(it == pos.end(), "IndexedMinHeap: erase of absent request");
+    size_t i = it->second;
+    pos.erase(it);
+    Slot last = heap.back();
+    heap.pop_back();
+    if (i == heap.size())
+        return;
+    place(i, last);
+    // The displaced slot may need to move either way.
+    siftUp(i);
+    siftDown(pos[last.req->id]);
+}
+
+void
+IndexedMinHeap::updatePrimary(int request_id, double primary)
+{
+    auto it = pos.find(request_id);
+    panicIf(it == pos.end(),
+            "IndexedMinHeap: update of absent request");
+    size_t i = it->second;
+    heap[i].key.primary = primary;
+    siftUp(i);
+    siftDown(pos[request_id]);
+}
+
+const Request*
+IndexedMinHeap::top() const
+{
+    panicIf(heap.empty(), "IndexedMinHeap: top of empty heap");
+    return heap.front().req;
+}
+
+const ReadyKey&
+IndexedMinHeap::topKey() const
+{
+    panicIf(heap.empty(), "IndexedMinHeap: topKey of empty heap");
+    return heap.front().key;
+}
+
+} // namespace dysta
