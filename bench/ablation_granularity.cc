@@ -7,12 +7,16 @@
  * preemption: short urgent requests wait for the running block to
  * drain.
  *
- * Usage: ablation_granularity [--requests N] [--seeds K]
+ * The (workload x block size x seed) grid runs as independent cells
+ * on the parallel SweepRunner; output is identical for any --jobs.
+ *
+ * Usage: ablation_granularity [--requests N] [--seeds K] [--jobs N]
+ *                             [--trace-cache DIR]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,18 +27,34 @@ main(int argc, char** argv)
     int requests = argInt(argc, argv, "--requests", 600);
     int seeds = argInt(argc, argv, "--seeds", 3);
 
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(BenchSetup{},
+                                argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
     const size_t blocks[] = {1, 2, 4, 8, 16, 64};
+    const WorkloadKind kinds[] = {WorkloadKind::MultiAttNN,
+                                  WorkloadKind::MultiCNN};
 
-    for (WorkloadKind kind :
-         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
-        WorkloadConfig wl;
-        wl.kind = kind;
-        wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
-        wl.sloMultiplier = 10.0;
-        wl.numRequests = requests;
+    std::vector<SweepCell> cells;
+    for (WorkloadKind kind : kinds) {
+        for (size_t block : blocks) {
+            SweepCell cell;
+            cell.workload.kind = kind;
+            cell.workload.arrivalRate =
+                kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+            cell.workload.sloMultiplier = 10.0;
+            cell.workload.numRequests = requests;
+            cell.workload.seed = 42;
+            cell.scheduler = "Dysta";
+            cell.layerBlockSize = block;
+            for (const SweepCell& c : seedReplicas(cell, seeds))
+                cells.push_back(c);
+        }
+    }
+    std::vector<SweepCellResult> results = runner.run(cells);
 
+    size_t g = 0;
+    for (WorkloadKind kind : kinds) {
         AsciiTable t("Scheduling granularity ablation (Dysta), " +
                      toString(kind));
         t.setHeader({"layers/block", "ANTT", "violation [%]",
@@ -44,15 +64,8 @@ main(int argc, char** argv)
             double viol = 0.0;
             size_t decisions = 0;
             size_t preemptions = 0;
-            auto policy = makeSchedulerByName("Dysta", *ctx, kind);
             for (int s = 0; s < seeds; ++s) {
-                wl.seed = 42 + static_cast<uint64_t>(s);
-                std::vector<Request> reqs =
-                    generateWorkload(wl, ctx->registry);
-                EngineConfig ecfg;
-                ecfg.layerBlockSize = block;
-                SchedulerEngine engine(ecfg);
-                EngineResult r = engine.run(reqs, *policy);
+                const SweepCellResult& r = results[g++];
                 antt += r.metrics.antt;
                 viol += r.metrics.violationRate;
                 decisions += r.decisions;

@@ -5,14 +5,17 @@
  * DESIGN.md calls out; it also documents how the defaults were
  * selected. SJF and Planaria rows anchor the trade-off space.
  *
- * Usage: ablation_hyperparams [--requests N] [--seeds K]
+ * Hand-configured Dysta cells use SweepCell::makePolicy; the whole
+ * (workload x config x seed) grid runs on the parallel SweepRunner
+ * and the output is identical for any --jobs.
+ *
+ * Usage: ablation_hyperparams [--requests N] [--seeds K] [--jobs N]
+ *                             [--trace-cache DIR]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
-#include "sched/planaria.hh"
-#include "sched/sjf.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,45 +26,74 @@ main(int argc, char** argv)
     int requests = argInt(argc, argv, "--requests", 800);
     int seeds = argInt(argc, argv, "--seeds", 3);
 
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(BenchSetup{},
+                                argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
     const double etas[] = {0.0, 0.02, 0.05, 0.1, 0.3, 1.0};
     const double betas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const WorkloadKind kinds[] = {WorkloadKind::MultiAttNN,
+                                  WorkloadKind::MultiCNN};
 
-    for (WorkloadKind kind :
-         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
+    auto dystaCell = [](const WorkloadConfig& wl, DystaConfig cfg) {
+        SweepCell cell;
+        cell.workload = wl;
+        cell.makePolicy = [cfg](const BenchContext& c) {
+            return std::make_unique<DystaScheduler>(c.lut, cfg);
+        };
+        return cell;
+    };
+
+    // Grid order: per workload, SJF/Planaria anchors, then the eta
+    // sweep, then the beta sweep — mirrored by the printing loop.
+    std::vector<SweepCell> cells;
+    for (WorkloadKind kind : kinds) {
         WorkloadConfig wl;
         wl.kind = kind;
         wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
         wl.numRequests = requests;
         wl.seed = 42;
 
+        for (const char* anchor : {"SJF", "Planaria"}) {
+            SweepCell cell;
+            cell.workload = wl;
+            cell.scheduler = anchor;
+            for (const SweepCell& c : seedReplicas(cell, seeds))
+                cells.push_back(c);
+        }
+        for (double eta : etas) {
+            DystaConfig cfg;
+            cfg.eta = eta;
+            for (const SweepCell& c :
+                 seedReplicas(dystaCell(wl, cfg), seeds))
+                cells.push_back(c);
+        }
+        for (double beta : betas) {
+            DystaConfig cfg = dystaWithoutSparseConfig();
+            cfg.beta = beta;
+            for (const SweepCell& c :
+                 seedReplicas(dystaCell(wl, cfg), seeds))
+                cells.push_back(c);
+        }
+    }
+    std::vector<Metrics> avg =
+        averageGroups(runner.run(cells), seeds);
+
+    size_t g = 0;
+    for (WorkloadKind kind : kinds) {
         AsciiTable table("Dysta eta sweep, " + toString(kind));
         table.setHeader({"config", "ANTT", "violation [%]"});
 
         for (const char* anchor : {"SJF", "Planaria"}) {
-            Metrics m = runAveraged(*ctx, wl, anchor, seeds);
+            const Metrics& m = avg[g++];
             table.addRow({anchor, AsciiTable::num(m.antt, 3),
                           AsciiTable::num(m.violationRate * 100, 2)});
         }
-
         for (double eta : etas) {
-            DystaConfig cfg;
-            cfg.eta = eta;
-            DystaScheduler dysta(ctx->lut, cfg);
-            Metrics avg;
-            for (int s = 0; s < seeds; ++s) {
-                WorkloadConfig w = wl;
-                w.seed = wl.seed + static_cast<uint64_t>(s);
-                EngineResult r = runOne(*ctx, w, dysta);
-                avg.antt += r.metrics.antt;
-                avg.violationRate += r.metrics.violationRate;
-            }
-            avg.antt /= seeds;
-            avg.violationRate /= seeds;
+            const Metrics& m = avg[g++];
             table.addRow({"Dysta eta=" + AsciiTable::num(eta, 2),
-                          AsciiTable::num(avg.antt, 3),
-                          AsciiTable::num(avg.violationRate * 100, 2)});
+                          AsciiTable::num(m.antt, 3),
+                          AsciiTable::num(m.violationRate * 100, 2)});
         }
         table.print();
 
@@ -69,22 +101,10 @@ main(int argc, char** argv)
                           toString(kind));
         btable.setHeader({"config", "ANTT", "violation [%]"});
         for (double beta : betas) {
-            DystaConfig cfg = dystaWithoutSparseConfig();
-            cfg.beta = beta;
-            DystaScheduler dysta(ctx->lut, cfg);
-            Metrics avg;
-            for (int s = 0; s < seeds; ++s) {
-                WorkloadConfig w = wl;
-                w.seed = wl.seed + static_cast<uint64_t>(s);
-                EngineResult r = runOne(*ctx, w, dysta);
-                avg.antt += r.metrics.antt;
-                avg.violationRate += r.metrics.violationRate;
-            }
-            avg.antt /= seeds;
-            avg.violationRate /= seeds;
+            const Metrics& m = avg[g++];
             btable.addRow({"beta=" + AsciiTable::num(beta, 2),
-                           AsciiTable::num(avg.antt, 3),
-                           AsciiTable::num(avg.violationRate * 100, 2)});
+                           AsciiTable::num(m.antt, 3),
+                           AsciiTable::num(m.violationRate * 100, 2)});
         }
         btable.print();
     }

@@ -14,15 +14,20 @@
  *    and diurnal traffic, where instantaneous load imbalance is the
  *    failure mode.
  *
+ * The (arrival x dispatcher x fleet size) grid runs as independent
+ * cells on the parallel SweepRunner; output is identical for any
+ * --jobs.
+ *
  * Usage: bench_cluster_scaling [--requests N] [--rate R] [--seed S]
  *                              [--sched NAME] [--admission 0|1]
+ *                              [--jobs N] [--trace-cache DIR]
  */
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "exp/experiments.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -39,7 +44,8 @@ main(int argc, char** argv)
     std::printf("Profiling AttNN models on Sanger...\n");
     BenchSetup setup;
     setup.includeCnn = false;
-    auto ctx = makeBenchContext(setup);
+    auto ctx = makeBenchContext(setup, argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
     const size_t fleet_sizes[] = {1, 2, 4, 8};
 
@@ -61,31 +67,32 @@ main(int argc, char** argv)
         arrivals.push_back({"diurnal", diurnal});
     }
 
+    // One cell per (arrival, dispatcher, fleet size).
+    std::vector<SweepCell> cells;
     for (const ArrivalCase& arrival : arrivals) {
-        // One simulation per (dispatcher, fleet size); every metric
-        // table below reads from this cache.
-        std::vector<std::vector<Metrics>> cells;
         for (const std::string& disp : allDispatchers()) {
-            cells.emplace_back();
             for (size_t n : fleet_sizes) {
-                WorkloadConfig wl;
-                wl.kind = WorkloadKind::MultiAttNN;
-                wl.arrivalRate = rate;
-                wl.arrival = arrival.config;
-                wl.numRequests = requests;
-                wl.seed = static_cast<uint64_t>(seed);
-
-                ClusterRunConfig cluster;
-                cluster.numNodes = n;
-                cluster.dispatcher = disp;
-                cluster.nodeScheduler = sched;
-                cluster.admission.enabled = admission;
-
-                cells.back().push_back(
-                    runCluster(*ctx, wl, cluster).metrics);
+                SweepCell cell;
+                cell.workload.kind = WorkloadKind::MultiAttNN;
+                cell.workload.arrivalRate = rate;
+                cell.workload.arrival = arrival.config;
+                cell.workload.numRequests = requests;
+                cell.workload.seed = static_cast<uint64_t>(seed);
+                cell.clusterMode = true;
+                cell.cluster.numNodes = n;
+                cell.cluster.dispatcher = disp;
+                cell.cluster.nodeScheduler = sched;
+                cell.cluster.admission.enabled = admission;
+                cells.push_back(cell);
             }
         }
+    }
+    std::vector<SweepCellResult> results = runner.run(cells);
 
+    size_t num_fleets = std::size(fleet_sizes);
+    size_t cells_per_arrival = allDispatchers().size() * num_fleets;
+    for (size_t a = 0; a < arrivals.size(); ++a) {
+        const ArrivalCase& arrival = arrivals[a];
         for (const char* metric :
              {"throughput", "ANTT", "violation", "p50 lat [ms]",
               "p95 lat [ms]", "p99 lat [ms]", "p99 ANT", "shed"}) {
@@ -107,7 +114,11 @@ main(int argc, char** argv)
             std::vector<std::string> dispatchers = allDispatchers();
             for (size_t d = 0; d < dispatchers.size(); ++d) {
                 std::vector<std::string> row = {dispatchers[d]};
-                for (const Metrics& m : cells[d]) {
+                for (size_t f = 0; f < num_fleets; ++f) {
+                    const Metrics& m =
+                        results[a * cells_per_arrival +
+                                d * num_fleets + f]
+                            .metrics;
                     std::string cell;
                     if (std::string(metric) == "throughput")
                         cell = AsciiTable::num(m.throughput, 1);

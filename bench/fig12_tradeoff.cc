@@ -7,12 +7,16 @@
  * annotations report up to a 4.6x/10.2% corner gap over the
  * baselines.
  *
- * Usage: fig12_tradeoff [--requests N] [--seeds K]
+ * The (panel x scheduler x seed) grid runs as independent cells on
+ * the parallel SweepRunner; output is identical for any --jobs.
+ *
+ * Usage: fig12_tradeoff [--requests N] [--seeds K] [--jobs N]
+ *                       [--trace-cache DIR]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,7 +27,9 @@ main(int argc, char** argv)
     int requests = argInt(argc, argv, "--requests", 1000);
     int seeds = argInt(argc, argv, "--seeds", 5);
 
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(BenchSetup{},
+                                argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
     struct Panel { WorkloadKind kind; double rate; };
     const Panel panels[] = {
@@ -33,20 +39,31 @@ main(int argc, char** argv)
         {WorkloadKind::MultiCNN, 4.0},
     };
 
+    std::vector<SweepCell> cells;
     for (const Panel& panel : panels) {
-        WorkloadConfig wl;
-        wl.kind = panel.kind;
-        wl.arrivalRate = panel.rate;
-        wl.sloMultiplier = 10.0;
-        wl.numRequests = requests;
-        wl.seed = 42;
+        for (const std::string& name : table5Schedulers()) {
+            SweepCell cell;
+            cell.workload.kind = panel.kind;
+            cell.workload.arrivalRate = panel.rate;
+            cell.workload.sloMultiplier = 10.0;
+            cell.workload.numRequests = requests;
+            cell.workload.seed = 42;
+            cell.scheduler = name;
+            for (const SweepCell& c : seedReplicas(cell, seeds))
+                cells.push_back(c);
+        }
+    }
+    std::vector<Metrics> avg =
+        averageGroups(runner.run(cells), seeds);
 
+    size_t g = 0;
+    for (const Panel& panel : panels) {
         AsciiTable t("Fig. 12 panel: " + toString(panel.kind) + " @ " +
                      AsciiTable::num(panel.rate, 0) + " req/s " +
                      "(x = violation rate, y = ANTT)");
         t.setHeader({"scheduler", "violation [%] (x)", "ANTT (y)"});
         for (const std::string& name : table5Schedulers()) {
-            Metrics m = runAveraged(*ctx, wl, name, seeds);
+            const Metrics& m = avg[g++];
             t.addRow({name,
                       AsciiTable::num(m.violationRate * 100.0, 1),
                       AsciiTable::num(m.antt, 2)});

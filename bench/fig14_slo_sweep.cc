@@ -6,13 +6,18 @@
  * the violation rate and ANTT series for all schedulers plus the
  * Oracle.
  *
- * Usage: fig14_slo_sweep [--requests N] [--seeds K]
+ * The (panel x scheduler x multiplier x seed) grid runs as
+ * independent cells on the parallel SweepRunner; output is identical
+ * for any --jobs.
+ *
+ * Usage: fig14_slo_sweep [--requests N] [--seeds K] [--jobs N]
+ *                        [--trace-cache DIR]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "exp/experiments.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,7 +28,9 @@ main(int argc, char** argv)
     int requests = argInt(argc, argv, "--requests", 600);
     int seeds = argInt(argc, argv, "--seeds", 3);
 
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(BenchSetup{},
+                                argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
     const double multipliers[] = {10, 30, 50, 70, 90, 110, 130, 150};
     std::vector<std::string> schedulers = table5Schedulers();
@@ -37,6 +44,26 @@ main(int argc, char** argv)
         {WorkloadKind::MultiCNN, 4.0},
     };
 
+    std::vector<SweepCell> cells;
+    for (const Panel& panel : panels) {
+        for (const std::string& name : schedulers) {
+            for (double mult : multipliers) {
+                SweepCell cell;
+                cell.workload.kind = panel.kind;
+                cell.workload.arrivalRate = panel.rate;
+                cell.workload.sloMultiplier = mult;
+                cell.workload.numRequests = requests;
+                cell.workload.seed = 42;
+                cell.scheduler = name;
+                for (const SweepCell& c : seedReplicas(cell, seeds))
+                    cells.push_back(c);
+            }
+        }
+    }
+    std::vector<Metrics> avg =
+        averageGroups(runner.run(cells), seeds);
+
+    size_t g = 0;
     for (const Panel& panel : panels) {
         AsciiTable tv("Fig. 14 SLO sweep (violation rate [%]), " +
                       toString(panel.kind) + " @ " +
@@ -53,14 +80,8 @@ main(int argc, char** argv)
         for (const std::string& name : schedulers) {
             std::vector<std::string> row_v = {name};
             std::vector<std::string> row_a = {name};
-            for (double mult : multipliers) {
-                WorkloadConfig wl;
-                wl.kind = panel.kind;
-                wl.arrivalRate = panel.rate;
-                wl.sloMultiplier = mult;
-                wl.numRequests = requests;
-                wl.seed = 42;
-                Metrics m = runAveraged(*ctx, wl, name, seeds);
+            for (size_t i = 0; i < std::size(multipliers); ++i) {
+                const Metrics& m = avg[g++];
                 row_v.push_back(
                     AsciiTable::num(m.violationRate * 100.0, 1));
                 row_a.push_back(AsciiTable::num(m.antt, 1));

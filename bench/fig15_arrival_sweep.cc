@@ -5,13 +5,17 @@
  * 2 to 6 req/s for multi-CNNs at M_slo = 10x, printing violation
  * rate, system throughput and ANTT for all schedulers plus Oracle.
  *
- * Usage: fig15_arrival_sweep [--requests N] [--seeds K]
+ * The (scheduler x rate x seed) grid runs as independent cells on
+ * the parallel SweepRunner; output is identical for any --jobs.
+ *
+ * Usage: fig15_arrival_sweep [--requests N] [--seeds K] [--jobs N]
+ *                            [--trace-cache DIR]
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "exp/experiments.hh"
+#include "fig15_grid.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -22,22 +26,16 @@ main(int argc, char** argv)
     int requests = argInt(argc, argv, "--requests", 600);
     int seeds = argInt(argc, argv, "--seeds", 3);
 
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(BenchSetup{},
+                                argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
-    std::vector<std::string> schedulers = table5Schedulers();
-    schedulers.push_back("Oracle");
+    std::vector<std::string> schedulers = fig15Schedulers();
+    std::vector<Metrics> avg = averageGroups(
+        runner.run(fig15Cells(requests, seeds)), seeds);
 
-    struct Panel
-    {
-        WorkloadKind kind;
-        std::vector<double> rates;
-    };
-    const Panel panels[] = {
-        {WorkloadKind::MultiAttNN, {10, 15, 20, 25, 30, 35, 40}},
-        {WorkloadKind::MultiCNN, {2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0}},
-    };
-
-    for (const Panel& panel : panels) {
+    size_t g = 0;
+    for (const Fig15Panel& panel : fig15Panels()) {
         std::vector<std::string> header = {"scheduler"};
         for (double r : panel.rates)
             header.push_back(AsciiTable::num(r, 1));
@@ -56,14 +54,8 @@ main(int argc, char** argv)
             std::vector<std::string> row_v = {name};
             std::vector<std::string> row_t = {name};
             std::vector<std::string> row_a = {name};
-            for (double rate : panel.rates) {
-                WorkloadConfig wl;
-                wl.kind = panel.kind;
-                wl.arrivalRate = rate;
-                wl.sloMultiplier = 10.0;
-                wl.numRequests = requests;
-                wl.seed = 42;
-                Metrics m = runAveraged(*ctx, wl, name, seeds);
+            for (size_t r = 0; r < panel.rates.size(); ++r) {
+                const Metrics& m = avg[g++];
                 row_v.push_back(
                     AsciiTable::num(m.violationRate * 100.0, 1));
                 row_t.push_back(AsciiTable::num(m.throughput, 2));

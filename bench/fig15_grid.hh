@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Fig. 15 arrival-sweep grid, shared by the figure reproduction
+ * (fig15_arrival_sweep) and the sweep-engine microbenchmark
+ * (micro_sweep) so both always measure the same cells.
+ */
+
+#ifndef DYSTA_BENCH_FIG15_GRID_HH
+#define DYSTA_BENCH_FIG15_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hh"
+
+namespace dysta {
+
+/** One plot panel: a workload kind and its arrival-rate axis. */
+struct Fig15Panel
+{
+    WorkloadKind kind;
+    std::vector<double> rates;
+};
+
+inline std::vector<Fig15Panel>
+fig15Panels()
+{
+    return {
+        {WorkloadKind::MultiAttNN, {10, 15, 20, 25, 30, 35, 40}},
+        {WorkloadKind::MultiCNN, {2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0}},
+    };
+}
+
+/** The figure's scheduler rows: Table 5 baselines plus the Oracle. */
+inline std::vector<std::string>
+fig15Schedulers()
+{
+    std::vector<std::string> schedulers = table5Schedulers();
+    schedulers.push_back("Oracle");
+    return schedulers;
+}
+
+/**
+ * One cell per (panel, scheduler, rate, seed), in table order —
+ * feed to SweepRunner::run and regroup with averageGroups(seeds).
+ */
+inline std::vector<SweepCell>
+fig15Cells(int requests, int seeds)
+{
+    std::vector<SweepCell> cells;
+    for (const Fig15Panel& panel : fig15Panels()) {
+        for (const std::string& name : fig15Schedulers()) {
+            for (double rate : panel.rates) {
+                SweepCell cell;
+                cell.workload.kind = panel.kind;
+                cell.workload.arrivalRate = rate;
+                cell.workload.sloMultiplier = 10.0;
+                cell.workload.numRequests = requests;
+                cell.workload.seed = 42;
+                cell.scheduler = name;
+                for (const SweepCell& c : seedReplicas(cell, seeds))
+                    cells.push_back(c);
+            }
+        }
+    }
+    return cells;
+}
+
+} // namespace dysta
+
+#endif // DYSTA_BENCH_FIG15_GRID_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Microbenchmark of the parallel sweep engine: cells/sec of the
+ * Fig. 15 arrival-sweep grid executed serially (--jobs 1) vs on the
+ * thread pool, and BenchContext build time cold (full Phase-1
+ * profiling) vs from the --trace-cache. Verifies on the way that the
+ * parallel run's metrics are field-wise identical to the serial
+ * run's, and emits a machine-readable BENCH_sweep.json for the perf
+ * trajectory.
+ *
+ * Usage: micro_sweep [--requests N] [--seeds K] [--jobs N]
+ *                    [--trace-cache DIR] [--out PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fig15_grid.hh"
+#include "util/table.hh"
+
+using namespace dysta;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+bool
+sameMetrics(const Metrics& a, const Metrics& b)
+{
+    return a.antt == b.antt && a.violationRate == b.violationRate &&
+           a.throughput == b.throughput && a.stp == b.stp &&
+           a.p50Turnaround == b.p50Turnaround &&
+           a.p95Turnaround == b.p95Turnaround &&
+           a.p99Turnaround == b.p99Turnaround &&
+           a.p50Latency == b.p50Latency &&
+           a.p95Latency == b.p95Latency &&
+           a.p99Latency == b.p99Latency &&
+           a.completed == b.completed && a.shed == b.shed &&
+           a.makespan == b.makespan;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int requests = argInt(argc, argv, "--requests", 200);
+    int seeds = argInt(argc, argv, "--seeds", 2);
+    int jobs = argJobs(argc, argv);
+    std::string cache_dir = argTraceCache(argc, argv);
+    if (cache_dir.empty())
+        cache_dir = "micro-sweep-trace-cache";
+    std::string out_path =
+        argStr(argc, argv, "--out", "BENCH_sweep.json");
+
+    BenchSetup setup;
+
+    // Context build: cold profiling vs the setup-keyed trace cache.
+    std::printf("Building BenchContext cold (Phase-1 profiling)...\n");
+    auto t0 = std::chrono::steady_clock::now();
+    auto ctx = makeBenchContext(setup);
+    double cold_sec = secondsSince(t0);
+
+    makeBenchContext(setup, cache_dir); // populate the cache
+    t0 = std::chrono::steady_clock::now();
+    auto cached_ctx = makeBenchContext(setup, cache_dir);
+    double cached_sec = secondsSince(t0);
+
+    // Sweep execution: the Fig. 15 grid, serial vs thread-pooled.
+    std::vector<SweepCell> cells = fig15Cells(requests, seeds);
+    std::printf("Running %zu cells serially...\n", cells.size());
+    SweepRunner serial(*ctx, 1);
+    t0 = std::chrono::steady_clock::now();
+    std::vector<SweepCellResult> serial_results = serial.run(cells);
+    double serial_sec = secondsSince(t0);
+
+    std::printf("Running %zu cells on %d threads...\n", cells.size(),
+                jobs);
+    SweepRunner parallel(*ctx, jobs);
+    t0 = std::chrono::steady_clock::now();
+    std::vector<SweepCellResult> parallel_results =
+        parallel.run(cells);
+    double parallel_sec = secondsSince(t0);
+
+    bool deterministic = serial_results.size() ==
+                         parallel_results.size();
+    for (size_t i = 0; deterministic && i < serial_results.size();
+         ++i) {
+        deterministic =
+            sameMetrics(serial_results[i].metrics,
+                        parallel_results[i].metrics) &&
+            serial_results[i].decisions ==
+                parallel_results[i].decisions &&
+            serial_results[i].preemptions ==
+                parallel_results[i].preemptions;
+    }
+
+    double n = static_cast<double>(cells.size());
+    double serial_rate = n / serial_sec;
+    double parallel_rate = n / parallel_sec;
+
+    AsciiTable t("Sweep engine microbenchmark (" +
+                 std::to_string(cells.size()) + " Fig. 15 cells, " +
+                 std::to_string(requests) + " requests x " +
+                 std::to_string(seeds) + " seeds)");
+    t.setHeader({"measure", "serial / cold", "parallel / cached",
+                 "ratio"});
+    t.addRow({"cells/sec", AsciiTable::num(serial_rate, 1),
+              AsciiTable::num(parallel_rate, 1),
+              AsciiTable::num(parallel_rate / serial_rate, 2) + "x"});
+    t.addRow({"context build [ms]", AsciiTable::num(cold_sec * 1e3, 1),
+              AsciiTable::num(cached_sec * 1e3, 1),
+              AsciiTable::num(cold_sec / cached_sec, 2) + "x"});
+    t.addRow({"metrics jobs=1 vs jobs=N", "-", "-",
+              deterministic ? "identical" : "MISMATCH"});
+    t.print();
+
+    std::FILE* out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"cells\": %zu,\n"
+        "  \"requests\": %d,\n"
+        "  \"seeds\": %d,\n"
+        "  \"jobs\": %d,\n"
+        "  \"serial_sec\": %.6f,\n"
+        "  \"parallel_sec\": %.6f,\n"
+        "  \"serial_cells_per_sec\": %.2f,\n"
+        "  \"parallel_cells_per_sec\": %.2f,\n"
+        "  \"parallel_speedup\": %.3f,\n"
+        "  \"deterministic\": %s,\n"
+        "  \"context_cold_sec\": %.6f,\n"
+        "  \"context_cached_sec\": %.6f,\n"
+        "  \"context_cache_speedup\": %.3f\n"
+        "}\n",
+        cells.size(), requests, seeds, jobs, serial_sec, parallel_sec,
+        serial_rate, parallel_rate, parallel_rate / serial_rate,
+        deterministic ? "true" : "false", cold_sec, cached_sec,
+        cold_sec / cached_sec);
+    std::fclose(out);
+    std::printf("Wrote %s\n", out_path.c_str());
+
+    (void)cached_ctx;
+    return deterministic ? 0 : 1;
+}

@@ -12,12 +12,16 @@
  *   multi-CNN:   FCFS 11.4/23.1, SJF 2.6/3.4, SDRM3 9.3/33.7,
  *                PREMA 3.0/3.2, Planaria 4.2/2.1, Dysta 2.5/2.0
  *
+ * The (workload x scheduler x seed) grid runs as independent cells
+ * on the parallel SweepRunner; output is identical for any --jobs.
+ *
  * Usage: tab05_end_to_end [--requests N] [--seeds K] [--samples S]
+ *                         [--jobs N] [--trace-cache DIR]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
+#include "exp/sweep.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -31,28 +35,44 @@ main(int argc, char** argv)
 
     BenchSetup setup;
     setup.samplesPerModel = samples;
-    auto ctx = makeBenchContext(setup);
+    auto ctx = makeBenchContext(setup, argTraceCache(argc, argv));
+    SweepRunner runner(*ctx, argJobs(argc, argv));
 
-    for (WorkloadKind kind :
-         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
-        WorkloadConfig wl;
-        wl.kind = kind;
-        wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
-        wl.sloMultiplier = 10.0;
-        wl.numRequests = requests;
-        wl.seed = 42;
+    auto schedulers = table5Schedulers();
+    schedulers.push_back("Oracle");
+    schedulers.push_back("Dysta-HW");
 
-        AsciiTable t("Table 5, " + toString(kind) + " @ " +
-                     AsciiTable::num(wl.arrivalRate, 0) +
-                     " req/s, M_slo=10x, " + std::to_string(requests) +
-                     " requests x " + std::to_string(seeds) +
-                     " seeds");
-        t.setHeader({"scheduler", "ANTT", "violation [%]"});
-        auto schedulers = table5Schedulers();
-        schedulers.push_back("Oracle");
-        schedulers.push_back("Dysta-HW");
+    const WorkloadKind kinds[] = {WorkloadKind::MultiAttNN,
+                                  WorkloadKind::MultiCNN};
+
+    std::vector<SweepCell> cells;
+    for (WorkloadKind kind : kinds) {
         for (const std::string& name : schedulers) {
-            Metrics m = runAveraged(*ctx, wl, name, seeds);
+            SweepCell cell;
+            cell.workload.kind = kind;
+            cell.workload.arrivalRate =
+                kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+            cell.workload.sloMultiplier = 10.0;
+            cell.workload.numRequests = requests;
+            cell.workload.seed = 42;
+            cell.scheduler = name;
+            for (const SweepCell& c : seedReplicas(cell, seeds))
+                cells.push_back(c);
+        }
+    }
+    std::vector<Metrics> avg =
+        averageGroups(runner.run(cells), seeds);
+
+    size_t g = 0;
+    for (WorkloadKind kind : kinds) {
+        double rate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+        AsciiTable t("Table 5, " + toString(kind) + " @ " +
+                     AsciiTable::num(rate, 0) + " req/s, M_slo=10x, " +
+                     std::to_string(requests) + " requests x " +
+                     std::to_string(seeds) + " seeds");
+        t.setHeader({"scheduler", "ANTT", "violation [%]"});
+        for (const std::string& name : schedulers) {
+            const Metrics& m = avg[g++];
             t.addRow({name, AsciiTable::num(m.antt, 2),
                       AsciiTable::num(m.violationRate * 100.0, 1)});
         }

@@ -1,8 +1,13 @@
 #include "exp/experiments.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "exp/sweep.hh"
 #include "hw/hw_scheduler.hh"
 #include "models/zoo.hh"
 #include "sched/fcfs.hh"
@@ -16,44 +21,147 @@
 
 namespace dysta {
 
+namespace {
+
+/**
+ * Benchmark model names for a setup, deduplicated in scenario order
+ * (MultiCNN lists ssd300 twice).
+ */
+std::vector<std::string>
+benchModelNames(const BenchSetup& setup)
+{
+    std::vector<std::string> names;
+    auto append = [&names](WorkloadKind kind) {
+        for (const std::string& name : workloadModels(kind)) {
+            bool known = false;
+            for (const auto& n : names)
+                known = known || n == name;
+            if (!known)
+                names.push_back(name);
+        }
+    };
+    if (setup.includeCnn)
+        append(WorkloadKind::MultiCNN);
+    if (setup.includeAttnn)
+        append(WorkloadKind::MultiAttNN);
+    return names;
+}
+
+std::string
+readTextFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return {};
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool
+hasTraceCsv(const std::string& dir)
+{
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".csv")
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+benchSetupFingerprint(const BenchSetup& setup)
+{
+    char buf[160];
+    // format=2: %.17g trace CSVs with prefix-sum finalize.
+    std::snprintf(buf, sizeof(buf),
+                  "format=2 samples=%d seed=%llu cnnRate=%.17g "
+                  "attnn=%d cnn=%d\n",
+                  setup.samplesPerModel,
+                  static_cast<unsigned long long>(setup.seed),
+                  setup.cnnSparsityRate, setup.includeAttnn ? 1 : 0,
+                  setup.includeCnn ? 1 : 0);
+    return buf;
+}
+
 std::unique_ptr<BenchContext>
 makeBenchContext(BenchSetup setup)
 {
+    return makeBenchContext(setup, "");
+}
+
+std::unique_ptr<BenchContext>
+makeBenchContext(BenchSetup setup, const std::string& trace_cache_dir)
+{
     auto ctx = std::make_unique<BenchContext>();
+
+    const std::string manifest_path =
+        trace_cache_dir.empty() ? "" : trace_cache_dir + "/manifest.txt";
+    if (!trace_cache_dir.empty() &&
+        readTextFile(manifest_path) == benchSetupFingerprint(setup) &&
+        hasTraceCsv(trace_cache_dir)) {
+        // Cache hit: replay the saved Phase-1 traces instead of
+        // re-simulating the accelerators. Prefer the packed binary
+        // blob (decimal-parsing the CSVs costs more than profiling);
+        // fall back to the CSVs when it is missing or stale.
+        if (!TraceRegistry::loadAllBinary(
+                trace_cache_dir + "/traces.bin", ctx->registry))
+            ctx->registry = TraceRegistry::loadAll(trace_cache_dir);
+        for (const std::string& name : benchModelNames(setup))
+            ctx->models.push_back(makeModelByName(name));
+        ctx->lut = ctx->registry.buildLut();
+        return ctx;
+    }
 
     ProfileConfig pcfg;
     pcfg.numSamples = setup.samplesPerModel;
     pcfg.seed = setup.seed;
     pcfg.cnnSparsityRate = setup.cnnSparsityRate;
 
-    if (setup.includeCnn) {
-        for (const std::string& name : workloadModels(
-                 WorkloadKind::MultiCNN)) {
-            bool known = false;
-            for (const auto& m : ctx->models)
-                known = known || m.name == name;
-            if (known)
-                continue;
-            ModelDesc model = makeModelByName(name);
+    // The model list is defined once (benchModelNames) so the cold
+    // and cache-hit paths cannot drift apart.
+    for (const std::string& name : benchModelNames(setup)) {
+        ModelDesc model = makeModelByName(name);
+        if (model.family == ModelFamily::CNN) {
             for (SparsityPattern pattern : cnnPatterns()) {
                 ctx->registry.add(profileCnn(
                     model, pattern, defaultProfileFor(name),
                     ctx->eyeriss, pcfg));
             }
-            ctx->models.push_back(std::move(model));
-        }
-    }
-    if (setup.includeAttnn) {
-        for (const std::string& name : workloadModels(
-                 WorkloadKind::MultiAttNN)) {
-            ModelDesc model = makeModelByName(name);
+        } else {
             ctx->registry.add(profileAttn(model, defaultProfileFor(name),
                                           ctx->sanger, pcfg));
-            ctx->models.push_back(std::move(model));
         }
+        ctx->models.push_back(std::move(model));
     }
 
     ctx->lut = ctx->registry.buildLut();
+
+    if (!trace_cache_dir.empty()) {
+        // Invalidate first: killing the old manifest before touching
+        // any trace file means an interrupted rewrite can never leave
+        // a matching manifest over mismatched traces. Then drop stale
+        // CSVs from the previous setup and write; the new manifest
+        // goes last (a partial write must not look like a valid
+        // cache).
+        std::error_code ec;
+        std::filesystem::create_directories(trace_cache_dir, ec);
+        std::filesystem::remove(manifest_path, ec);
+        for (const auto& entry :
+             std::filesystem::directory_iterator(trace_cache_dir, ec)) {
+            if (entry.path().extension() == ".csv")
+                std::filesystem::remove(entry.path(), ec);
+        }
+        ctx->registry.saveAll(trace_cache_dir);
+        ctx->registry.saveAllBinary(trace_cache_dir + "/traces.bin");
+        std::ofstream manifest(manifest_path);
+        fatalIf(!manifest, "makeBenchContext: cannot write " +
+                               manifest_path);
+        manifest << benchSetupFingerprint(setup);
+    }
     return ctx;
 }
 
@@ -121,33 +229,15 @@ runAveraged(const BenchContext& ctx, WorkloadConfig workload,
             const std::string& scheduler_name, int num_seeds)
 {
     fatalIf(num_seeds <= 0, "runAveraged: need at least one seed");
-    auto policy = makeSchedulerByName(scheduler_name, ctx,
-                                      workload.kind);
+    SweepCell cell;
+    cell.workload = workload;
+    cell.scheduler = scheduler_name;
 
-    Metrics avg;
-    uint64_t base_seed = workload.seed;
-    for (int s = 0; s < num_seeds; ++s) {
-        workload.seed = base_seed + static_cast<uint64_t>(s);
-        EngineResult result = runOne(ctx, workload, *policy);
-        const Metrics& m = result.metrics;
-        avg.antt += m.antt;
-        avg.violationRate += m.violationRate;
-        avg.throughput += m.throughput;
-        avg.stp += m.stp;
-        avg.p99Turnaround += m.p99Turnaround;
-        avg.makespan += m.makespan;
-        avg.completed += m.completed;
-    }
-    double n = static_cast<double>(num_seeds);
-    avg.antt /= n;
-    avg.violationRate /= n;
-    avg.throughput /= n;
-    avg.stp /= n;
-    avg.p99Turnaround /= n;
-    avg.makespan /= n;
-    avg.completed = static_cast<size_t>(
-        static_cast<double>(avg.completed) / n);
-    return avg;
+    std::vector<Metrics> runs;
+    runs.reserve(static_cast<size_t>(num_seeds));
+    for (const SweepCell& c : seedReplicas(cell, num_seeds))
+        runs.push_back(runSweepCell(ctx, c).metrics);
+    return averageMetrics(runs);
 }
 
 std::vector<std::string>

@@ -1,0 +1,141 @@
+#include "exp/sweep.hh"
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace dysta {
+
+SweepCellResult
+runSweepCell(const BenchContext& ctx, const SweepCell& cell)
+{
+    SweepCellResult out;
+    if (cell.clusterMode) {
+        ClusterResult r = runCluster(ctx, cell.workload, cell.cluster);
+        out.metrics = r.metrics;
+        out.decisions = r.decisions;
+        out.preemptions = r.preemptions;
+        return out;
+    }
+
+    std::vector<Request> requests =
+        generateWorkload(cell.workload, ctx.registry);
+    std::unique_ptr<Scheduler> policy = cell.makePolicy
+        ? cell.makePolicy(ctx)
+        : makeSchedulerByName(cell.scheduler, ctx, cell.workload.kind);
+    panicIf(policy == nullptr,
+            "runSweepCell: cell policy factory returned null");
+
+    EngineConfig ecfg;
+    ecfg.layerBlockSize = cell.layerBlockSize;
+    SchedulerEngine engine(ecfg);
+    EngineResult r = engine.run(requests, *policy);
+    out.metrics = r.metrics;
+    out.decisions = r.decisions;
+    out.preemptions = r.preemptions;
+    return out;
+}
+
+std::vector<SweepCell>
+seedReplicas(const SweepCell& cell, int num_seeds)
+{
+    fatalIf(num_seeds <= 0, "seedReplicas: need at least one seed");
+    std::vector<SweepCell> cells(static_cast<size_t>(num_seeds), cell);
+    for (int s = 0; s < num_seeds; ++s)
+        cells[static_cast<size_t>(s)].workload.seed =
+            cell.workload.seed + static_cast<uint64_t>(s);
+    return cells;
+}
+
+Metrics
+averageMetrics(const std::vector<Metrics>& runs)
+{
+    fatalIf(runs.empty(), "averageMetrics: no runs");
+    Metrics avg;
+    for (const Metrics& m : runs) {
+        avg.antt += m.antt;
+        avg.violationRate += m.violationRate;
+        avg.throughput += m.throughput;
+        avg.stp += m.stp;
+        avg.p50Turnaround += m.p50Turnaround;
+        avg.p95Turnaround += m.p95Turnaround;
+        avg.p99Turnaround += m.p99Turnaround;
+        avg.p50Latency += m.p50Latency;
+        avg.p95Latency += m.p95Latency;
+        avg.p99Latency += m.p99Latency;
+        avg.makespan += m.makespan;
+        avg.completed += m.completed;
+        avg.shed += m.shed;
+    }
+    double n = static_cast<double>(runs.size());
+    avg.antt /= n;
+    avg.violationRate /= n;
+    avg.throughput /= n;
+    avg.stp /= n;
+    avg.p50Turnaround /= n;
+    avg.p95Turnaround /= n;
+    avg.p99Turnaround /= n;
+    avg.p50Latency /= n;
+    avg.p95Latency /= n;
+    avg.p99Latency /= n;
+    avg.makespan /= n;
+    avg.completed = static_cast<size_t>(
+        static_cast<double>(avg.completed) / n);
+    avg.shed =
+        static_cast<size_t>(static_cast<double>(avg.shed) / n);
+    return avg;
+}
+
+std::vector<Metrics>
+averageGroups(const std::vector<SweepCellResult>& results,
+              int group_size)
+{
+    fatalIf(group_size <= 0, "averageGroups: invalid group size");
+    auto stride = static_cast<size_t>(group_size);
+    fatalIf(results.size() % stride != 0,
+            "averageGroups: result count not a multiple of the group "
+            "size");
+    std::vector<Metrics> out;
+    out.reserve(results.size() / stride);
+    std::vector<Metrics> group(stride);
+    for (size_t base = 0; base < results.size(); base += stride) {
+        for (size_t s = 0; s < stride; ++s)
+            group[s] = results[base + s].metrics;
+        out.push_back(averageMetrics(group));
+    }
+    return out;
+}
+
+SweepRunner::SweepRunner(const BenchContext& ctx, int jobs)
+    : ctx(&ctx),
+      numJobs(jobs > 0
+                  ? jobs
+                  : static_cast<int>(ThreadPool::defaultConcurrency()))
+{
+}
+
+std::vector<SweepCellResult>
+SweepRunner::run(const std::vector<SweepCell>& cells) const
+{
+    std::vector<SweepCellResult> results(cells.size());
+    const BenchContext& context = *ctx;
+    parallelFor(cells.size(), static_cast<size_t>(numJobs),
+                [&](size_t i) {
+                    results[i] = runSweepCell(context, cells[i]);
+                });
+    return results;
+}
+
+int
+argJobs(int argc, char** argv)
+{
+    return argInt(argc, argv, "--jobs",
+                  static_cast<int>(ThreadPool::defaultConcurrency()));
+}
+
+std::string
+argTraceCache(int argc, char** argv)
+{
+    return argStr(argc, argv, "--trace-cache", "");
+}
+
+} // namespace dysta

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Parallel sweep engine for the experiment grids.
+ *
+ * Every figure/table reproduction is a grid of independent simulation
+ * cells — (workload config x scheduler/dispatcher x seed). A
+ * SweepRunner executes a vector of SweepCells across N worker
+ * threads (`--jobs`), writing each cell's result into its pre-sized
+ * slot, so the output is identical to a serial run regardless of
+ * completion order. Cells share only the const BenchContext (trace
+ * pools, LUT, model descriptors); all mutable state — the workload
+ * RNG, the requests, the policy and its estimator, the engine — is
+ * constructed per cell.
+ */
+
+#ifndef DYSTA_EXP_SWEEP_HH
+#define DYSTA_EXP_SWEEP_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/experiments.hh"
+
+namespace dysta {
+
+/** One grid point of an experiment sweep. */
+struct SweepCell
+{
+    /** Workload to generate (its seed identifies the replica). */
+    WorkloadConfig workload;
+    /** Node policy name (makeSchedulerByName). */
+    std::string scheduler = "Dysta";
+    /** Non-preemptible block granularity (EngineConfig). */
+    size_t layerBlockSize = 1;
+    /**
+     * Optional policy override for cells that need a hand-built
+     * scheduler (hyperparameter ablations). Must be thread-safe to
+     * invoke concurrently (pure construction from const inputs).
+     */
+    std::function<std::unique_ptr<Scheduler>(const BenchContext&)>
+        makePolicy;
+    /** Serve on a simulated cluster instead of one accelerator. */
+    bool clusterMode = false;
+    /** Cluster topology/policies (used when clusterMode). */
+    ClusterRunConfig cluster;
+};
+
+/** One cell's outcome. */
+struct SweepCellResult
+{
+    Metrics metrics;
+    /** Scheduler invocations across the run (all nodes). */
+    size_t decisions = 0;
+    /** Preemptions across the run (all nodes). */
+    size_t preemptions = 0;
+};
+
+/**
+ * Run one cell, self-contained: generates the workload, constructs
+ * the policy (and dispatcher for cluster cells) and simulates.
+ * Thread-safe for concurrent calls sharing one const BenchContext.
+ */
+SweepCellResult runSweepCell(const BenchContext& ctx,
+                             const SweepCell& cell);
+
+/** `num_seeds` copies of `cell` with seeds seed, seed+1, ... */
+std::vector<SweepCell> seedReplicas(const SweepCell& cell,
+                                    int num_seeds);
+
+/** Field-wise mean of run metrics (the paper's seed averaging). */
+Metrics averageMetrics(const std::vector<Metrics>& runs);
+
+/**
+ * Average contiguous groups of `group_size` cell results — the
+ * companion of building a grid via seedReplicas.
+ */
+std::vector<Metrics>
+averageGroups(const std::vector<SweepCellResult>& results,
+              int group_size);
+
+/** Thread-pooled executor for a vector of sweep cells. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param jobs worker threads; <= 0 selects the hardware
+     *             concurrency, 1 runs serially on the caller.
+     */
+    explicit SweepRunner(const BenchContext& ctx, int jobs = 0);
+
+    int jobs() const { return numJobs; }
+
+    /**
+     * Execute all cells; results[i] is cells[i]'s outcome, in input
+     * order, bit-identical for any jobs count.
+     */
+    std::vector<SweepCellResult>
+    run(const std::vector<SweepCell>& cells) const;
+
+  private:
+    const BenchContext* ctx;
+    int numJobs;
+};
+
+/** Parse the shared `--jobs N` flag (default: hardware concurrency). */
+int argJobs(int argc, char** argv);
+
+/** Parse the shared `--trace-cache DIR` flag (default: no cache). */
+std::string argTraceCache(int argc, char** argv);
+
+} // namespace dysta
+
+#endif // DYSTA_EXP_SWEEP_HH

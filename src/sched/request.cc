@@ -7,10 +7,9 @@ namespace dysta {
 double
 Request::trueRemaining() const
 {
-    double remaining = 0.0;
-    for (size_t l = nextLayer; l < trace->layers.size(); ++l)
-        remaining += trace->layers[l].latency;
-    return remaining;
+    // O(1) via the trace's cumulative-latency prefix sums: the Oracle
+    // estimator calls this on every ready candidate at every decision.
+    return trace->remainingFrom(nextLayer);
 }
 
 double

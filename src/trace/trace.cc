@@ -8,18 +8,35 @@ namespace dysta {
 void
 SampleTrace::finalize()
 {
-    totalLatency = 0.0;
     avgSparsity = 0.0;
     size_t monitored = 0;
-    for (const auto& layer : layers) {
-        totalLatency += layer.latency;
-        if (layer.monitored()) {
-            avgSparsity += layer.monitoredSparsity;
+    cumLatency.assign(layers.size() + 1, 0.0);
+    for (size_t l = 0; l < layers.size(); ++l) {
+        cumLatency[l + 1] = cumLatency[l] + layers[l].latency;
+        if (layers[l].monitored()) {
+            avgSparsity += layers[l].monitoredSparsity;
             ++monitored;
         }
     }
+    // Same forward accumulation order as before the prefix array
+    // existed, so the cached total is bit-identical.
+    totalLatency = cumLatency.back();
     if (monitored > 0)
         avgSparsity /= static_cast<double>(monitored);
+}
+
+double
+SampleTrace::remainingFrom(size_t next_layer) const
+{
+    if (next_layer >= layers.size())
+        return 0.0;
+    if (cumLatency.size() == layers.size() + 1)
+        return cumLatency.back() - cumLatency[next_layer];
+    // Unfinalized trace: direct tail sum.
+    double remaining = 0.0;
+    for (size_t l = next_layer; l < layers.size(); ++l)
+        remaining += layers[l].latency;
+    return remaining;
 }
 
 TraceSet::TraceSet(std::string model_name, ModelFamily family,
@@ -35,7 +52,36 @@ TraceSet::add(SampleTrace trace)
                 trace.layers.size() != samples.front().layers.size(),
             "TraceSet::add: inconsistent layer count");
     samples.push_back(std::move(trace));
-    statsValid = false;
+
+    // Fold the new sample into the running sums and refresh the
+    // averages eagerly: concurrent readers then never trigger a
+    // compute-on-first-read under const (the old lazy-stats race).
+    const SampleTrace& s = samples.back();
+    size_t layers = s.layers.size();
+    if (samples.size() == 1) {
+        layerLatSum.assign(layers, 0.0);
+        layerSpSum.assign(layers, 0.0);
+        layerSpCount.assign(layers, 0);
+        layerLat.assign(layers, 0.0);
+        layerSp.assign(layers, 0.0);
+    }
+    totalSum += s.totalLatency;
+    for (size_t l = 0; l < layers; ++l) {
+        layerLatSum[l] += s.layers[l].latency;
+        if (s.layers[l].monitored()) {
+            layerSpSum[l] += s.layers[l].monitoredSparsity;
+            ++layerSpCount[l];
+        }
+    }
+    double n = static_cast<double>(samples.size());
+    avgTotal = totalSum / n;
+    for (size_t l = 0; l < layers; ++l) {
+        layerLat[l] = layerLatSum[l] / n;
+        // Unmonitored layers keep the negative sentinel.
+        layerSp[l] = layerSpCount[l]
+            ? layerSpSum[l] / static_cast<double>(layerSpCount[l])
+            : -1.0;
+    }
 }
 
 const SampleTrace&
@@ -51,58 +97,21 @@ TraceSet::layerCount() const
     return samples.empty() ? 0 : samples.front().layers.size();
 }
 
-void
-TraceSet::computeStats() const
-{
-    if (statsValid)
-        return;
-    size_t layers = layerCount();
-    layerLat.assign(layers, 0.0);
-    layerSp.assign(layers, 0.0);
-    std::vector<size_t> monitored(layers, 0);
-    avgTotal = 0.0;
-    for (const auto& s : samples) {
-        avgTotal += s.totalLatency;
-        for (size_t l = 0; l < layers; ++l) {
-            layerLat[l] += s.layers[l].latency;
-            if (s.layers[l].monitored()) {
-                layerSp[l] += s.layers[l].monitoredSparsity;
-                ++monitored[l];
-            }
-        }
-    }
-    if (!samples.empty()) {
-        double n = static_cast<double>(samples.size());
-        avgTotal /= n;
-        for (size_t l = 0; l < layers; ++l) {
-            layerLat[l] /= n;
-            // Unmonitored layers keep the negative sentinel.
-            layerSp[l] = monitored[l]
-                ? layerSp[l] / static_cast<double>(monitored[l])
-                : -1.0;
-        }
-    }
-    statsValid = true;
-}
-
 double
 TraceSet::avgTotalLatency() const
 {
-    computeStats();
     return avgTotal;
 }
 
 const std::vector<double>&
 TraceSet::avgLayerLatency() const
 {
-    computeStats();
     return layerLat;
 }
 
 const std::vector<double>&
 TraceSet::avgLayerSparsity() const
 {
-    computeStats();
     return layerSp;
 }
 
@@ -131,10 +140,12 @@ TraceSet::save(const std::string& path) const
         row.push_back(std::to_string(s.seqLen));
         row.push_back(s.dark ? "1" : "0");
         char buf[40];
+        // %.17g round-trips every double exactly, so a cache-loaded
+        // registry rebuilds bit-identical LUT entries and schedules.
         for (const auto& layer : s.layers) {
-            std::snprintf(buf, sizeof(buf), "%.12g", layer.latency);
+            std::snprintf(buf, sizeof(buf), "%.17g", layer.latency);
             row.push_back(buf);
-            std::snprintf(buf, sizeof(buf), "%.12g",
+            std::snprintf(buf, sizeof(buf), "%.17g",
                           layer.monitoredSparsity);
             row.push_back(buf);
         }

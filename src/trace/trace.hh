@@ -51,9 +51,23 @@ struct SampleTrace
     double totalLatency = 0.0;
     /** Cached mean monitored sparsity across layers. */
     double avgSparsity = 0.0;
+    /**
+     * Cumulative-latency prefix sums: cumLatency[l] is the summed
+     * latency of layers [0, l), so cumLatency.back() == totalLatency
+     * and the ground-truth remainder from any layer is one
+     * subtraction. Rebuilt by finalize().
+     */
+    std::vector<double> cumLatency;
 
     /** Recompute the cached aggregates from the layer records. */
     void finalize();
+
+    /**
+     * Ground-truth latency of layers [next_layer, end) — O(1) via the
+     * prefix sums; falls back to the direct sum on a trace that was
+     * never finalize()d.
+     */
+    double remainingFrom(size_t next_layer) const;
 };
 
 /** All profiled samples for one (model, pattern) pair. */
@@ -105,13 +119,17 @@ class TraceSet
     SparsityPattern patt = SparsityPattern::Dense;
     std::vector<SampleTrace> samples;
 
-    // Lazily computed aggregates.
-    mutable bool statsValid = false;
-    mutable double avgTotal = 0.0;
-    mutable std::vector<double> layerLat;
-    mutable std::vector<double> layerSp;
-
-    void computeStats() const;
+    // Aggregates are maintained eagerly by add(): every accessor is a
+    // plain const read, so a finalized TraceSet can be shared across
+    // sweep worker threads without synchronization.
+    double avgTotal = 0.0;
+    std::vector<double> layerLat;
+    std::vector<double> layerSp;
+    // Running accumulators behind the averages above.
+    double totalSum = 0.0;
+    std::vector<double> layerLatSum;
+    std::vector<double> layerSpSum;
+    std::vector<size_t> layerSpCount;
 };
 
 } // namespace dysta

@@ -1,0 +1,121 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dysta {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultConcurrency();
+    workers.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (auto& w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        jobs.push_back(std::move(job));
+    }
+    workCv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    idleCv.wait(lock, [this] { return jobs.empty() && active == 0; });
+}
+
+size_t
+ThreadPool::defaultConcurrency()
+{
+    size_t n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            workCv.wait(lock,
+                        [this] { return stopping || !jobs.empty(); });
+            if (jobs.empty())
+                return; // stopping with a drained queue
+            job = std::move(jobs.front());
+            jobs.pop_front();
+            ++active;
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            --active;
+            if (jobs.empty() && active == 0)
+                idleCv.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(size_t n, size_t jobs,
+            const std::function<void(size_t)>& fn)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = ThreadPool::defaultConcurrency();
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr error;
+    std::mutex errorMtx;
+
+    auto drain = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::unique_lock<std::mutex> lock(errorMtx);
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+    };
+
+    if (jobs <= 1 || n == 1) {
+        // Same contract as the threaded path: every iteration runs,
+        // the first exception is rethrown at the end.
+        drain();
+    } else {
+        ThreadPool pool(std::min(jobs, n));
+        for (size_t t = 0; t < pool.size(); ++t)
+            pool.submit(drain);
+        pool.wait();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace dysta

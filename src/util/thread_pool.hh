@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-size worker-thread pool for embarrassingly parallel sweeps.
+ *
+ * The experiment grids (scheduler x arrival-rate/SLO x seed) are
+ * independent simulation cells; the pool runs them on all cores while
+ * the callers keep deterministic, serial-order output by writing each
+ * cell's result into a pre-sized slot. Jobs must not touch shared
+ * mutable state — everything they read (trace pools, LUTs) is const.
+ */
+
+#ifndef DYSTA_UTIL_THREAD_POOL_HH
+#define DYSTA_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dysta {
+
+/** Fixed set of worker threads draining a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads worker count; 0 picks defaultConcurrency() */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    /** Blocks until all submitted jobs have run. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers.size(); }
+
+    /**
+     * Enqueue a job. Jobs must not throw; wrap fallible work and
+     * stash the error (see parallelFor).
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void wait();
+
+    /** Hardware concurrency with a floor of 1. */
+    static size_t defaultConcurrency();
+
+  private:
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> jobs;
+    mutable std::mutex mtx;
+    std::condition_variable workCv;
+    std::condition_variable idleCv;
+    size_t active = 0;
+    bool stopping = false;
+
+    void workerLoop();
+};
+
+/**
+ * Run `fn(i)` for every i in [0, n) on up to `jobs` threads.
+ * `jobs <= 1` (or n <= 1) runs inline on the caller; otherwise the
+ * iterations are pulled from a shared atomic counter, so any
+ * iteration may run on any thread — `fn` must only write state owned
+ * by iteration i. The first exception thrown by any iteration is
+ * rethrown on the caller after all threads join.
+ */
+void parallelFor(size_t n, size_t jobs,
+                 const std::function<void(size_t)>& fn);
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_THREAD_POOL_HH

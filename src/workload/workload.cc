@@ -1,6 +1,8 @@
 #include "workload/workload.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 
 #include "util/logging.hh"
@@ -90,6 +92,132 @@ TraceRegistry::loadAll(const std::string& dir)
     fatalIf(registry.size() == 0,
             "TraceRegistry::loadAll: no trace files in " + dir);
     return registry;
+}
+
+namespace {
+
+/** "DYSTRC" + format version; bump on any layout change. */
+constexpr uint64_t kTraceBinMagic = 0x4459535452430001ULL;
+
+} // namespace
+
+void
+TraceRegistry::saveAllBinary(const std::string& path) const
+{
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    fatalIf(out == nullptr,
+            "TraceRegistry::saveAllBinary: cannot open " + path);
+
+    auto put = [&](const void* p, size_t bytes) {
+        fatalIf(std::fwrite(p, 1, bytes, out) != bytes,
+                "TraceRegistry::saveAllBinary: short write to " + path);
+    };
+    auto putU64 = [&](uint64_t v) { put(&v, sizeof(v)); };
+
+    putU64(kTraceBinMagic);
+    putU64(sets.size());
+    // Key order for a stable file; load order doesn't matter.
+    for (const std::string& k : keys()) {
+        const TraceSet& set = sets.at(k);
+        const std::string& name = set.modelName();
+        putU64(name.size());
+        put(name.data(), name.size());
+        uint8_t fam = static_cast<uint8_t>(set.family());
+        uint8_t patt = static_cast<uint8_t>(set.pattern());
+        put(&fam, 1);
+        put(&patt, 1);
+        putU64(set.layerCount());
+        putU64(set.size());
+        for (const SampleTrace& s : set.all()) {
+            int32_t seq_len = s.seqLen;
+            uint8_t dark = s.dark ? 1 : 0;
+            put(&seq_len, sizeof(seq_len));
+            put(&dark, 1);
+            // LayerTrace is two packed doubles; write the span.
+            static_assert(sizeof(LayerTrace) == 2 * sizeof(double),
+                          "LayerTrace layout changed; bump "
+                          "kTraceBinMagic");
+            put(s.layers.data(), s.layers.size() * sizeof(LayerTrace));
+        }
+    }
+    fatalIf(std::fclose(out) != 0,
+            "TraceRegistry::saveAllBinary: close failed for " + path);
+}
+
+bool
+TraceRegistry::loadAllBinary(const std::string& path,
+                             TraceRegistry& out)
+{
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    if (in == nullptr)
+        return false;
+
+    bool ok = true;
+    auto get = [&](void* p, size_t bytes) {
+        if (ok && std::fread(p, 1, bytes, in) != bytes)
+            ok = false;
+    };
+    auto getU64 = [&]() {
+        uint64_t v = 0;
+        get(&v, sizeof(v));
+        return v;
+    };
+
+    uint64_t magic = getU64();
+    if (!ok || magic != kTraceBinMagic) {
+        std::fclose(in);
+        return false;
+    }
+
+    TraceRegistry loaded;
+    uint64_t num_sets = getU64();
+    for (uint64_t i = 0; ok && i < num_sets; ++i) {
+        uint64_t name_len = getU64();
+        if (!ok || name_len > 4096) {
+            ok = false;
+            break;
+        }
+        std::string name(name_len, '\0');
+        get(name.data(), name_len);
+        uint8_t fam = 0;
+        uint8_t patt = 0;
+        get(&fam, 1);
+        get(&patt, 1);
+        uint64_t layers = getU64();
+        uint64_t samples = getU64();
+        // Sanity bounds so a corrupt count fails the load cleanly
+        // instead of attempting a gigantic allocation.
+        if (!ok || layers == 0 || layers > (1u << 20) ||
+            samples == 0 || samples > (1u << 26)) {
+            ok = false;
+            break;
+        }
+
+        TraceSet set(name, static_cast<ModelFamily>(fam),
+                     static_cast<SparsityPattern>(patt));
+        for (uint64_t s = 0; ok && s < samples; ++s) {
+            SampleTrace trace;
+            int32_t seq_len = 0;
+            uint8_t dark = 0;
+            get(&seq_len, sizeof(seq_len));
+            get(&dark, 1);
+            trace.seqLen = seq_len;
+            trace.dark = dark != 0;
+            trace.layers.resize(layers);
+            get(trace.layers.data(), layers * sizeof(LayerTrace));
+            if (!ok)
+                break;
+            trace.finalize();
+            set.add(std::move(trace));
+        }
+        if (ok)
+            loaded.add(std::move(set));
+    }
+    std::fclose(in);
+    if (!ok || loaded.size() == 0)
+        return false;
+    out = std::move(loaded);
+    return true;
 }
 
 std::vector<std::string>

@@ -77,6 +77,22 @@ class TraceRegistry
     /** Load every "*.csv" trace file previously written by saveAll. */
     static TraceRegistry loadAll(const std::string& dir);
 
+    /**
+     * Pack every set into one flat binary file — the trace cache's
+     * fast path. CSV text is the durable, inspectable format; the
+     * packed blob exists because parsing ~10^6 decimal doubles costs
+     * more than re-running the analytic Phase-1 profile.
+     */
+    void saveAllBinary(const std::string& path) const;
+
+    /**
+     * Load a saveAllBinary blob into `out`. Returns false (leaving
+     * `out` unspecified) on a missing file or a magic/version
+     * mismatch, so callers can fall back to the CSVs.
+     */
+    static bool loadAllBinary(const std::string& path,
+                              TraceRegistry& out);
+
   private:
     std::unordered_map<std::string, TraceSet> sets;
 };

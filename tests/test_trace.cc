@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 
 #include "core/model_info.hh"
@@ -70,6 +71,48 @@ TEST(TraceSet, StatsAreSampleAverages)
     EXPECT_NEAR(set.avgLayerSparsity()[0], 0.4, 1e-12);
     // Unmonitored layer keeps the sentinel.
     EXPECT_LT(set.avgLayerSparsity()[1], 0.0);
+}
+
+TEST(SampleTrace, PrefixSumsMatchNaiveRemaining)
+{
+    // Awkward magnitudes so float error would show if the prefix
+    // subtraction diverged meaningfully from the naive tail sum.
+    SampleTrace s = makeSample(
+        {1e-3, 3.7e-5, 0.25, 9.1e-4, 1e-6, 0.125, 2.3e-2},
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7});
+    ASSERT_EQ(s.cumLatency.size(), s.layers.size() + 1);
+    EXPECT_DOUBLE_EQ(s.totalLatency, s.cumLatency.back());
+    for (size_t next = 0; next <= s.layers.size() + 1; ++next) {
+        double naive = 0.0;
+        for (size_t l = next; l < s.layers.size(); ++l)
+            naive += s.layers[l].latency;
+        EXPECT_NEAR(s.remainingFrom(next), naive,
+                    1e-12 * (1.0 + naive))
+            << "next layer " << next;
+    }
+    EXPECT_DOUBLE_EQ(s.remainingFrom(0), s.totalLatency);
+    EXPECT_DOUBLE_EQ(s.remainingFrom(s.layers.size()), 0.0);
+}
+
+TEST(SampleTrace, RemainingFallsBackWithoutFinalize)
+{
+    SampleTrace s;
+    s.layers.push_back({0.25, 0.5});
+    s.layers.push_back({0.5, 0.5});
+    // No finalize(): no prefix array, the direct sum must kick in.
+    ASSERT_TRUE(s.cumLatency.empty());
+    EXPECT_DOUBLE_EQ(s.remainingFrom(0), 0.75);
+    EXPECT_DOUBLE_EQ(s.remainingFrom(1), 0.5);
+}
+
+TEST(SampleTrace, RefinalizeAfterEditRebuildsPrefix)
+{
+    SampleTrace s = makeSample({0.1, 0.2}, {0.5, 0.5});
+    s.layers[1].latency = 0.4;
+    s.finalize();
+    EXPECT_DOUBLE_EQ(s.totalLatency, 0.5);
+    EXPECT_DOUBLE_EQ(s.totalLatency, s.cumLatency.back());
+    EXPECT_DOUBLE_EQ(s.remainingFrom(1), 0.4);
 }
 
 TEST(TraceSet, KeyFormat)
@@ -280,4 +323,55 @@ TEST(TraceRegistry, SaveAllCreatesDirectoryAndRoundTrips)
         }
     }
     fs::remove_all("/tmp/dysta_registry_roundtrip");
+}
+
+TEST(TraceRegistry, BinaryRoundTripIsExact)
+{
+    namespace fs = std::filesystem;
+    std::string path = "/tmp/dysta_registry_bin_test.bin";
+    fs::remove(path);
+
+    TraceRegistry registry;
+    registry.add(tinySet());
+    registry.saveAllBinary(path);
+
+    TraceRegistry loaded;
+    ASSERT_TRUE(TraceRegistry::loadAllBinary(path, loaded));
+    ASSERT_EQ(loaded.size(), registry.size());
+    const TraceSet& orig =
+        registry.get("toy", SparsityPattern::RandomPointwise);
+    const TraceSet& back =
+        loaded.get("toy", SparsityPattern::RandomPointwise);
+    EXPECT_EQ(back.family(), orig.family());
+    ASSERT_EQ(back.size(), orig.size());
+    for (size_t i = 0; i < orig.size(); ++i) {
+        EXPECT_EQ(back.sample(i).seqLen, orig.sample(i).seqLen);
+        EXPECT_EQ(back.sample(i).dark, orig.sample(i).dark);
+        for (size_t l = 0; l < orig.layerCount(); ++l) {
+            // Raw doubles round-trip bit-exactly.
+            EXPECT_DOUBLE_EQ(back.sample(i).layers[l].latency,
+                             orig.sample(i).layers[l].latency);
+            EXPECT_DOUBLE_EQ(
+                back.sample(i).layers[l].monitoredSparsity,
+                orig.sample(i).layers[l].monitoredSparsity);
+        }
+    }
+    EXPECT_DOUBLE_EQ(back.avgTotalLatency(), orig.avgTotalLatency());
+    fs::remove(path);
+}
+
+TEST(TraceRegistry, BinaryLoadRejectsMissingAndCorrupt)
+{
+    TraceRegistry out;
+    EXPECT_FALSE(
+        TraceRegistry::loadAllBinary("/nonexistent/traces.bin", out));
+
+    std::string path = "/tmp/dysta_registry_bad.bin";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "not a trace blob";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+    EXPECT_FALSE(TraceRegistry::loadAllBinary(path, out));
+    std::filesystem::remove(path);
 }

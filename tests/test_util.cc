@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
+#include <vector>
 
 #include "util/csv.hh"
 #include "util/fp16.hh"
@@ -17,6 +20,7 @@
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 using namespace dysta;
 
@@ -468,4 +472,73 @@ TEST(Fp16, RoundTripAllBitPatternsFinite)
         float f = halfBitsToFloat(h);
         EXPECT_EQ(floatToHalfBits(f), h) << "bits=" << bits;
     }
+}
+
+// --- ThreadPool / parallelFor ---
+
+TEST(ThreadPool, RunsAllSubmittedJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(3);
+        EXPECT_EQ(pool.size(), 3u);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 100);
+        // A second batch reuses the same workers.
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 40; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): destruction must still run everything.
+    }
+    EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (size_t jobs : {1u, 2u, 5u}) {
+        std::vector<int> hits(257, 0);
+        parallelFor(hits.size(), jobs,
+                    [&hits](size_t i) { hits[i] += 1; });
+        for (size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i], 1) << "i=" << i << " jobs=" << jobs;
+    }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleton)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&calls](size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&calls](size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException)
+{
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(64, 4, [&ran](size_t i) {
+            ++ran;
+            if (i == 13)
+                throw std::runtime_error("cell 13 failed");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "cell 13 failed");
+    }
+    // Remaining iterations still ran (no early abort mid-sweep).
+    EXPECT_EQ(ran.load(), 64);
 }
