@@ -94,8 +94,9 @@ main(int argc, char** argv)
     for (size_t a = 0; a < arrivals.size(); ++a) {
         const ArrivalCase& arrival = arrivals[a];
         for (const char* metric :
-             {"throughput", "ANTT", "violation", "p50 lat [ms]",
-              "p95 lat [ms]", "p99 lat [ms]", "p99 ANT", "shed"}) {
+             {"throughput", "ANTT", "violation", "slo miss",
+              "p50 lat [ms]", "p95 lat [ms]", "p99 lat [ms]",
+              "p99 ANT", "shed"}) {
             if (std::string(metric) == "shed" && !admission)
                 continue;
 
@@ -127,6 +128,11 @@ main(int argc, char** argv)
                     else if (std::string(metric) == "violation")
                         cell = AsciiTable::num(
                                    m.violationRate * 100.0, 1) + "%";
+                    else if (std::string(metric) == "slo miss")
+                        // Counts shed requests as misses; equals the
+                        // violation rate whenever nothing was shed.
+                        cell = AsciiTable::num(
+                                   m.sloMissRate * 100.0, 1) + "%";
                     else if (std::string(metric) == "p50 lat [ms]")
                         cell = AsciiTable::num(m.p50Latency * 1e3, 2);
                     else if (std::string(metric) == "p95 lat [ms]")

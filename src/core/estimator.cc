@@ -1,5 +1,7 @@
 #include "core/estimator.hh"
 
+#include "util/logging.hh"
+
 namespace dysta {
 
 // --- LutEstimator -----------------------------------------------------------
@@ -101,6 +103,20 @@ DystaEstimator::gamma(int request_id) const
 {
     auto it = predictors.find(request_id);
     return it != predictors.end() ? it->second.gamma() : 1.0;
+}
+
+ScaledEstimator::ScaledEstimator(const LatencyEstimator& inner,
+                                 double speed_factor)
+    : inner(&inner), speed(speed_factor)
+{
+    fatalIf(speed_factor <= 0.0,
+            "ScaledEstimator: speed factor must be positive");
+}
+
+std::string
+ScaledEstimator::name() const
+{
+    return inner->name() + "@x" + std::to_string(speed);
 }
 
 } // namespace dysta

@@ -160,6 +160,44 @@ class DystaEstimator : public LatencyEstimator
 };
 
 /**
+ * Node-capability view of a shared estimator: rescales another
+ * estimator's reference-hardware estimates into the node-local
+ * seconds of an accelerator running at `speedFactor` times the
+ * reference throughput. This is how heterogeneous fleets get
+ * per-node-type estimates without duplicating predictor state: one
+ * shared `DystaEstimator` learns from monitored sparsity, and each
+ * node class consults it through its own `ScaledEstimator`.
+ *
+ * Pure view: the lifecycle hooks are deliberately NOT forwarded —
+ * the owner of the wrapped estimator drives admit/observe/release
+ * exactly once, no matter how many node views exist.
+ */
+class ScaledEstimator : public LatencyEstimator
+{
+  public:
+    /** @param inner shared base estimator (kept by reference). */
+    ScaledEstimator(const LatencyEstimator& inner, double speed_factor);
+
+    std::string name() const override;
+
+    double speedFactor() const { return speed; }
+
+    double remaining(const Request& req) const override
+    {
+        return inner->remaining(req) / speed;
+    }
+
+    double isolated(const Request& req) const override
+    {
+        return inner->isolated(req) / speed;
+    }
+
+  private:
+    const LatencyEstimator* inner;
+    double speed;
+};
+
+/**
  * Ground-truth estimator: reads the request's own Phase-1 trace.
  * Only the Oracle policy may consume it — everything else would be
  * cheating.

@@ -75,15 +75,31 @@ hasTraceCsv(const std::string& dir)
 std::string
 benchSetupFingerprint(const BenchSetup& setup)
 {
-    char buf[160];
-    // format=2: %.17g trace CSVs with prefix-sum finalize.
-    std::snprintf(buf, sizeof(buf),
-                  "format=2 samples=%d seed=%llu cnnRate=%.17g "
-                  "attnn=%d cnn=%d\n",
-                  setup.samplesPerModel,
-                  static_cast<unsigned long long>(setup.seed),
-                  setup.cnnSparsityRate, setup.includeAttnn ? 1 : 0,
-                  setup.includeCnn ? 1 : 0);
+    // format=3: the fingerprint covers the reference accelerator
+    // hardware configuration. The profiled layer latencies are a
+    // function of these models, so a cached Phase-1 profile must not
+    // survive a hardware change (per-node fleet mixes scale relative
+    // to this reference at simulation time and live in the cell
+    // config, not the cache).
+    char buf[512];
+    const SangerConfig& sg = setup.sangerHw;
+    const EyerissV2Config& ey = setup.eyerissHw;
+    std::snprintf(
+        buf, sizeof(buf),
+        "format=3 samples=%d seed=%llu cnnRate=%.17g "
+        "attnn=%d cnn=%d "
+        "sanger=%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g "
+        "eyeriss=%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+        setup.samplesPerModel,
+        static_cast<unsigned long long>(setup.seed),
+        setup.cnnSparsityRate, setup.includeAttnn ? 1 : 0,
+        setup.includeCnn ? 1 : 0,
+        sg.peCount, sg.clockHz, sg.denseEfficiency,
+        sg.sparseEfficiency, sg.maskPredictOverhead,
+        sg.minMaskDensity, sg.layerOverheadCycles,
+        ey.peCount, ey.clockHz, ey.dramBandwidthBps,
+        ey.mappingEfficiency, ey.minEffectiveFraction,
+        ey.layerOverheadCycles, ey.bytesPerElement, ey.indexOverhead);
     return buf;
 }
 
@@ -97,6 +113,8 @@ std::unique_ptr<BenchContext>
 makeBenchContext(BenchSetup setup, const std::string& trace_cache_dir)
 {
     auto ctx = std::make_unique<BenchContext>();
+    ctx->sanger = SangerModel(setup.sangerHw);
+    ctx->eyeriss = EyerissV2Model(setup.eyerissHw);
 
     const std::string manifest_path =
         trace_cache_dir.empty() ? "" : trace_cache_dir + "/manifest.txt";
@@ -243,12 +261,14 @@ runAveraged(const BenchContext& ctx, WorkloadConfig workload,
 std::vector<std::string>
 allDispatchers()
 {
-    return {"round-robin", "least-outstanding", "least-backlog",
-            "least-backlog-lut"};
+    return {"round-robin",       "least-outstanding",
+            "least-backlog",     "least-backlog-lut",
+            "capability-aware",  "work-stealing"};
 }
 
 std::unique_ptr<Dispatcher>
-makeDispatcherByName(const std::string& name, const BenchContext& ctx)
+makeDispatcherByName(const std::string& name, const BenchContext& ctx,
+                     WorkStealingConfig steal_cfg)
 {
     if (name == "round-robin")
         return std::make_unique<RoundRobinDispatcher>();
@@ -259,6 +279,12 @@ makeDispatcherByName(const std::string& name, const BenchContext& ctx)
     if (name == "least-backlog-lut") {
         return std::make_unique<LeastBacklogDispatcher>(
             ctx.lut, PredictorConfig{}, /*sparsity_aware=*/false);
+    }
+    if (name == "capability-aware")
+        return std::make_unique<CapabilityAwareDispatcher>(ctx.lut);
+    if (name == "work-stealing") {
+        return std::make_unique<WorkStealingDispatcher>(ctx.lut,
+                                                        steal_cfg);
     }
     fatal("makeDispatcherByName: unknown dispatcher '" + name + "'");
 }
@@ -277,10 +303,13 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     }
     cfg.admission = cluster.admission;
     cfg.lut = &ctx.lut;
+    cfg.nodeEvents = cluster.nodeEvents;
+    cfg.onFailure = cluster.onFailure;
 
     std::vector<Request> requests =
         generateWorkload(workload, ctx.registry);
-    auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx);
+    auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx,
+                                           cluster.stealing);
     ClusterEngine engine(cfg);
     return engine.run(
         requests, *dispatcher,

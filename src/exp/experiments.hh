@@ -44,11 +44,20 @@ struct BenchSetup
     double cnnSparsityRate = 0.6;
     bool includeAttnn = true;
     bool includeCnn = true;
+    /**
+     * Hardware configuration of the reference accelerators the
+     * Phase-1 profile runs on. Per-node fleet mixes (NodeProfile
+     * speed factors) are relative to these, so they parameterize
+     * the traces themselves and are part of the cache fingerprint.
+     */
+    SangerConfig sangerHw;
+    EyerissV2Config eyerissHw;
 };
 
 /**
  * Stable one-line fingerprint of a BenchSetup plus the trace format
- * version — the trace cache's manifest content. Any field change
+ * version — the trace cache's manifest content. Any field change,
+ * including the reference accelerator hardware configuration,
  * invalidates a cached Phase-1 profile.
  */
 std::string benchSetupFingerprint(const BenchSetup& setup);
@@ -98,11 +107,13 @@ std::vector<std::string> allDispatchers();
 
 /**
  * Construct a dispatcher by name: round-robin, least-outstanding,
- * least-backlog or least-backlog-lut (the sparsity-blind ablation).
- * fatal() on unknown names.
+ * least-backlog, least-backlog-lut (the sparsity-blind ablation),
+ * capability-aware or work-stealing (`steal_cfg` applies to the
+ * latter only). fatal() on unknown names.
  */
 std::unique_ptr<Dispatcher>
-makeDispatcherByName(const std::string& name, const BenchContext& ctx);
+makeDispatcherByName(const std::string& name, const BenchContext& ctx,
+                     WorkStealingConfig steal_cfg = {});
 
 /** Cluster-run knobs layered on top of a workload. */
 struct ClusterRunConfig
@@ -117,6 +128,12 @@ struct ClusterRunConfig
     std::string nodeScheduler = "Dysta";
     /** Front-door SLO-aware load shedding. */
     AdmissionConfig admission;
+    /** Scheduled drain/fail/recover transitions. */
+    std::vector<NodeEvent> nodeEvents;
+    /** Fate of started requests displaced by a node failure. */
+    RestartPolicy onFailure = RestartPolicy::Restart;
+    /** Thresholds for the work-stealing dispatcher. */
+    WorkStealingConfig stealing;
 };
 
 /** Generate one workload and serve it on a simulated cluster. */

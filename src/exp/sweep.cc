@@ -10,6 +10,15 @@ runSweepCell(const BenchContext& ctx, const SweepCell& cell)
 {
     SweepCellResult out;
     if (cell.clusterMode) {
+        // Cluster cells configure node policies by name and block
+        // granularity per NodeProfile; reject the single-accelerator
+        // knobs instead of silently ignoring them.
+        panicIf(cell.makePolicy != nullptr,
+                "runSweepCell: makePolicy is not supported for "
+                "cluster cells (use cluster.nodeScheduler)");
+        panicIf(cell.layerBlockSize != 1,
+                "runSweepCell: set block granularity on the cluster "
+                "NodeProfiles, not SweepCell::layerBlockSize");
         ClusterResult r = runCluster(ctx, cell.workload, cell.cluster);
         out.metrics = r.metrics;
         out.decisions = r.decisions;
@@ -54,6 +63,7 @@ averageMetrics(const std::vector<Metrics>& runs)
     for (const Metrics& m : runs) {
         avg.antt += m.antt;
         avg.violationRate += m.violationRate;
+        avg.sloMissRate += m.sloMissRate;
         avg.throughput += m.throughput;
         avg.stp += m.stp;
         avg.p50Turnaround += m.p50Turnaround;
@@ -69,6 +79,7 @@ averageMetrics(const std::vector<Metrics>& runs)
     double n = static_cast<double>(runs.size());
     avg.antt /= n;
     avg.violationRate /= n;
+    avg.sloMissRate /= n;
     avg.throughput /= n;
     avg.stp /= n;
     avg.p50Turnaround /= n;

@@ -59,20 +59,32 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
     }
 
     m.completed = turnarounds.size();
-    if (m.completed == 0)
-        return m; // everything was shed: only the count is meaningful
+    if (m.completed == 0) {
+        // Everything was shed: every offered request missed its SLO.
+        m.sloMissRate = m.shed > 0 ? 1.0 : 0.0;
+        return m;
+    }
 
     double n = static_cast<double>(m.completed);
     m.antt /= n;
     m.violationRate = static_cast<double>(violations) / n;
+    // Shed requests are client-visible SLO misses: count them in
+    // both numerator and denominator so shedding cannot deflate the
+    // reported miss rate.
+    m.sloMissRate =
+        static_cast<double>(violations + m.shed) /
+        static_cast<double>(m.completed + m.shed);
     m.makespan = last_finish - first_arrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
-    m.p50Turnaround = percentile(turnarounds, 50.0);
-    m.p95Turnaround = percentile(turnarounds, 95.0);
-    m.p99Turnaround = percentile(turnarounds, 99.0);
-    m.p50Latency = percentile(latencies, 50.0);
-    m.p95Latency = percentile(latencies, 95.0);
-    m.p99Latency = percentile(latencies, 99.0);
+    // One sort per series; each percentile read is then O(1).
+    std::sort(turnarounds.begin(), turnarounds.end());
+    std::sort(latencies.begin(), latencies.end());
+    m.p50Turnaround = sortedPercentile(turnarounds, 50.0);
+    m.p95Turnaround = sortedPercentile(turnarounds, 95.0);
+    m.p99Turnaround = sortedPercentile(turnarounds, 99.0);
+    m.p50Latency = sortedPercentile(latencies, 50.0);
+    m.p95Latency = sortedPercentile(latencies, 95.0);
+    m.p99Latency = sortedPercentile(latencies, 99.0);
     return m;
 }
 

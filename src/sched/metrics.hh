@@ -22,6 +22,14 @@ struct Metrics
     double antt = 0.0;
     /** Fraction of completed requests past their deadline, in [0,1]. */
     double violationRate = 0.0;
+    /**
+     * Fraction of *offered* requests that missed their SLO:
+     * (violations + shed) / (completed + shed). A shed request is an
+     * SLO miss from the client's point of view, so unlike
+     * `violationRate` this rate cannot be gamed by shedding
+     * aggressively — with any sheds, sloMissRate >= violationRate.
+     */
+    double sloMissRate = 0.0;
     /** Completed inferences per second over the busy interval. */
     double throughput = 0.0;
     /** Eyerman-Eeckhout STP: sum of per-request speedups. */

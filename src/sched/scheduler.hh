@@ -88,6 +88,22 @@ class Scheduler
     }
 
     /**
+     * `req` left this node's queue without completing — migrated to
+     * another node or displaced by a node failure. The policy must
+     * forget it exactly as if it had completed (estimator release,
+     * queue/cache erase); the default delegates to onComplete, which
+     * performs precisely that cleanup for every built-in policy
+     * (their onComplete handlers tolerate ids they no longer track).
+     * Override only if completion has policy side effects a dequeue
+     * must not trigger.
+     */
+    virtual void
+    onDequeue(const Request& req, double now)
+    {
+        onComplete(req, now);
+    }
+
+    /**
      * Choose the next request to occupy the accelerator.
      * @param ready all admitted, unfinished requests (non-empty)
      * @return index into `ready`

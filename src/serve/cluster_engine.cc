@@ -19,6 +19,14 @@ homogeneousCluster(size_t n)
     return cfg;
 }
 
+ClusterConfig
+clusterFromProfiles(std::vector<NodeProfile> profiles)
+{
+    ClusterConfig cfg;
+    cfg.nodes = std::move(profiles);
+    return cfg;
+}
+
 ClusterEngine::ClusterEngine(ClusterConfig config)
     : cfg(std::move(config))
 {
@@ -41,6 +49,8 @@ ClusterEngine::run(std::vector<Request>& requests,
     sim.admission = cfg.admission;
     sim.lut = cfg.lut;
     sim.admissionEstimator = cfg.admissionEstimator;
+    sim.nodeEvents = cfg.nodeEvents;
+    sim.onFailure = cfg.onFailure;
     return runSimulation(sim, requests, dispatcher, make_policy);
 }
 

@@ -48,10 +48,17 @@ struct ClusterConfig
      * SimConfig::admissionEstimator.
      */
     const LatencyEstimator* admissionEstimator = nullptr;
+    /** Scheduled drain/fail/recover transitions (see SimConfig). */
+    std::vector<NodeEvent> nodeEvents;
+    /** Fate of started requests displaced by a node failure. */
+    RestartPolicy onFailure = RestartPolicy::Restart;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */
 ClusterConfig homogeneousCluster(size_t n);
+
+/** Fleet built from explicit (possibly heterogeneous) profiles. */
+ClusterConfig clusterFromProfiles(std::vector<NodeProfile> profiles);
 
 /** Result of one cluster run (the simulation core's result). */
 using ClusterResult = SimResult;

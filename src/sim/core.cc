@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "sim/event_queue.hh"
 #include "util/logging.hh"
 
 namespace dysta {
@@ -72,6 +71,20 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         calendar.push(ev);
     }
 
+    for (const NodeEvent& nev : cfg.nodeEvents) {
+        fatalIf(nev.node < 0 ||
+                    static_cast<size_t>(nev.node) >= nodes.size(),
+                "runSimulation: node event for an unknown node");
+        fatalIf(nev.time < 0.0,
+                "runSimulation: node event before time zero");
+        SimEvent ev;
+        ev.time = nev.time;
+        ev.kind = SimEventKind::NodeChange;
+        ev.node = nev.node;
+        ev.nodeEvent = nev.kind;
+        calendar.push(ev);
+    }
+
     // Estimated queued work on a node in node-seconds: a fast node
     // absorbs the same queue sooner.
     auto delayOn = [&](const SimNode& node, const Request& req) {
@@ -87,12 +100,109 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         ev.time = end;
         ev.kind = SimEventKind::LayerComplete;
         ev.node = node.id();
+        ev.epoch = node.epoch();
         calendar.push(ev);
     };
 
     size_t finished = 0;
     size_t shed_count = 0;
     bool decision_pending = false;
+
+    auto pushDecision = [&](double now) {
+        if (decision_pending)
+            return;
+        SimEvent decide;
+        decide.time = now;
+        decide.kind = SimEventKind::Decision;
+        calendar.push(decide);
+        decision_pending = true;
+    };
+
+    auto anyAvailable = [&]() {
+        for (const auto& node : nodes) {
+            if (node->available())
+                return true;
+        }
+        return false;
+    };
+
+    auto shedRequest = [&](Request* req, double now) {
+        req->shed = true;
+        ++shed_count;
+        dispatcher.onShed(*req, now);
+    };
+
+    // Place one request (fresh arrival or failure re-dispatch):
+    // dispatcher choice, then admission, then enqueue + decision.
+    auto placeRequest = [&](Request* req, double now) {
+        if (!anyAvailable()) {
+            // The whole fleet is draining or down; nobody can take
+            // new work, so the front door must drop it.
+            shedRequest(req, now);
+            return;
+        }
+        size_t pick = dispatcher.selectNode(*req, nodes, now);
+        panicIf(pick >= nodes.size(),
+                "runSimulation: dispatcher returned invalid node");
+        panicIf(!nodes[pick]->available(),
+                "runSimulation: dispatcher placed a request on an "
+                "unavailable node");
+
+        if (cfg.admission.enabled) {
+            if (now + cfg.admission.margin * delayOn(*nodes[pick], *req) >
+                req->deadline) {
+                // The chosen node cannot make the deadline: fall
+                // back to the least-loaded available node before
+                // shedding, so an admission-blind placement (e.g.
+                // round-robin) doesn't drop requests the rest of the
+                // fleet could still serve.
+                size_t best = nodes.size();
+                double best_delay = 0.0;
+                for (size_t i = 0; i < nodes.size(); ++i) {
+                    if (!nodes[i]->available())
+                        continue;
+                    double delay = delayOn(*nodes[i], *req);
+                    if (best == nodes.size() || delay < best_delay) {
+                        best = i;
+                        best_delay = delay;
+                    }
+                }
+                if (now + cfg.admission.margin * best_delay >
+                    req->deadline) {
+                    shedRequest(req, now);
+                    return;
+                }
+                pick = best;
+            }
+        }
+
+        nodes[pick]->enqueue(req, now);
+        // Dispatch after every arrival of this instant has been
+        // placed (admit-then-select): the Decision kind sorts
+        // after all same-time arrivals and completions.
+        pushDecision(now);
+    };
+
+    // Validate and apply the moves of a rebalancing dispatcher. The
+    // Migration contract is enforced here (and in removeQueued), so
+    // a buggy policy fails deterministically instead of corrupting
+    // node state.
+    auto applyRebalance = [&](double now) {
+        if (!dispatcher.wantsRebalance())
+            return false;
+        std::vector<Migration> moves = dispatcher.rebalance(nodes, now);
+        for (const Migration& m : moves) {
+            panicIf(m.req == nullptr || m.from >= nodes.size() ||
+                        m.to >= nodes.size() || m.from == m.to,
+                    "runSimulation: malformed migration");
+            panicIf(!nodes[m.to]->available(),
+                    "runSimulation: migration onto an unavailable "
+                    "node");
+            nodes[m.from]->removeQueued(m.req, now);
+            nodes[m.to]->enqueue(m.req, now);
+        }
+        return !moves.empty();
+    };
 
     while (finished + shed_count < requests.size()) {
         panicIf(calendar.empty(),
@@ -103,58 +213,54 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
 
         switch (ev.kind) {
           case SimEventKind::Arrival: {
-            Request* req = ev.req;
-            size_t pick = dispatcher.selectNode(*req, nodes, now);
-            panicIf(pick >= nodes.size(),
-                    "runSimulation: dispatcher returned invalid node");
+            placeRequest(ev.req, now);
+            break;
+          }
 
-            if (cfg.admission.enabled) {
-                if (now + cfg.admission.margin *
-                              delayOn(*nodes[pick], *req) >
-                    req->deadline) {
-                    // The chosen node cannot make the deadline: fall
-                    // back to the least-loaded node before shedding,
-                    // so an admission-blind placement (e.g. round-
-                    // robin) doesn't drop requests the rest of the
-                    // fleet could still serve.
-                    size_t best = 0;
-                    double best_delay = 0.0;
-                    for (size_t i = 0; i < nodes.size(); ++i) {
-                        double delay = delayOn(*nodes[i], *req);
-                        if (i == 0 || delay < best_delay) {
-                            best = i;
-                            best_delay = delay;
-                        }
+          case SimEventKind::NodeChange: {
+            SimNode& node = *nodes[ev.node];
+            switch (ev.nodeEvent) {
+              case NodeEventKind::Drain:
+                node.drain();
+                break;
+              case NodeEventKind::Fail: {
+                const Request* inflight = node.current();
+                std::vector<Request*> displaced = node.fail(now);
+                for (Request* req : displaced) {
+                    bool started =
+                        req == inflight || req->nextLayer > 0;
+                    if (started &&
+                        cfg.onFailure == RestartPolicy::Shed) {
+                        shedRequest(req, now);
+                        continue;
                     }
-                    if (now + cfg.admission.margin * best_delay >
-                        req->deadline) {
-                        req->shed = true;
-                        ++shed_count;
-                        dispatcher.onShed(*req, now);
-                        break;
+                    if (started) {
+                        // Activations died with the node: restart
+                        // from layer 0 (enqueue re-zeroes the rest).
+                        req->nextLayer = 0;
+                        req->executedTime = 0.0;
                     }
-                    pick = best;
+                    placeRequest(req, now);
                 }
-            }
-
-            nodes[pick]->enqueue(req, now);
-            // Dispatch after every arrival of this instant has been
-            // placed (admit-then-select): the Decision kind sorts
-            // after all same-time arrivals and completions.
-            if (!decision_pending) {
-                SimEvent decide;
-                decide.time = now;
-                decide.kind = SimEventKind::Decision;
-                calendar.push(decide);
-                decision_pending = true;
+                break;
+              }
+              case NodeEventKind::Recover:
+                node.recover();
+                // Give rebalancing dispatchers (and any queued work
+                // the recovery logically unblocks) a same-instant
+                // decision sweep.
+                pushDecision(now);
+                break;
             }
             break;
           }
 
           case SimEventKind::Decision: {
             decision_pending = false;
+            applyRebalance(now);
             for (auto& node : nodes) {
-                if (!node->busy() && node->outstanding() > 0)
+                if (node->state() != NodeState::Down &&
+                    !node->busy() && node->outstanding() > 0)
                     pushLayerEnd(*node, node->beginBlock(now));
             }
             break;
@@ -162,6 +268,11 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
 
           case SimEventKind::LayerComplete: {
             SimNode& node = *nodes[ev.node];
+            if (ev.epoch != node.epoch()) {
+                // The layer this event announced was abandoned by a
+                // node failure after it was scheduled; nothing to do.
+                break;
+            }
             const Request* req = node.current();
             size_t layer_idx = req->nextLayer;
 
@@ -178,6 +289,11 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
             if (done != nullptr) {
                 dispatcher.onComplete(node, *done, now);
                 ++finished;
+                // A completion is a load-balance change worth a
+                // migration look; idle nodes that receive stolen
+                // work are started by the pushed decision sweep.
+                if (applyRebalance(now))
+                    pushDecision(now);
             }
 
             // Continue the non-preemptible block, or make a fresh

@@ -29,9 +29,33 @@
 #include "core/model_info.hh"
 #include "sched/metrics.hh"
 #include "sim/dispatcher.hh"
+#include "sim/event_queue.hh"
 #include "sim/node.hh"
 
 namespace dysta {
+
+/** One scheduled availability change of one node. */
+struct NodeEvent
+{
+    /** When the transition happens. */
+    double time = 0.0;
+    /** Index of the node changing state. */
+    int node = 0;
+    NodeEventKind kind = NodeEventKind::Drain;
+};
+
+/** What happens to in-flight work when its node fails. */
+enum class RestartPolicy : uint8_t
+{
+    /**
+     * Started requests (their on-node activations are lost) restart
+     * from layer 0 and go back through the dispatcher like fresh
+     * work. Queued-but-not-started requests always just re-dispatch.
+     */
+    Restart = 0,
+    /** Started requests are shed; only untouched work re-dispatches. */
+    Shed = 1,
+};
 
 /** SLO-aware admission control knobs. */
 struct AdmissionConfig
@@ -81,6 +105,15 @@ struct SimConfig
      * `OracleEstimator` to bound what perfect admission could do.
      */
     const LatencyEstimator* admissionEstimator = nullptr;
+    /**
+     * Scheduled drain/fail/recover transitions (maintenance windows,
+     * failure injection). Applied at their times with the calendar's
+     * deterministic tie-breaks; same-instant transitions of distinct
+     * nodes resolve by node id, of one node by list order.
+     */
+    std::vector<NodeEvent> nodeEvents;
+    /** Fate of started requests displaced by a node failure. */
+    RestartPolicy onFailure = RestartPolicy::Restart;
 };
 
 /** Result of one simulation run. */
@@ -135,6 +168,12 @@ class ForwardingScheduler : public Scheduler
     onComplete(const Request& req, double now) override
     {
         inner->onComplete(req, now);
+    }
+
+    void
+    onDequeue(const Request& req, double now) override
+    {
+        inner->onDequeue(req, now);
     }
 
     size_t

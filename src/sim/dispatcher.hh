@@ -3,10 +3,16 @@
  * Front-end placement interface of the simulation core.
  *
  * The dispatcher assigns every arriving request to one accelerator
- * node; placement is final (no cross-node migration), matching the
- * cost of moving activations between accelerators. Concrete
- * cluster policies (round-robin, least-outstanding, sparsity-aware
- * least-backlog) live in `src/serve/dispatcher.hh`; the trivial
+ * node. Placement of *started* requests is final (activations live
+ * on the node), but a rebalancing dispatcher may migrate queued-but-
+ * not-started requests between nodes through the `rebalance` hook —
+ * the core validates and applies the returned moves at decision
+ * points. Nodes expose a `NodeCapability` view (state, hardware
+ * class, speed, queue depth); dispatchers must only place work on
+ * nodes that are `available()` — draining and failed nodes accept
+ * none. Concrete cluster policies (round-robin, least-outstanding,
+ * sparsity-aware least-backlog, capability-aware, work-stealing)
+ * live in `src/serve/dispatcher.hh`; the trivial
  * `SingleNodeDispatcher` here is what makes a single-accelerator
  * run exactly a 1-node cluster.
  */
@@ -22,6 +28,17 @@
 
 namespace dysta {
 
+/** One queued-request move proposed by a rebalancing dispatcher. */
+struct Migration
+{
+    /** The request to move; must be queued on `from`, not started. */
+    Request* req = nullptr;
+    /** Index of the node currently holding the request. */
+    size_t from = 0;
+    /** Index of the (available) destination node. */
+    size_t to = 0;
+};
+
 /** Abstract front-end placement policy. */
 class Dispatcher
 {
@@ -35,7 +52,10 @@ class Dispatcher
     virtual void reset() {}
 
     /**
-     * Choose the node for an arriving request.
+     * Choose the node for an arriving request. The core only calls
+     * this while at least one node is available; implementations
+     * must skip unavailable nodes (the core panics on a placement
+     * onto one).
      * @param nodes all cluster nodes (non-empty)
      * @return index into `nodes`
      */
@@ -43,6 +63,29 @@ class Dispatcher
     selectNode(const Request& req,
                const std::vector<std::unique_ptr<SimNode>>& nodes,
                double now) = 0;
+
+    /**
+     * Whether the core should offer this dispatcher rebalance
+     * opportunities (at decision sweeps and request completions).
+     * Policies returning false never pay the hook's cost and the
+     * schedule is identical to a core without migration support.
+     */
+    virtual bool wantsRebalance() const { return false; }
+
+    /**
+     * Propose queued-request migrations given the current cluster
+     * state. Every move must satisfy the `Migration` contract
+     * against the state at call time (the core applies the list
+     * synchronously, in order, and panics on an invalid move).
+     */
+    virtual std::vector<Migration>
+    rebalance(const std::vector<std::unique_ptr<SimNode>>& nodes,
+              double now)
+    {
+        (void)nodes;
+        (void)now;
+        return {};
+    }
 
     /**
      * A layer of `req` finished on `node`; the zero-count monitor
@@ -68,9 +111,10 @@ class Dispatcher
     }
 
     /**
-     * Admission control shed `req` right after selectNode chose its
-     * node: the placement never happened, so policies must roll back
-     * any per-request side effects of the selection.
+     * `req` was shed: admission control rejected it right after
+     * selectNode chose its node (the placement never happened), or a
+     * node failure displaced it with nowhere to go. Policies must
+     * roll back any per-request side effects of a prior selection.
      */
     virtual void
     onShed(const Request& req, double now)

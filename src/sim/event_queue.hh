@@ -8,15 +8,21 @@
  *  - LayerComplete: the in-flight layer of one node finishes (the
  *    zero-count monitor fires here; block boundaries are where the
  *    next dispatch decision happens);
+ *  - NodeChange: a node's availability changes (drain / fail /
+ *    recover) — sorted after same-instant layer completions (the
+ *    layer genuinely finished before the node died) and before the
+ *    decision sweep (a recovered node joins the same instant's
+ *    dispatch);
  *  - Decision: a coalesced sweep that starts blocks on idle nodes
  *    after the arrivals of one instant have all been placed —
  *    preserving the admit-then-select ordering for simultaneous
  *    arrivals.
  *
  * Ties are broken deterministically by (time, kind, node, push
- * order): arrivals before completions before decisions, completions
- * by lowest node id — so a fixed workload seed always reproduces
- * the same schedule, independent of fleet size or policy cost.
+ * order): arrivals before completions before node changes before
+ * decisions, completions by lowest node id — so a fixed workload
+ * seed always reproduces the same schedule, independent of fleet
+ * size or policy cost.
  */
 
 #ifndef DYSTA_SIM_EVENT_QUEUE_HH
@@ -34,7 +40,16 @@ enum class SimEventKind : uint8_t
 {
     Arrival = 0,
     LayerComplete = 1,
-    Decision = 2,
+    NodeChange = 2,
+    Decision = 3,
+};
+
+/** Availability transitions a NodeChange event can carry. */
+enum class NodeEventKind : uint8_t
+{
+    Drain = 0,   ///< stop accepting new work, finish the queue
+    Fail = 1,    ///< drop dead; queued work returns to the dispatcher
+    Recover = 2, ///< back in service
 };
 
 /** One calendar entry. */
@@ -42,10 +57,18 @@ struct SimEvent
 {
     double time = 0.0;
     SimEventKind kind = SimEventKind::Decision;
-    /** Node owning the completing layer; -1 for global events. */
+    /** Node owning the completing layer / changing state; -1 else. */
     int node = -1;
     /** Arriving request; nullptr for non-arrival events. */
     Request* req = nullptr;
+    /** Availability transition (NodeChange events only). */
+    NodeEventKind nodeEvent = NodeEventKind::Drain;
+    /**
+     * Node fail-epoch at push time (LayerComplete events only): a
+     * mismatch against the node's current epoch marks the event as
+     * stale — its layer was abandoned by an intervening failure.
+     */
+    uint64_t epoch = 0;
     /** Push order, assigned by the queue (final tie-break). */
     uint64_t seq = 0;
 };

@@ -6,6 +6,37 @@
 
 namespace dysta {
 
+NodeHw
+referenceNodeHw()
+{
+    return NodeHw{};
+}
+
+double
+hwSpeedFactor(const NodeHw& hw)
+{
+    fatalIf(hw.peCount <= 0, "hwSpeedFactor: PE count must be positive");
+    fatalIf(hw.clockHz <= 0.0, "hwSpeedFactor: clock must be positive");
+    fatalIf(hw.derate <= 0.0, "hwSpeedFactor: derate must be positive");
+    NodeHw ref = referenceNodeHw();
+    return (static_cast<double>(hw.peCount) * hw.clockHz * hw.derate) /
+           (static_cast<double>(ref.peCount) * ref.clockHz);
+}
+
+std::string
+toString(NodeState state)
+{
+    switch (state) {
+      case NodeState::Up:
+        return "up";
+      case NodeState::Draining:
+        return "draining";
+      case NodeState::Down:
+        return "down";
+    }
+    return "?";
+}
+
 NodeProfile
 referenceNodeProfile(const std::string& name)
 {
@@ -26,6 +57,16 @@ scaledNodeProfile(const std::string& name, double speed)
     return p;
 }
 
+NodeProfile
+nodeProfileFromHw(const std::string& name, NodeHw hw)
+{
+    NodeProfile p;
+    p.name = name;
+    p.speedFactor = hwSpeedFactor(hw);
+    p.hw = std::move(hw);
+    return p;
+}
+
 SimNode::SimNode(int id, NodeProfile profile,
                  std::unique_ptr<Scheduler> policy)
     : nodeId(id), prof(std::move(profile)), sched(std::move(policy))
@@ -41,18 +82,83 @@ SimNode::layerLatency(const LayerTrace& layer) const
     return layer.latency / prof.speedFactor;
 }
 
+NodeCapability
+SimNode::capability() const
+{
+    NodeCapability cap;
+    cap.id = nodeId;
+    cap.state = nodeState;
+    cap.available = available();
+    cap.hwClass = prof.hw.hwClass;
+    cap.speedFactor = prof.speedFactor;
+    cap.outstanding = ready.size();
+    return cap;
+}
+
+std::vector<Request*>
+SimNode::fail(double now)
+{
+    if (nodeState == NodeState::Down)
+        return {};
+    nodeState = NodeState::Down;
+    ++failEpoch;
+
+    // The policy forgets every queued request (in queue order); the
+    // caller decides their fate (re-dispatch, restart or shed).
+    std::vector<Request*> displaced = std::move(ready);
+    ready.clear();
+    for (Request* req : displaced)
+        sched->onDequeue(*req, now);
+
+    running = nullptr;
+    blockOwner = nullptr;
+    blockExecuted = 0;
+    lastRun = nullptr;
+    return displaced;
+}
+
+void
+SimNode::drain()
+{
+    if (nodeState == NodeState::Up)
+        nodeState = NodeState::Draining;
+}
+
+void
+SimNode::recover()
+{
+    nodeState = NodeState::Up;
+}
+
 void
 SimNode::enqueue(Request* req, double now)
 {
     panicIf(req == nullptr || req->trace == nullptr ||
                 req->trace->layers.empty(),
             "SimNode: request without a trace");
+    panicIf(nodeState == NodeState::Down,
+            "SimNode: enqueue on a failed node");
     req->nextLayer = 0;
     req->executedTime = 0.0;
     req->lastRunEnd = req->arrival;
     req->finishTime = -1.0;
     ready.push_back(req);
     sched->onArrival(*req, now);
+}
+
+void
+SimNode::removeQueued(Request* req, double now)
+{
+    panicIf(req == nullptr, "SimNode::removeQueued: null request");
+    panicIf(req == running || req == blockOwner,
+            "SimNode::removeQueued: request is in flight");
+    panicIf(req->nextLayer != 0,
+            "SimNode::removeQueued: request already started");
+    auto it = std::find(ready.begin(), ready.end(), req);
+    panicIf(it == ready.end(),
+            "SimNode::removeQueued: request not queued here");
+    ready.erase(it);
+    sched->onDequeue(*req, now);
 }
 
 double
@@ -70,6 +176,8 @@ SimNode::beginBlock(double now)
 {
     panicIf(busy(), "SimNode::beginBlock while busy");
     panicIf(ready.empty(), "SimNode::beginBlock with empty queue");
+    panicIf(nodeState == NodeState::Down,
+            "SimNode::beginBlock on a failed node");
 
     Request* pick = sched->pickNext(ready, now);
     ++numDecisions;

@@ -8,10 +8,20 @@
  * paper's Fig. 7 loop, implemented exactly once for every engine in
  * the repository. The single-accelerator `SchedulerEngine` is a
  * 1-node instance of this machinery; `ClusterEngine` drives N of
- * them off one event calendar. Heterogeneity is expressed through a
- * `NodeProfile` speed factor scaling the Phase-1 trace latencies,
- * so a cluster can mix e.g. full-size Sanger nodes with smaller
- * Eyeriss-v2-class nodes against one trace pool.
+ * them off one event calendar.
+ *
+ * Heterogeneity is first-class: every node carries a `NodeHw`
+ * accelerator configuration (hardware class, PE count, clock) from
+ * which its relative throughput is derived, so a cluster can mix
+ * full-size Sanger-class nodes with smaller Eyeriss-class nodes
+ * against one trace pool (`nodeProfileFromHw`, and the named classes
+ * in src/workload/cluster_spec.hh). Dispatchers see this through the
+ * `NodeCapability` view, and the front-end can migrate queued-but-
+ * not-started requests between nodes (`removeQueued` + `enqueue`).
+ * Nodes are also dynamic: the calendar's drain/fail/recover events
+ * (src/sim/core.hh) drive the `NodeState` lifecycle — a draining
+ * node finishes its queue but accepts no new work, a failed node
+ * drops its queue back to the dispatcher for re-placement.
  *
  * Counting semantics (identical for every engine built on this
  * node, by construction):
@@ -24,6 +34,7 @@
 #ifndef DYSTA_SIM_NODE_HH
 #define DYSTA_SIM_NODE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,14 +44,55 @@
 
 namespace dysta {
 
+/**
+ * Per-node accelerator configuration. The reference hardware is the
+ * full-size Sanger array the Phase-1 traces were profiled on; a
+ * node's relative throughput is
+ *     speed = (peCount * clockHz * derate) / (refPe * refClock)
+ * where `derate` absorbs cross-architecture efficiency differences
+ * that PE count and clock alone do not capture (dataflow, sparsity
+ * support). Calibrated relative throughput, not cycle-accurate
+ * cross-ISA simulation.
+ */
+struct NodeHw
+{
+    /** Hardware class name as reported in capability views. */
+    std::string hwClass = "reference";
+    /** Processing elements. */
+    int peCount = 1024;
+    /** Core clock in Hz. */
+    double clockHz = 530e6;
+    /** Cross-class efficiency normalization factor. */
+    double derate = 1.0;
+};
+
+/** Reference hardware the profiled traces replay at speed 1.0. */
+NodeHw referenceNodeHw();
+
+/** Relative throughput of `hw` against the reference hardware. */
+double hwSpeedFactor(const NodeHw& hw);
+
+/** Availability lifecycle of a node (driven by calendar events). */
+enum class NodeState : uint8_t
+{
+    Up = 0,       ///< serving; accepts new work
+    Draining = 1, ///< finishes queued work; accepts no new work
+    Down = 2,     ///< failed; queue was dropped back to the dispatcher
+};
+
+std::string toString(NodeState state);
+
 /** Static description of one accelerator node. */
 struct NodeProfile
 {
     /** Profile name as reported in result tables. */
     std::string name = "eyeriss-v2";
+    /** Accelerator configuration this node runs. */
+    NodeHw hw;
     /**
      * Relative throughput: trace layer latencies are divided by this.
-     * 1.0 replays the Phase-1 traces verbatim.
+     * 1.0 replays the Phase-1 traces verbatim. `nodeProfileFromHw`
+     * derives it from `hw`; hand-built profiles may set it directly.
      */
     double speedFactor = 1.0;
     /** Time charged per scheduling decision on this node. */
@@ -54,6 +106,27 @@ NodeProfile referenceNodeProfile(const std::string& name = "reference");
 
 /** A node with `speed` times the reference throughput. */
 NodeProfile scaledNodeProfile(const std::string& name, double speed);
+
+/** A node whose speed factor is derived from its hardware config. */
+NodeProfile nodeProfileFromHw(const std::string& name, NodeHw hw);
+
+/**
+ * What a dispatcher may know about a node when placing or migrating
+ * work: identity, hardware class and relative speed, availability,
+ * and the current queue depth. Estimated backlog in node-seconds is
+ * policy business (see ScaledEstimator) and not part of the view.
+ */
+struct NodeCapability
+{
+    int id = -1;
+    NodeState state = NodeState::Up;
+    /** Up and accepting new work. */
+    bool available = true;
+    std::string hwClass;
+    double speedFactor = 1.0;
+    /** Queued plus running request count. */
+    size_t outstanding = 0;
+};
 
 /**
  * Execution state of one accelerator node inside the simulation
@@ -91,8 +164,48 @@ class SimNode
     size_t preemptionCount() const { return numPreemptions; }
     size_t decisionCount() const { return numDecisions; }
 
+    // --- availability lifecycle -------------------------------------
+
+    NodeState state() const { return nodeState; }
+
+    /** Whether the node accepts new work (Up, not draining/down). */
+    bool available() const { return nodeState == NodeState::Up; }
+
+    /** The dispatcher-facing view of this node. */
+    NodeCapability capability() const;
+
+    /**
+     * Fail the node: it goes Down, its in-flight layer is abandoned
+     * and every queued request (running one included, in queue
+     * order) is dequeued from the policy and returned for the caller
+     * to re-dispatch, restart or shed. Bumps the epoch so pending
+     * layer-complete events for the abandoned layer are recognized
+     * as stale. Idempotent on a Down node (returns empty).
+     */
+    std::vector<Request*> fail(double now);
+
+    /** Stop accepting new work; queued work keeps executing. */
+    void drain();
+
+    /** Return to Up from Draining or Down. */
+    void recover();
+
+    /**
+     * Stale-event guard: incremented by fail(), stamped into
+     * layer-complete calendar events at push time.
+     */
+    uint64_t epoch() const { return failEpoch; }
+
     /** Place an arriving request on this node at time `now`. */
     void enqueue(Request* req, double now);
+
+    /**
+     * Remove a queued-but-not-started request (migration): the
+     * request leaves this node's ready queue and its policy forgets
+     * it (`Scheduler::onDequeue`). panic() unless the request is
+     * queued here, has executed no layer, and is not in flight.
+     */
+    void removeQueued(Request* req, double now);
 
     /**
      * Invoke the policy and start the first layer of a new
@@ -133,6 +246,9 @@ class SimNode
     double layerEnd = 0.0;           ///< completion time of in-flight layer
     double lastSparsity = -1.0;
     const Request* lastRun = nullptr; ///< preemption detection
+
+    NodeState nodeState = NodeState::Up;
+    uint64_t failEpoch = 0;
 
     size_t numCompleted = 0;
     size_t numPreemptions = 0;

@@ -102,15 +102,22 @@ double
 percentile(std::vector<double> v, double p)
 {
     panicIf(v.empty(), "percentile of empty vector");
-    panicIf(p < 0.0 || p > 100.0, "percentile p out of [0, 100]");
     std::sort(v.begin(), v.end());
-    if (v.size() == 1)
-        return v[0];
-    double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    return sortedPercentile(v, p);
+}
+
+double
+sortedPercentile(const std::vector<double>& sorted, double p)
+{
+    panicIf(sorted.empty(), "percentile of empty vector");
+    panicIf(p < 0.0 || p > 100.0, "percentile p out of [0, 100]");
+    if (sorted.size() == 1)
+        return sorted[0];
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     size_t lo_idx = static_cast<size_t>(rank);
-    size_t hi_idx = std::min(lo_idx + 1, v.size() - 1);
+    size_t hi_idx = std::min(lo_idx + 1, sorted.size() - 1);
     double frac = rank - static_cast<double>(lo_idx);
-    return v[lo_idx] * (1.0 - frac) + v[hi_idx] * frac;
+    return sorted[lo_idx] * (1.0 - frac) + sorted[hi_idx] * frac;
 }
 
 double

@@ -56,9 +56,20 @@ double stddev(const std::vector<double>& v);
 
 /**
  * Linear-interpolated percentile, p in [0, 100].
+ * Checked convenience wrapper: copies and sorts `v`, then delegates
+ * to sortedPercentile. Callers taking several percentiles of one
+ * series should sort once and use sortedPercentile directly.
  * @pre v non-empty.
  */
 double percentile(std::vector<double> v, double p);
+
+/**
+ * Linear-interpolated percentile of an ascending-sorted series,
+ * p in [0, 100]. O(1) — the caller pays the sort exactly once per
+ * series, not once per percentile.
+ * @pre sorted non-empty and ascending.
+ */
+double sortedPercentile(const std::vector<double>& sorted, double p);
 
 /**
  * Root-mean-square error between prediction and reference series.

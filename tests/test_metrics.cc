@@ -135,6 +135,54 @@ TEST(Metrics, CompletedVariantAllShed)
     EXPECT_DOUBLE_EQ(m.throughput, 0.0);
 }
 
+TEST(Metrics, SloMissRateCountsShedAsMisses)
+{
+    // Hand-built set: 4 completed (1 violated, SLO mult 2 ->
+    // deadline = arrival + 2) and 2 shed. The regression this pins:
+    // violationRate looks only at completed requests (1/4), so an
+    // aggressive admission controller could shed its way to a
+    // better-looking number; sloMissRate charges the sheds too:
+    // (violations + shed) / (completed + shed) = (1 + 2) / (4 + 2).
+    std::vector<Request> reqs = {
+        finished(world(), 0, 0.0, 1.5, 2.0),  // meets SLO
+        finished(world(), 1, 0.0, 1.0, 2.0),  // meets SLO
+        finished(world(), 2, 0.0, 1.8, 2.0),  // meets SLO
+        finished(world(), 3, 0.0, 9.0, 2.0),  // violated
+        world().request(4, "m", 0.5, 2.0),
+        world().request(5, "m", 0.6, 2.0),
+    };
+    reqs[4].shed = true;
+    reqs[5].shed = true;
+    Metrics m = computeMetricsCompleted(reqs);
+    EXPECT_EQ(m.completed, 4u);
+    EXPECT_EQ(m.shed, 2u);
+    EXPECT_DOUBLE_EQ(m.violationRate, 1.0 / 4.0);
+    EXPECT_DOUBLE_EQ(m.sloMissRate, 3.0 / 6.0);
+    // The invariant the cluster benches rely on: with sheds present
+    // the SLO-miss rate can never undercut the violation rate.
+    EXPECT_GE(m.sloMissRate, m.violationRate);
+}
+
+TEST(Metrics, SloMissRateEqualsViolationRateWithoutSheds)
+{
+    std::vector<Request> reqs = {
+        finished(world(), 0, 0.0, 1.0, 2.0),
+        finished(world(), 1, 0.0, 9.0, 2.0),
+    };
+    Metrics m = computeMetrics(reqs);
+    EXPECT_DOUBLE_EQ(m.violationRate, 0.5);
+    EXPECT_DOUBLE_EQ(m.sloMissRate, m.violationRate);
+}
+
+TEST(Metrics, SloMissRateIsOneWhenEverythingShed)
+{
+    std::vector<Request> reqs = {world().request(0, "m", 0.0)};
+    reqs[0].shed = true;
+    Metrics m = computeMetricsCompleted(reqs);
+    EXPECT_EQ(m.completed, 0u);
+    EXPECT_DOUBLE_EQ(m.sloMissRate, 1.0);
+}
+
 TEST(Metrics, CompletedVariantStillPanicsOnUnfinished)
 {
     // Unfinished but *not* shed is an engine bug, even here.

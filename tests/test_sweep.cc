@@ -266,6 +266,49 @@ TEST(TraceCache, StaleManifestTriggersRegeneration)
         static_cast<size_t>(changed.samplesPerModel));
 }
 
+TEST(TraceCache, HardwareConfigChangeInvalidatesCache)
+{
+    // The regression this pins: the manifest fingerprint must cover
+    // the reference accelerator hardware, or a cached Phase-1
+    // profile silently survives a hw change and every latency in
+    // the simulation is wrong.
+    CacheDir cache;
+    BenchSetup setup = tinySetup();
+    auto original = makeBenchContext(setup, cache.dir);
+
+    BenchSetup changed = setup;
+    changed.sangerHw.clockHz = setup.sangerHw.clockHz * 2.0;
+    EXPECT_NE(benchSetupFingerprint(setup),
+              benchSetupFingerprint(changed));
+
+    // The faster clock must show up in the regenerated profile: a
+    // stale cache hit would replay the old latencies unchanged.
+    auto regenerated = makeBenchContext(changed, cache.dir);
+    const ModelInfo& before =
+        original->lut.lookup("bert", SparsityPattern::Dense);
+    const ModelInfo& after =
+        regenerated->lut.lookup("bert", SparsityPattern::Dense);
+    EXPECT_LT(after.avgLatency, before.avgLatency);
+
+    // The rewritten manifest now serves the changed hw config.
+    std::ifstream manifest(cache.dir + "/manifest.txt");
+    std::string content((std::istreambuf_iterator<char>(manifest)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, benchSetupFingerprint(changed));
+    auto cached = makeBenchContext(changed, cache.dir);
+    EXPECT_EQ(cached->lut.lookup("bert", SparsityPattern::Dense)
+                  .avgLatency,
+              after.avgLatency);
+
+    // The Eyeriss config is covered too (CNN-free setups still
+    // fingerprint it: the setup describes the hardware, not the
+    // model mix).
+    BenchSetup eyeriss_changed = setup;
+    eyeriss_changed.eyerissHw.peCount = 64;
+    EXPECT_NE(benchSetupFingerprint(setup),
+              benchSetupFingerprint(eyeriss_changed));
+}
+
 TEST(TraceCache, CorruptBinaryFallsBackToCsv)
 {
     CacheDir cache;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -226,6 +227,32 @@ TEST(Stats, PercentileInterpolates)
     EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
     EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
     EXPECT_DOUBLE_EQ(percentile({5.0}, 37.0), 5.0);
+}
+
+TEST(Stats, SortedPercentileMatchesCheckedWrapper)
+{
+    // The fast path must agree with the copy-and-sort wrapper on an
+    // unsorted series.
+    std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 12.5, 37.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(sortedPercentile(sorted, p), percentile(v, p));
+}
+
+TEST(Stats, PercentilePinnedInterpolationValues)
+{
+    // Known series 10..100: rank = p/100 * (n-1), linear between
+    // neighbours. Pins the exact p50/p95/p99 interpolation the
+    // metrics layer reports.
+    std::vector<double> v;
+    for (int i = 1; i <= 10; ++i)
+        v.push_back(10.0 * i);
+    EXPECT_DOUBLE_EQ(sortedPercentile(v, 50.0), 55.0);  // rank 4.5
+    EXPECT_DOUBLE_EQ(sortedPercentile(v, 95.0), 95.5);  // rank 8.55
+    EXPECT_DOUBLE_EQ(sortedPercentile(v, 99.0), 99.1);  // rank 8.91
+    EXPECT_DOUBLE_EQ(sortedPercentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(sortedPercentile(v, 100.0), 100.0);
 }
 
 TEST(Stats, RmseKnownValue)
