@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "exp/sweep.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -24,12 +25,20 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 600);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    ArgParser args("ablation_granularity",
+                   "Scheduling-granularity ablation: layer-block "
+                   "size vs preemptions and metrics.");
+    args.addInt("--requests", 600, "requests per workload");
+    args.addInt("--seeds", 3, "seed replicas");
+    args.addJobs();
+    args.addTraceCache();
+    args.parse(argc, argv);
+    int requests = args.getInt("--requests");
+    int seeds = args.getInt("--seeds");
 
     auto ctx = makeBenchContext(BenchSetup{},
-                                argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+                                args.getString("--trace-cache"));
+    SweepRunner runner(*ctx, args.getInt("--jobs"));
 
     const size_t blocks[] = {1, 2, 4, 8, 16, 64};
     const WorkloadKind kinds[] = {WorkloadKind::MultiAttNN,

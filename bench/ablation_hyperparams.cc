@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "exp/sweep.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -23,12 +24,20 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 800);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    ArgParser args("ablation_hyperparams",
+                   "Dysta hyperparameter ablation: eta, beta and "
+                   "predictor-strategy sweeps on both workloads.");
+    args.addInt("--requests", 800, "requests per workload");
+    args.addInt("--seeds", 3, "seed replicas");
+    args.addJobs();
+    args.addTraceCache();
+    args.parse(argc, argv);
+    int requests = args.getInt("--requests");
+    int seeds = args.getInt("--seeds");
 
     auto ctx = makeBenchContext(BenchSetup{},
-                                argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+                                args.getString("--trace-cache"));
+    SweepRunner runner(*ctx, args.getInt("--jobs"));
 
     const double etas[] = {0.0, 0.02, 0.05, 0.1, 0.3, 1.0};
     const double betas[] = {0.0, 0.25, 0.5, 0.75, 1.0};

@@ -1,158 +1,68 @@
 /**
  * @file
  * Cluster scaling sweep: fleet size x front-end dispatcher x arrival
- * process, on the multi-AttNN scenario at a saturating offered load.
- *
- * Each cell serves one seeded workload on a homogeneous cluster whose
- * nodes run the Dysta per-node policy; reported are system throughput,
- * ANTT, SLO violation rate, tail latency percentiles (p50/p95/p99
- * end-to-end latency and p99 normalized turnaround) and (when
- * admission control is on) the shed count. Expected reads:
+ * process, on the multi-AttNN scenario at a saturating offered load
+ * with Dysta per node. Expected reads:
  *  - throughput scales monotonically with the node count while the
  *    offered load saturates the fleet;
  *  - backlog-aware placement beats round-robin under bursty (MMPP)
  *    and diurnal traffic, where instantaneous load imbalance is the
  *    failure mode.
  *
- * The (arrival x dispatcher x fleet size) grid runs as independent
- * cells on the parallel SweepRunner; output is identical for any
- * --jobs.
- *
- * Usage: bench_cluster_scaling [--requests N] [--rate R] [--seed S]
- *                              [--sched NAME] [--admission 0|1]
- *                              [--jobs N] [--trace-cache DIR]
+ * This main is the built-in "cluster-scaling" scenario plus flag
+ * overrides; `sdysta scenarios/cluster-scaling.scn` runs the
+ * identical grid. `--admission 1` adds SLO-aware load shedding.
  */
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "exp/sweep.hh"
-#include "util/table.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 400);
-    double rate = argDouble(argc, argv, "--rate", 120.0);
-    int seed = argInt(argc, argv, "--seed", 42);
-    std::string sched = argStr(argc, argv, "--sched", "Dysta");
-    bool admission = argInt(argc, argv, "--admission", 0) != 0;
+    ArgParser args("bench_cluster_scaling",
+                   "Fleet size x dispatcher x arrival process at "
+                   "saturating load (the built-in 'cluster-scaling' "
+                   "scenario).");
+    args.addInt("--requests", 400, "requests per workload");
+    args.addDouble("--rate", 120.0, "base arrival rate [req/s]");
+    args.addInt("--seed", 42, "workload seed");
+    args.addString("--sched", "Dysta", "per-node scheduler spec");
+    args.addBool("--admission", false,
+                 "SLO-aware admission control (sheds hopeless "
+                 "requests)");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_cluster_scaling.json",
+                   "report path");
+    args.parse(argc, argv);
 
-    std::printf("Profiling AttNN models on Sanger...\n");
-    BenchSetup setup;
-    setup.includeCnn = false;
-    auto ctx = makeBenchContext(setup, argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    ScenarioSpec spec = builtinScenario("cluster-scaling");
+    spec.requests = args.getInt("--requests");
+    spec.seed = static_cast<uint64_t>(args.getInt("--seed"));
+    spec.workloads = {
+        {WorkloadKind::MultiAttNN, args.getDouble("--rate")}};
+    spec.schedulers = {args.getString("--sched")};
+    spec.admission = args.getBool("--admission");
 
-    const size_t fleet_sizes[] = {1, 2, 4, 8};
-
-    struct ArrivalCase
-    {
-        const char* label;
-        ArrivalConfig config;
-    };
-    std::vector<ArrivalCase> arrivals;
-    arrivals.push_back({"poisson", {}});
-    {
-        ArrivalConfig mmpp;
-        mmpp.kind = ArrivalKind::Mmpp;
-        arrivals.push_back({"mmpp", mmpp});
-    }
-    {
-        ArrivalConfig diurnal;
-        diurnal.kind = ArrivalKind::Diurnal;
-        arrivals.push_back({"diurnal", diurnal});
-    }
-
-    // One cell per (arrival, dispatcher, fleet size).
-    std::vector<SweepCell> cells;
-    for (const ArrivalCase& arrival : arrivals) {
-        for (const std::string& disp : allDispatchers()) {
-            for (size_t n : fleet_sizes) {
-                SweepCell cell;
-                cell.workload.kind = WorkloadKind::MultiAttNN;
-                cell.workload.arrivalRate = rate;
-                cell.workload.arrival = arrival.config;
-                cell.workload.numRequests = requests;
-                cell.workload.seed = static_cast<uint64_t>(seed);
-                cell.clusterMode = true;
-                cell.cluster.numNodes = n;
-                cell.cluster.dispatcher = disp;
-                cell.cluster.nodeScheduler = sched;
-                cell.cluster.admission.enabled = admission;
-                cells.push_back(cell);
-            }
-        }
-    }
-    std::vector<SweepCellResult> results = runner.run(cells);
-
-    size_t num_fleets = std::size(fleet_sizes);
-    size_t cells_per_arrival = allDispatchers().size() * num_fleets;
-    for (size_t a = 0; a < arrivals.size(); ++a) {
-        const ArrivalCase& arrival = arrivals[a];
-        for (const char* metric :
-             {"throughput", "ANTT", "violation", "slo miss",
-              "p50 lat [ms]", "p95 lat [ms]", "p99 lat [ms]",
-              "p99 ANT", "shed"}) {
-            if (std::string(metric) == "shed" && !admission)
-                continue;
-
-            // `rate` is the process's base rate; MMPP's long-run
-            // offered load is higher (~1.67x with default bursts).
-            AsciiTable t(std::string("Cluster scaling (") + metric +
-                         "), " + arrival.label + " arrivals @ base " +
-                         AsciiTable::num(rate, 0) + " req/s, " +
-                         sched + " per node");
-            std::vector<std::string> header = {"dispatcher"};
-            for (size_t n : fleet_sizes)
-                header.push_back(std::to_string(n) + " node" +
-                                 (n > 1 ? "s" : ""));
-            t.setHeader(header);
-
-            std::vector<std::string> dispatchers = allDispatchers();
-            for (size_t d = 0; d < dispatchers.size(); ++d) {
-                std::vector<std::string> row = {dispatchers[d]};
-                for (size_t f = 0; f < num_fleets; ++f) {
-                    const Metrics& m =
-                        results[a * cells_per_arrival +
-                                d * num_fleets + f]
-                            .metrics;
-                    std::string cell;
-                    if (std::string(metric) == "throughput")
-                        cell = AsciiTable::num(m.throughput, 1);
-                    else if (std::string(metric) == "ANTT")
-                        cell = AsciiTable::num(m.antt, 1);
-                    else if (std::string(metric) == "violation")
-                        cell = AsciiTable::num(
-                                   m.violationRate * 100.0, 1) + "%";
-                    else if (std::string(metric) == "slo miss")
-                        // Counts shed requests as misses; equals the
-                        // violation rate whenever nothing was shed.
-                        cell = AsciiTable::num(
-                                   m.sloMissRate * 100.0, 1) + "%";
-                    else if (std::string(metric) == "p50 lat [ms]")
-                        cell = AsciiTable::num(m.p50Latency * 1e3, 2);
-                    else if (std::string(metric) == "p95 lat [ms]")
-                        cell = AsciiTable::num(m.p95Latency * 1e3, 2);
-                    else if (std::string(metric) == "p99 lat [ms]")
-                        cell = AsciiTable::num(m.p99Latency * 1e3, 2);
-                    else if (std::string(metric) == "p99 ANT")
-                        cell = AsciiTable::num(m.p99Turnaround, 1);
-                    else
-                        cell = std::to_string(m.shed);
-                    row.push_back(cell);
-                }
-                t.addRow(row);
-            }
-            t.print();
-        }
-    }
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.traceCache = args.getString("--trace-cache");
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
     std::printf("Read: under saturating load, throughput tracks the "
                 "fleet size for every dispatcher; under bursty and "
                 "diurnal arrivals the backlog-aware front-end keeps "
                 "ANTT and SLO violations below oblivious rotation.\n");
+
+    Reporter report("bench_cluster_scaling");
+    report.meta("jobs", result.jobs);
+    report.add(result);
+    report.writeJson(args.getString("--out"));
     return 0;
 }

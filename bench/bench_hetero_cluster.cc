@@ -5,147 +5,114 @@
  * scenario under bursty (MMPP) arrivals at a saturating offered
  * load.
  *
- * Four scenario groups:
- *  - homogeneous: 4x sanger (the PR-1 baseline fleet);
- *  - mixed: 2x sanger + 2x eyeriss-xl — capability-blind placement
- *    (round-robin, least-outstanding) feeds the slow nodes an equal
- *    share and pays for it in tail latency; capability-aware
- *    placement routes by node-local estimated completion;
- *  - mixed + migration: the work-stealing dispatcher re-dispatches
- *    queued-but-not-started requests off the most-loaded node when
- *    the backlog imbalance crosses a threshold;
- *  - failure injection: one sanger node fails mid-run and recovers
- *    later (started work restarts elsewhere); run twice with the
- *    same seed to verify deterministic, reproducible metrics.
- *
- * Emits BENCH_hetero.json with the headline comparison (round-robin
- * vs work-stealing p99 latency / violation / SLO-miss rates on the
- * mixed fleet) plus the failure-scenario determinism check.
- *
- * Usage: bench_hetero_cluster [--requests N] [--rate R] [--seed S]
- *                             [--sched NAME] [--fleet SPEC]
- *                             [--events SPEC] [--out PATH]
- *                             [--jobs N] [--trace-cache DIR]
+ * Runs the built-in "hetero-cluster" grid (homogeneous vs mixed
+ * fleets across capability-blind and capability-aware front-ends
+ * plus work-stealing migration) and the "hetero-failover" scenario
+ * twice with the same seed to verify the failure path is
+ * deterministic. Emits BENCH_hetero.json with the headline
+ * round-robin vs work-stealing comparison and the determinism
+ * check; exits non-zero when a repeat diverges.
  */
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "exp/sweep.hh"
-#include "util/table.hh"
-#include "workload/cluster_spec.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
 
 using namespace dysta;
+
+namespace {
+
+const Metrics&
+rowMetrics(const ScenarioResult& result, const std::string& fleet,
+           const std::string& dispatcher)
+{
+    for (const ScenarioRow& row : result.rows) {
+        if (row.fleet == fleet && row.dispatcher == dispatcher)
+            return row.metrics;
+    }
+    fatal("bench_hetero_cluster: no result row for fleet '" + fleet +
+          "' dispatcher '" + dispatcher + "'");
+}
+
+bool
+sameMetrics(const Metrics& a, const Metrics& b)
+{
+    return a.antt == b.antt && a.violationRate == b.violationRate &&
+           a.sloMissRate == b.sloMissRate &&
+           a.p99Latency == b.p99Latency &&
+           a.completed == b.completed && a.shed == b.shed &&
+           a.makespan == b.makespan;
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 400);
-    double rate = argDouble(argc, argv, "--rate", 100.0);
-    int seed = argInt(argc, argv, "--seed", 42);
-    std::string sched = argStr(argc, argv, "--sched", "Dysta");
-    std::string mixed_spec =
-        argStr(argc, argv, "--fleet", "sanger:2,eyeriss-xl:2");
-    std::string event_spec =
-        argStr(argc, argv, "--events", "fail@1.0:0,recover@3.0:0");
-    std::string out_path =
-        argStr(argc, argv, "--out", "BENCH_hetero.json");
+    ArgParser args("bench_hetero_cluster",
+                   "Heterogeneous fleets, work-stealing migration and "
+                   "failure injection (the built-in 'hetero-cluster' "
+                   "and 'hetero-failover' scenarios).");
+    args.addInt("--requests", 400, "requests per workload");
+    args.addDouble("--rate", 100.0, "MMPP base arrival rate [req/s]");
+    args.addInt("--seed", 42, "workload seed");
+    args.addString("--sched", "Dysta", "per-node scheduler spec");
+    args.addString("--fleet", "sanger:2,eyeriss-xl:2",
+                   "mixed fleet spec");
+    args.addString("--events", "fail@1.0:0,recover@3.0:0",
+                   "failure-scenario availability timeline");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_hetero.json", "report path");
+    args.parse(argc, argv);
 
+    const std::string mixed = args.getString("--fleet");
+
+    ScenarioSpec grid = builtinScenario("hetero-cluster");
+    grid.requests = args.getInt("--requests");
+    grid.seed = static_cast<uint64_t>(args.getInt("--seed"));
+    grid.workloads = {
+        {WorkloadKind::MultiAttNN, args.getDouble("--rate")}};
+    grid.schedulers = {args.getString("--sched")};
+    grid.fleets = {"sanger:4", mixed};
+
+    ScenarioSpec failover = builtinScenario("hetero-failover");
+    failover.requests = grid.requests;
+    failover.seed = grid.seed;
+    failover.workloads = grid.workloads;
+    failover.schedulers = grid.schedulers;
+    failover.fleets = {mixed};
+    failover.events = args.getString("--events");
+
+    // One Phase-1 profile serves all three runs (same model set).
     std::printf("Profiling AttNN models on Sanger...\n");
-    BenchSetup setup;
-    setup.includeCnn = false;
-    auto ctx = makeBenchContext(setup, argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    auto ctx = makeBenchContext(scenarioSetup(grid),
+                                args.getString("--trace-cache"));
 
-    struct Scenario
-    {
-        std::string label;
-        std::string fleet;   ///< fleet spec string
-        std::string dispatcher;
-        std::string events;  ///< availability timeline ("" = none)
-    };
-    const std::string mixed = mixed_spec;
-    std::vector<Scenario> scenarios = {
-        {"homog/round-robin", "sanger:4", "round-robin", ""},
-        {"homog/capability", "sanger:4", "capability-aware", ""},
-        {"mixed/round-robin", mixed, "round-robin", ""},
-        {"mixed/least-outstanding", mixed, "least-outstanding", ""},
-        {"mixed/least-backlog", mixed, "least-backlog", ""},
-        {"mixed/capability", mixed, "capability-aware", ""},
-        {"mixed/work-stealing", mixed, "work-stealing", ""},
-        {"fail/round-robin", mixed, "round-robin", event_spec},
-        {"fail/work-stealing", mixed, "work-stealing", event_spec},
-        // The failure scenarios repeated with the same seed: the
-        // metrics must be bit-identical (determinism columns below).
-        {"fail/round-robin#2", mixed, "round-robin", event_spec},
-        {"fail/work-stealing#2", mixed, "work-stealing", event_spec},
-    };
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.ctx = ctx.get();
 
-    std::vector<SweepCell> cells;
-    for (const Scenario& s : scenarios) {
-        SweepCell cell;
-        cell.workload.kind = WorkloadKind::MultiAttNN;
-        cell.workload.arrivalRate = rate;
-        cell.workload.arrival.kind = ArrivalKind::Mmpp;
-        cell.workload.numRequests = requests;
-        cell.workload.seed = static_cast<uint64_t>(seed);
-        cell.clusterMode = true;
-        cell.cluster.nodes = fleetFromSpec(s.fleet);
-        cell.cluster.dispatcher = s.dispatcher;
-        cell.cluster.nodeScheduler = sched;
-        if (!s.events.empty())
-            cell.cluster.nodeEvents = nodeEventsFromSpec(s.events);
-        cells.push_back(cell);
-    }
-    std::vector<SweepCellResult> results = runner.run(cells);
+    ScenarioResult grid_result = runScenario(grid, options);
+    ScenarioResult fail_a = runScenario(failover, options);
+    ScenarioResult fail_b = runScenario(failover, options);
 
-    AsciiTable t("Heterogeneous fleets (" + std::to_string(requests) +
-                 " requests, MMPP @ base " + AsciiTable::num(rate, 0) +
-                 " req/s, " + sched + " per node; mixed = " + mixed +
-                 ")");
-    t.setHeader({"scenario", "throughput", "ANTT", "violation",
-                 "slo miss", "p99 lat [ms]", "shed"});
-    for (size_t i = 0; i < scenarios.size(); ++i) {
-        const Metrics& m = results[i].metrics;
-        t.addRow({scenarios[i].label,
-                  AsciiTable::num(m.throughput, 1),
-                  AsciiTable::num(m.antt, 1),
-                  AsciiTable::num(m.violationRate * 100.0, 1) + "%",
-                  AsciiTable::num(m.sloMissRate * 100.0, 1) + "%",
-                  AsciiTable::num(m.p99Latency * 1e3, 2),
-                  std::to_string(m.shed)});
-    }
-    t.print();
+    printScenarioTable(grid_result);
+    printScenarioTable(fail_a);
 
-    auto metricsOf = [&](const std::string& label) -> const Metrics& {
-        for (size_t i = 0; i < scenarios.size(); ++i) {
-            if (scenarios[i].label == label)
-                return results[i].metrics;
-        }
-        std::fprintf(stderr, "unknown scenario %s\n", label.c_str());
-        std::exit(1);
-    };
+    const Metrics& rr = rowMetrics(grid_result, mixed, "round-robin");
+    const Metrics& ws =
+        rowMetrics(grid_result, mixed, "work-stealing");
+    const Metrics& fail_ws = rowMetrics(fail_a, mixed,
+                                        "work-stealing");
 
-    const Metrics& rr = metricsOf("mixed/round-robin");
-    const Metrics& ws = metricsOf("mixed/work-stealing");
-    const Metrics& fail_a = metricsOf("fail/work-stealing");
-    const Metrics& fail_b = metricsOf("fail/work-stealing#2");
-    const Metrics& frr_a = metricsOf("fail/round-robin");
-    const Metrics& frr_b = metricsOf("fail/round-robin#2");
-
-    bool deterministic =
-        fail_a.antt == fail_b.antt &&
-        fail_a.violationRate == fail_b.violationRate &&
-        fail_a.sloMissRate == fail_b.sloMissRate &&
-        fail_a.p99Latency == fail_b.p99Latency &&
-        fail_a.completed == fail_b.completed &&
-        fail_a.shed == fail_b.shed &&
-        fail_a.makespan == fail_b.makespan &&
-        frr_a.antt == frr_b.antt &&
-        frr_a.p99Latency == frr_b.p99Latency &&
-        frr_a.completed == frr_b.completed &&
-        frr_a.makespan == frr_b.makespan;
+    bool deterministic = fail_a.rows.size() == fail_b.rows.size();
+    for (size_t i = 0; deterministic && i < fail_a.rows.size(); ++i)
+        deterministic = sameMetrics(fail_a.rows[i].metrics,
+                                    fail_b.rows[i].metrics);
     bool stealing_wins = ws.p99Latency < rr.p99Latency &&
                          ws.violationRate <= rr.violationRate;
 
@@ -158,36 +125,24 @@ main(int argc, char** argv)
                 stealing_wins ? "improves" : "REGRESSION",
                 deterministic ? "bit-identical" : "NOT reproducible");
 
-    std::FILE* out = std::fopen(out_path.c_str(), "w");
-    if (out == nullptr) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-        return 1;
-    }
-    std::fprintf(
-        out,
-        "{\n"
-        "  \"requests\": %d,\n"
-        "  \"rate\": %.3f,\n"
-        "  \"seed\": %d,\n"
-        "  \"mixed_fleet\": \"%s\",\n"
-        "  \"rr_p99_latency_ms\": %.6f,\n"
-        "  \"ws_p99_latency_ms\": %.6f,\n"
-        "  \"rr_violation_rate\": %.6f,\n"
-        "  \"ws_violation_rate\": %.6f,\n"
-        "  \"rr_slo_miss_rate\": %.6f,\n"
-        "  \"ws_slo_miss_rate\": %.6f,\n"
-        "  \"stealing_improves\": %s,\n"
-        "  \"failure_scenario_completed\": %zu,\n"
-        "  \"failure_scenario_shed\": %zu,\n"
-        "  \"deterministic\": %s\n"
-        "}\n",
-        requests, rate, seed, mixed.c_str(), rr.p99Latency * 1e3,
-        ws.p99Latency * 1e3, rr.violationRate, ws.violationRate,
-        rr.sloMissRate, ws.sloMissRate,
-        stealing_wins ? "true" : "false", fail_a.completed,
-        fail_a.shed, deterministic ? "true" : "false");
-    std::fclose(out);
-    std::printf("Wrote %s\n", out_path.c_str());
+    Reporter report("bench_hetero_cluster");
+    report.meta("jobs", options.jobs);
+    report.scalar("mixed_fleet", mixed);
+    report.scalar("rr_p99_latency_ms", rr.p99Latency * 1e3);
+    report.scalar("ws_p99_latency_ms", ws.p99Latency * 1e3);
+    report.scalar("rr_violation_rate", rr.violationRate);
+    report.scalar("ws_violation_rate", ws.violationRate);
+    report.scalar("rr_slo_miss_rate", rr.sloMissRate);
+    report.scalar("ws_slo_miss_rate", ws.sloMissRate);
+    report.scalar("stealing_improves", stealing_wins);
+    report.scalar("failure_scenario_completed",
+                  static_cast<int64_t>(fail_ws.completed));
+    report.scalar("failure_scenario_shed",
+                  static_cast<int64_t>(fail_ws.shed));
+    report.scalar("deterministic", deterministic);
+    report.add(grid_result);
+    report.add(fail_a);
+    report.writeJson(args.getString("--out"));
 
     return deterministic ? 0 : 1;
 }

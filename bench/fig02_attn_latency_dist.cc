@@ -18,6 +18,7 @@
 #include "models/zoo.hh"
 #include "sparsity/attention_model.hh"
 #include "trace/profiler.hh"
+#include "util/args.hh"
 #include "util/histogram.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -27,7 +28,11 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 2000);
+    ArgParser args("fig02_attn_latency_dist",
+                   "Fig. 2 reproduction: normalized latency spread of sparse BERT layer blocks.");
+    args.addInt("--samples", 2000, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
 
     ModelDesc bert = makeBertBase();
     SangerModel sanger;

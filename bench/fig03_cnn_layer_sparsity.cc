@@ -14,6 +14,7 @@
 #include "exp/experiments.hh"
 #include "models/zoo.hh"
 #include "sparsity/activation_model.hh"
+#include "util/args.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -67,7 +68,11 @@ report(const ModelDesc& model, int samples)
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 2000);
+    ArgParser args("fig03_cnn_layer_sparsity",
+                   "Fig. 3 reproduction: per-layer activation sparsity of the CNN zoo.");
+    args.addInt("--samples", 2000, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
     report(makeResNet50(), samples);
     report(makeVgg16(), samples);
     std::printf("Paper reference: sparsity ratios of most layers "

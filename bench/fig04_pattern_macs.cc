@@ -20,6 +20,7 @@
 #include "models/zoo.hh"
 #include "sparsity/activation_model.hh"
 #include "sparsity/weight_sparsity.hh"
+#include "util/args.hh"
 #include "util/histogram.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -102,7 +103,11 @@ report(const std::string& name, double rate, int samples)
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 2000);
+    ArgParser args("fig04_pattern_macs",
+                   "Fig. 4 reproduction: effective MACs under the sparsity patterns.");
+    args.addInt("--samples", 2000, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
     report("resnet50", 0.95, samples);
     report("mobilenet", 0.80, samples);
     std::printf("Paper reference: different sparsity patterns "

@@ -15,6 +15,7 @@
 #include "exp/experiments.hh"
 #include "models/zoo.hh"
 #include "sparsity/attention_model.hh"
+#include "util/args.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -77,7 +78,11 @@ report(const ModelDesc& model, const DatasetProfile& profile,
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 2000);
+    ArgParser args("fig09_sparsity_correlation",
+                   "Fig. 9 reproduction: cross-layer sparsity correlation.");
+    args.addInt("--samples", 2000, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
     report(makeBertBase(), squadProfile(), samples);
     report(makeGpt2Small(), glueProfile(), samples);
     std::printf("Paper reference: sparsities of different layers are "

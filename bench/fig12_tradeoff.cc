@@ -7,70 +7,47 @@
  * annotations report up to a 4.6x/10.2% corner gap over the
  * baselines.
  *
- * The (panel x scheduler x seed) grid runs as independent cells on
- * the parallel SweepRunner; output is identical for any --jobs.
- *
- * Usage: fig12_tradeoff [--requests N] [--seeds K] [--jobs N]
- *                       [--trace-cache DIR]
+ * This main is the built-in "fig12" scenario plus flag overrides;
+ * `sdysta scenarios/fig12.scn` runs the identical grid.
  */
 
 #include <cstdio>
 
-#include "exp/sweep.hh"
-#include "util/table.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 1000);
-    int seeds = argInt(argc, argv, "--seeds", 5);
+    ArgParser args("fig12_tradeoff",
+                   "Fig. 12 reproduction: the ANTT / SLO-violation "
+                   "trade-off plane (the built-in 'fig12' scenario).");
+    args.addInt("--requests", 1000, "requests per workload");
+    args.addInt("--seeds", 5, "seed replicas per grid point");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_fig12.json", "report path");
+    args.parse(argc, argv);
 
-    auto ctx = makeBenchContext(BenchSetup{},
-                                argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    ScenarioSpec spec = builtinScenario("fig12");
+    spec.requests = args.getInt("--requests");
+    spec.seeds = args.getInt("--seeds");
 
-    struct Panel { WorkloadKind kind; double rate; };
-    const Panel panels[] = {
-        {WorkloadKind::MultiAttNN, 30.0},
-        {WorkloadKind::MultiAttNN, 40.0},
-        {WorkloadKind::MultiCNN, 3.0},
-        {WorkloadKind::MultiCNN, 4.0},
-    };
-
-    std::vector<SweepCell> cells;
-    for (const Panel& panel : panels) {
-        for (const std::string& name : table5Schedulers()) {
-            SweepCell cell;
-            cell.workload.kind = panel.kind;
-            cell.workload.arrivalRate = panel.rate;
-            cell.workload.sloMultiplier = 10.0;
-            cell.workload.numRequests = requests;
-            cell.workload.seed = 42;
-            cell.scheduler = name;
-            for (const SweepCell& c : seedReplicas(cell, seeds))
-                cells.push_back(c);
-        }
-    }
-    std::vector<Metrics> avg =
-        averageGroups(runner.run(cells), seeds);
-
-    size_t g = 0;
-    for (const Panel& panel : panels) {
-        AsciiTable t("Fig. 12 panel: " + toString(panel.kind) + " @ " +
-                     AsciiTable::num(panel.rate, 0) + " req/s " +
-                     "(x = violation rate, y = ANTT)");
-        t.setHeader({"scheduler", "violation [%] (x)", "ANTT (y)"});
-        for (const std::string& name : table5Schedulers()) {
-            const Metrics& m = avg[g++];
-            t.addRow({name,
-                      AsciiTable::num(m.violationRate * 100.0, 1),
-                      AsciiTable::num(m.antt, 2)});
-        }
-        t.print();
-    }
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.traceCache = args.getString("--trace-cache");
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
     std::printf("Reproduction target: Dysta occupies the lower-left "
-                "corner of every panel.\n");
+                "corner (lowest violation rate and ANTT) of every "
+                "workload panel.\n");
+
+    Reporter report("fig12_tradeoff");
+    report.meta("jobs", result.jobs);
+    report.add(result);
+    report.writeJson(args.getString("--out"));
     return 0;
 }

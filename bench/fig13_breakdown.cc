@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "exp/experiments.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -21,8 +22,14 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 1000);
-    int seeds = argInt(argc, argv, "--seeds", 5);
+    ArgParser args("fig13_breakdown",
+                   "Fig. 13 reproduction: optimization breakdown "
+                   "(PREMA vs static-only Dysta vs full Dysta).");
+    args.addInt("--requests", 1000, "requests per workload");
+    args.addInt("--seeds", 5, "seed replicas");
+    args.parse(argc, argv);
+    int requests = args.getInt("--requests");
+    int seeds = args.getInt("--seeds");
 
     auto ctx = makeBenchContext();
 

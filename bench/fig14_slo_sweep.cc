@@ -2,98 +2,51 @@
  * @file
  * Fig. 14 reproduction: robustness across latency SLOs. Sweeps the
  * SLO multiplier from 10x to 150x for multi-AttNN workloads at
- * 30 and 40 req/s and multi-CNN workloads at 3 and 4 req/s, printing
- * the violation rate and ANTT series for all schedulers plus the
- * Oracle.
+ * 30 and 40 req/s and multi-CNN workloads at 3 and 4 req/s, for all
+ * Table 5 schedulers plus the Oracle.
  *
- * The (panel x scheduler x multiplier x seed) grid runs as
- * independent cells on the parallel SweepRunner; output is identical
- * for any --jobs.
- *
- * Usage: fig14_slo_sweep [--requests N] [--seeds K] [--jobs N]
- *                        [--trace-cache DIR]
+ * This main is the built-in "fig14" scenario plus flag overrides;
+ * `sdysta scenarios/fig14.scn` runs the identical grid.
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "exp/sweep.hh"
-#include "util/table.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 600);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    ArgParser args("fig14_slo_sweep",
+                   "Fig. 14 reproduction: violation rate and ANTT "
+                   "across SLO multipliers (the built-in 'fig14' "
+                   "scenario).");
+    args.addInt("--requests", 600, "requests per workload");
+    args.addInt("--seeds", 3, "seed replicas per grid point");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_fig14.json", "report path");
+    args.parse(argc, argv);
 
-    auto ctx = makeBenchContext(BenchSetup{},
-                                argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    ScenarioSpec spec = builtinScenario("fig14");
+    spec.requests = args.getInt("--requests");
+    spec.seeds = args.getInt("--seeds");
 
-    const double multipliers[] = {10, 30, 50, 70, 90, 110, 130, 150};
-    std::vector<std::string> schedulers = table5Schedulers();
-    schedulers.push_back("Oracle");
-
-    struct Panel { WorkloadKind kind; double rate; };
-    const Panel panels[] = {
-        {WorkloadKind::MultiAttNN, 30.0},
-        {WorkloadKind::MultiAttNN, 40.0},
-        {WorkloadKind::MultiCNN, 3.0},
-        {WorkloadKind::MultiCNN, 4.0},
-    };
-
-    std::vector<SweepCell> cells;
-    for (const Panel& panel : panels) {
-        for (const std::string& name : schedulers) {
-            for (double mult : multipliers) {
-                SweepCell cell;
-                cell.workload.kind = panel.kind;
-                cell.workload.arrivalRate = panel.rate;
-                cell.workload.sloMultiplier = mult;
-                cell.workload.numRequests = requests;
-                cell.workload.seed = 42;
-                cell.scheduler = name;
-                for (const SweepCell& c : seedReplicas(cell, seeds))
-                    cells.push_back(c);
-            }
-        }
-    }
-    std::vector<Metrics> avg =
-        averageGroups(runner.run(cells), seeds);
-
-    size_t g = 0;
-    for (const Panel& panel : panels) {
-        AsciiTable tv("Fig. 14 SLO sweep (violation rate [%]), " +
-                      toString(panel.kind) + " @ " +
-                      AsciiTable::num(panel.rate, 0) + " req/s");
-        AsciiTable ta("Fig. 14 SLO sweep (ANTT), " +
-                      toString(panel.kind) + " @ " +
-                      AsciiTable::num(panel.rate, 0) + " req/s");
-        std::vector<std::string> header = {"scheduler"};
-        for (double m : multipliers)
-            header.push_back(AsciiTable::num(m, 0) + "x");
-        tv.setHeader(header);
-        ta.setHeader(header);
-
-        for (const std::string& name : schedulers) {
-            std::vector<std::string> row_v = {name};
-            std::vector<std::string> row_a = {name};
-            for (size_t i = 0; i < std::size(multipliers); ++i) {
-                const Metrics& m = avg[g++];
-                row_v.push_back(
-                    AsciiTable::num(m.violationRate * 100.0, 1));
-                row_a.push_back(AsciiTable::num(m.antt, 1));
-            }
-            tv.addRow(row_v);
-            ta.addRow(row_a);
-        }
-        tv.print();
-        ta.print();
-    }
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.traceCache = args.getString("--trace-cache");
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
     std::printf("Reproduction target: both metrics decline as the "
                 "SLO relaxes; Dysta tracks the Oracle and leads the "
                 "baselines across the sweep.\n");
+
+    Reporter report("fig14_slo_sweep");
+    report.meta("jobs", result.jobs);
+    report.add(result);
+    report.writeJson(args.getString("--out"));
     return 0;
 }

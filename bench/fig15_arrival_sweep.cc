@@ -2,76 +2,53 @@
  * @file
  * Fig. 15 reproduction: robustness across arrival rates. Sweeps the
  * Poisson request rate from 10 to 40 req/s for multi-AttNNs and
- * 2 to 6 req/s for multi-CNNs at M_slo = 10x, printing violation
- * rate, system throughput and ANTT for all schedulers plus Oracle.
+ * 2 to 6 req/s for multi-CNNs at M_slo = 10x, for all Table 5
+ * schedulers plus the Oracle.
  *
- * The (scheduler x rate x seed) grid runs as independent cells on
- * the parallel SweepRunner; output is identical for any --jobs.
- *
- * Usage: fig15_arrival_sweep [--requests N] [--seeds K] [--jobs N]
- *                            [--trace-cache DIR]
+ * This main is the built-in "fig15" scenario plus flag overrides;
+ * `sdysta scenarios/fig15.scn` runs the identical grid (the sweep
+ * microbenchmark micro_sweep measures the same cells).
  */
 
 #include <cstdio>
-#include <vector>
 
-#include "fig15_grid.hh"
-#include "util/table.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 600);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    ArgParser args("fig15_arrival_sweep",
+                   "Fig. 15 reproduction: violation rate, throughput "
+                   "and ANTT across arrival rates (the built-in "
+                   "'fig15' scenario).");
+    args.addInt("--requests", 600, "requests per workload");
+    args.addInt("--seeds", 3, "seed replicas per grid point");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_fig15.json", "report path");
+    args.parse(argc, argv);
 
-    auto ctx = makeBenchContext(BenchSetup{},
-                                argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    ScenarioSpec spec = builtinScenario("fig15");
+    spec.requests = args.getInt("--requests");
+    spec.seeds = args.getInt("--seeds");
 
-    std::vector<std::string> schedulers = fig15Schedulers();
-    std::vector<Metrics> avg = averageGroups(
-        runner.run(fig15Cells(requests, seeds)), seeds);
-
-    size_t g = 0;
-    for (const Fig15Panel& panel : fig15Panels()) {
-        std::vector<std::string> header = {"scheduler"};
-        for (double r : panel.rates)
-            header.push_back(AsciiTable::num(r, 1));
-
-        AsciiTable tv("Fig. 15 arrival sweep (violation rate [%]), " +
-                      toString(panel.kind));
-        AsciiTable tt("Fig. 15 arrival sweep (throughput [inf/s]), " +
-                      toString(panel.kind));
-        AsciiTable ta("Fig. 15 arrival sweep (ANTT), " +
-                      toString(panel.kind));
-        tv.setHeader(header);
-        tt.setHeader(header);
-        ta.setHeader(header);
-
-        for (const std::string& name : schedulers) {
-            std::vector<std::string> row_v = {name};
-            std::vector<std::string> row_t = {name};
-            std::vector<std::string> row_a = {name};
-            for (size_t r = 0; r < panel.rates.size(); ++r) {
-                const Metrics& m = avg[g++];
-                row_v.push_back(
-                    AsciiTable::num(m.violationRate * 100.0, 1));
-                row_t.push_back(AsciiTable::num(m.throughput, 2));
-                row_a.push_back(AsciiTable::num(m.antt, 1));
-            }
-            tv.addRow(row_v);
-            tt.addRow(row_t);
-            ta.addRow(row_a);
-        }
-        tv.print();
-        tt.print();
-        ta.print();
-    }
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.traceCache = args.getString("--trace-cache");
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
     std::printf("Reproduction target: all metrics rise with the "
                 "arrival rate; throughput saturates identically for "
                 "every scheduler (it is capacity-bound); Dysta's "
                 "lead grows with traffic.\n");
+
+    Reporter report("fig15_arrival_sweep");
+    report.meta("jobs", result.jobs);
+    report.add(result);
+    report.writeJson(args.getString("--out"));
     return 0;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "exp/experiments.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -137,9 +138,14 @@ rateStr(double per_sec)
 int
 main(int argc, char** argv)
 {
-    size_t depth =
-        static_cast<size_t>(argInt(argc, argv, "--queue", 64));
-    long iters = argInt(argc, argv, "--iters", 200000);
+    ArgParser args("micro_sim_core",
+                   "Ready-queue microbenchmark: heap-backed pickNext "
+                   "vs the legacy linear scan.");
+    args.addInt("--queue", 64, "ready-set depth");
+    args.addInt("--iters", 200000, "decisions per measurement");
+    args.parse(argc, argv);
+    size_t depth = static_cast<size_t>(args.getInt("--queue"));
+    long iters = args.getInt("--iters");
 
     std::printf("Profiling AttNN models on Sanger...\n");
     BenchSetup setup;

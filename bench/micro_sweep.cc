@@ -1,15 +1,12 @@
 /**
  * @file
  * Microbenchmark of the parallel sweep engine: cells/sec of the
- * Fig. 15 arrival-sweep grid executed serially (--jobs 1) vs on the
- * thread pool, and BenchContext build time cold (full Phase-1
- * profiling) vs from the --trace-cache. Verifies on the way that the
- * parallel run's metrics are field-wise identical to the serial
- * run's, and emits a machine-readable BENCH_sweep.json for the perf
- * trajectory.
- *
- * Usage: micro_sweep [--requests N] [--seeds K] [--jobs N]
- *                    [--trace-cache DIR] [--out PATH]
+ * Fig. 15 arrival-sweep grid (the built-in "fig15" scenario's
+ * cells) executed serially (--jobs 1) vs on the thread pool, and
+ * BenchContext build time cold (full Phase-1 profiling) vs from the
+ * --trace-cache. Verifies on the way that the parallel run's
+ * metrics are field-wise identical to the serial run's, and emits a
+ * machine-readable BENCH_sweep.json for the perf trajectory.
  */
 
 #include <chrono>
@@ -17,7 +14,9 @@
 #include <string>
 #include <vector>
 
-#include "fig15_grid.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -52,14 +51,25 @@ sameMetrics(const Metrics& a, const Metrics& b)
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 200);
-    int seeds = argInt(argc, argv, "--seeds", 2);
-    int jobs = argJobs(argc, argv);
-    std::string cache_dir = argTraceCache(argc, argv);
+    ArgParser args("micro_sweep",
+                   "Sweep-engine microbenchmark: serial vs parallel "
+                   "cells/sec on the Fig. 15 grid, cold vs cached "
+                   "context build, and a jobs=1 vs jobs=N "
+                   "determinism check.");
+    args.addInt("--requests", 200, "requests per workload");
+    args.addInt("--seeds", 2, "seed replicas per grid point");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_sweep.json", "report path");
+    args.parse(argc, argv);
+
+    int requests = args.getInt("--requests");
+    int seeds = args.getInt("--seeds");
+    int jobs = args.getInt("--jobs");
+    std::string cache_dir = args.getString("--trace-cache");
     if (cache_dir.empty())
         cache_dir = "micro-sweep-trace-cache";
-    std::string out_path =
-        argStr(argc, argv, "--out", "BENCH_sweep.json");
+    std::string out_path = args.getString("--out");
 
     BenchSetup setup;
 
@@ -75,7 +85,10 @@ main(int argc, char** argv)
     double cached_sec = secondsSince(t0);
 
     // Sweep execution: the Fig. 15 grid, serial vs thread-pooled.
-    std::vector<SweepCell> cells = fig15Cells(requests, seeds);
+    ScenarioSpec grid = builtinScenario("fig15");
+    grid.requests = requests;
+    grid.seeds = seeds;
+    std::vector<SweepCell> cells = scenarioCells(grid);
     std::printf("Running %zu cells serially...\n", cells.size());
     SweepRunner serial(*ctx, 1);
     t0 = std::chrono::steady_clock::now();
@@ -123,33 +136,26 @@ main(int argc, char** argv)
               deterministic ? "identical" : "MISMATCH"});
     t.print();
 
-    std::FILE* out = std::fopen(out_path.c_str(), "w");
-    if (out == nullptr) {
+    JsonWriter json;
+    json.beginObject();
+    json.field("cells", static_cast<uint64_t>(cells.size()));
+    json.field("requests", requests);
+    json.field("seeds", seeds);
+    json.field("jobs", jobs);
+    json.field("serial_sec", serial_sec);
+    json.field("parallel_sec", parallel_sec);
+    json.field("serial_cells_per_sec", serial_rate);
+    json.field("parallel_cells_per_sec", parallel_rate);
+    json.field("parallel_speedup", parallel_rate / serial_rate);
+    json.field("deterministic", deterministic);
+    json.field("context_cold_sec", cold_sec);
+    json.field("context_cached_sec", cached_sec);
+    json.field("context_cache_speedup", cold_sec / cached_sec);
+    json.endObject();
+    if (!json.writeFile(out_path)) {
         std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
         return 1;
     }
-    std::fprintf(
-        out,
-        "{\n"
-        "  \"cells\": %zu,\n"
-        "  \"requests\": %d,\n"
-        "  \"seeds\": %d,\n"
-        "  \"jobs\": %d,\n"
-        "  \"serial_sec\": %.6f,\n"
-        "  \"parallel_sec\": %.6f,\n"
-        "  \"serial_cells_per_sec\": %.2f,\n"
-        "  \"parallel_cells_per_sec\": %.2f,\n"
-        "  \"parallel_speedup\": %.3f,\n"
-        "  \"deterministic\": %s,\n"
-        "  \"context_cold_sec\": %.6f,\n"
-        "  \"context_cached_sec\": %.6f,\n"
-        "  \"context_cache_speedup\": %.3f\n"
-        "}\n",
-        cells.size(), requests, seeds, jobs, serial_sec, parallel_sec,
-        serial_rate, parallel_rate, parallel_rate / serial_rate,
-        deterministic ? "true" : "false", cold_sec, cached_sec,
-        cold_sec / cached_sec);
-    std::fclose(out);
     std::printf("Wrote %s\n", out_path.c_str());
 
     (void)cached_ctx;

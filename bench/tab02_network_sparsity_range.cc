@@ -17,6 +17,7 @@
 #include "exp/experiments.hh"
 #include "models/zoo.hh"
 #include "sparsity/activation_model.hh"
+#include "util/args.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -25,7 +26,11 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 2000);
+    ArgParser args("tab02_network_sparsity_range",
+                   "Table 2 reproduction: whole-network sparsity ranges.");
+    args.addInt("--samples", 2000, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
 
     struct Row { const char* model; double paper; };
     const Row rows[] = {

@@ -29,6 +29,7 @@
 #include "exp/experiments.hh"
 #include "models/zoo.hh"
 #include "trace/profiler.hh"
+#include "util/args.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 
@@ -96,7 +97,11 @@ evaluateLearnedRmse(const TraceSet& train, const TraceSet& test)
 int
 main(int argc, char** argv)
 {
-    int samples = argInt(argc, argv, "--samples", 1500);
+    ArgParser args("tab04_predictor_rmse",
+                   "Table 4 reproduction: sparse latency predictor RMSE by strategy.");
+    args.addInt("--samples", 1500, "profiled samples");
+    args.parse(argc, argv);
+    int samples = args.getInt("--samples");
 
     SangerModel sanger;
     AsciiTable t("Table 4: sparse latency predictor RMSE [ms]");

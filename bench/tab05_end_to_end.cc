@@ -12,76 +12,45 @@
  *   multi-CNN:   FCFS 11.4/23.1, SJF 2.6/3.4, SDRM3 9.3/33.7,
  *                PREMA 3.0/3.2, Planaria 4.2/2.1, Dysta 2.5/2.0
  *
- * The (workload x scheduler x seed) grid runs as independent cells
- * on the parallel SweepRunner; output is identical for any --jobs.
- *
- * Usage: tab05_end_to_end [--requests N] [--seeds K] [--samples S]
- *                         [--jobs N] [--trace-cache DIR]
+ * This main is the built-in "tab05" scenario plus flag overrides:
+ * `sdysta scenarios/tab05.scn` runs the identical grid and reports
+ * identical metrics (asserted by CI).
  */
 
-#include <cstdio>
-
-#include "exp/sweep.hh"
-#include "util/table.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 1000);
-    int seeds = argInt(argc, argv, "--seeds", 5);
-    int samples = argInt(argc, argv, "--samples", 300);
+    ArgParser args("tab05_end_to_end",
+                   "Table 5 reproduction: end-to-end ANTT and SLO "
+                   "violation rates (the built-in 'tab05' scenario).");
+    args.addInt("--requests", 1000, "requests per workload");
+    args.addInt("--seeds", 5, "seed replicas per grid point");
+    args.addInt("--samples", 300, "Phase-1 samples per model");
+    args.addJobs();
+    args.addTraceCache();
+    args.addString("--out", "BENCH_tab05.json", "report path");
+    args.parse(argc, argv);
 
-    BenchSetup setup;
-    setup.samplesPerModel = samples;
-    auto ctx = makeBenchContext(setup, argTraceCache(argc, argv));
-    SweepRunner runner(*ctx, argJobs(argc, argv));
+    ScenarioSpec spec = builtinScenario("tab05");
+    spec.requests = args.getInt("--requests");
+    spec.seeds = args.getInt("--seeds");
+    spec.samples = args.getInt("--samples");
 
-    auto schedulers = table5Schedulers();
-    schedulers.push_back("Oracle");
-    schedulers.push_back("Dysta-HW");
+    ScenarioRunOptions options;
+    options.jobs = args.getInt("--jobs");
+    options.traceCache = args.getString("--trace-cache");
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
 
-    const WorkloadKind kinds[] = {WorkloadKind::MultiAttNN,
-                                  WorkloadKind::MultiCNN};
-
-    std::vector<SweepCell> cells;
-    for (WorkloadKind kind : kinds) {
-        for (const std::string& name : schedulers) {
-            SweepCell cell;
-            cell.workload.kind = kind;
-            cell.workload.arrivalRate =
-                kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
-            cell.workload.sloMultiplier = 10.0;
-            cell.workload.numRequests = requests;
-            cell.workload.seed = 42;
-            cell.scheduler = name;
-            for (const SweepCell& c : seedReplicas(cell, seeds))
-                cells.push_back(c);
-        }
-    }
-    std::vector<Metrics> avg =
-        averageGroups(runner.run(cells), seeds);
-
-    size_t g = 0;
-    for (WorkloadKind kind : kinds) {
-        double rate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
-        AsciiTable t("Table 5, " + toString(kind) + " @ " +
-                     AsciiTable::num(rate, 0) + " req/s, M_slo=10x, " +
-                     std::to_string(requests) + " requests x " +
-                     std::to_string(seeds) + " seeds");
-        t.setHeader(
-            {"scheduler", "ANTT", "violation [%]", "slo miss [%]"});
-        for (const std::string& name : schedulers) {
-            const Metrics& m = avg[g++];
-            // Single-accelerator runs never shed, so the SLO-miss
-            // rate equals the violation rate here; cluster runs with
-            // admission control report the shed-inclusive number.
-            t.addRow({name, AsciiTable::num(m.antt, 2),
-                      AsciiTable::num(m.violationRate * 100.0, 1),
-                      AsciiTable::num(m.sloMissRate * 100.0, 1)});
-        }
-        t.print();
-    }
+    Reporter report("tab05_end_to_end");
+    report.meta("jobs", result.jobs);
+    report.add(result);
+    report.writeJson(args.getString("--out"));
     return 0;
 }

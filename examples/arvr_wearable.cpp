@@ -20,6 +20,7 @@
 #include "exp/gantt.hh"
 #include "sched/engine.hh"
 #include "sched/fcfs.hh"
+#include "util/args.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -64,7 +65,13 @@ buildWorkload(const TraceRegistry& registry, int n, uint64_t seed)
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 300);
+    ArgParser args("arvr_wearable",
+                   "Hand tracking and gesture recognition sharing "
+                   "one Eyeriss-V2-class accelerator, built with the "
+                   "low-level request API.");
+    args.addInt("--requests", 300, "requests in the workload");
+    args.parse(argc, argv);
+    int requests = args.getInt("--requests");
 
     std::printf("Profiling wearable models on Eyeriss-V2...\n");
     BenchSetup setup;

@@ -4,21 +4,28 @@
  *
  * Implements "LAS" (least attained service: the request that has
  * executed the least runs next — a classic size-oblivious policy) by
- * subclassing Scheduler, and pits it against SJF and Dysta on the
- * multi-AttNN workload. Subclasses only need selectNext(); the
- * arrival/progress callbacks are optional hooks (call the base-class
- * implementation when overriding them), and policies with a
- * heap-orderable key can additionally override pickNext() with an
- * IndexedMinHeap-backed fast path — see sched/fcfs.cc for the
- * pattern; the default pickNext() simply delegates to selectNext().
+ * subclassing Scheduler, registers it in the PolicyRegistry, and
+ * pits it against SJF and Dysta through the Scenario API. After
+ * registration the policy is a first-class citizen: any scenario
+ * file, SweepCell or sdysta invocation in this process can name
+ * "LAS" (or "las:..." with parameters) like a built-in.
+ *
+ * Subclasses only need selectNext(); the arrival/progress callbacks
+ * are optional hooks (call the base-class implementation when
+ * overriding them), and policies with a heap-orderable key can
+ * additionally override pickNext() with an IndexedMinHeap-backed
+ * fast path — see sched/fcfs.cc for the pattern.
  *
  * Usage: custom_scheduler [--requests N]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
+#include "api/registry.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
 #include "sched/scheduler.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -54,36 +61,38 @@ class LasScheduler : public Scheduler
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 600);
+    ArgParser args("custom_scheduler",
+                   "Register a user-defined policy in the "
+                   "PolicyRegistry and compare it through the "
+                   "Scenario API.");
+    args.addInt("--requests", 600, "requests per workload");
+    args.parse(argc, argv);
 
-    BenchSetup setup;
-    setup.includeCnn = false;
-    auto ctx = makeBenchContext(setup);
+    // One registration makes "LAS" constructible from any spec
+    // string — scenario files included.
+    PolicyRegistry::global().registerScheduler(
+        "LAS", "",
+        "least attained service (example user policy)",
+        [](const BenchContext&, WorkloadKind, PolicyParams&) {
+            return std::make_unique<LasScheduler>();
+        });
 
-    WorkloadConfig wl;
-    wl.kind = WorkloadKind::MultiAttNN;
-    wl.arrivalRate = 30.0;
-    wl.sloMultiplier = 10.0;
-    wl.numRequests = requests;
-    wl.seed = 5;
+    ScenarioSpec spec;
+    spec.name = "custom-scheduler";
+    spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    spec.schedulers = {"LAS", "SJF", "Dysta"};
+    spec.requests = args.getInt("--requests");
+    spec.seed = 5;
+
+    ScenarioResult result = runScenario(spec);
 
     AsciiTable t("Custom policy vs built-ins, multi-AttNN @ 30 req/s");
-    t.setHeader({"scheduler", "ANTT", "violation [%]",
-                 "preemptions"});
-
-    LasScheduler las;
-    std::vector<Scheduler*> policies;
-    auto sjf = makeSchedulerByName("SJF", *ctx, wl.kind);
-    auto dysta = makeSchedulerByName("Dysta", *ctx, wl.kind);
-    policies.push_back(&las);
-    policies.push_back(sjf.get());
-    policies.push_back(dysta.get());
-
-    for (Scheduler* policy : policies) {
-        EngineResult r = runOne(*ctx, wl, *policy);
-        t.addRow({policy->name(), AsciiTable::num(r.metrics.antt, 2),
-                  AsciiTable::num(r.metrics.violationRate * 100, 1),
-                  std::to_string(r.preemptions)});
+    t.setHeader({"scheduler", "ANTT", "violation [%]", "preemptions"});
+    for (const ScenarioRow& row : result.rows) {
+        t.addRow({row.scheduler,
+                  AsciiTable::num(row.metrics.antt, 2),
+                  AsciiTable::num(row.metrics.violationRate * 100, 1),
+                  AsciiTable::num(row.preemptions, 0)});
     }
     t.print();
     std::printf("LAS approximates SJF without profiles but preempts "

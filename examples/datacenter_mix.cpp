@@ -6,10 +6,10 @@
  * placed by a front-end dispatcher onto sparse CNN accelerator nodes
  * each running its own layer-granular scheduler.
  *
- * Two views an operator would look at:
+ * Two views an operator would look at, each one ScenarioSpec:
  *  1. capacity planning: offered load vs ANTT/violations for a fixed
  *     fleet, comparing front-end placement policies;
- *  2. load shedding: the same sweep with SLO-aware admission control,
+ *  2. load shedding: the same grid with SLO-aware admission control,
  *     trading shed requests for bounded tail turnaround.
  *
  * Usage: datacenter_mix [--requests N] [--nodes K] [--seed S]
@@ -19,99 +19,58 @@
 #include <string>
 #include <vector>
 
-#include "exp/experiments.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 #include "util/logging.hh"
-#include "util/table.hh"
 
 using namespace dysta;
 
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 500);
-    int nodes = argInt(argc, argv, "--nodes", 4);
-    int seed = argInt(argc, argv, "--seed", 21);
-    fatalIf(nodes <= 0, "datacenter_mix: --nodes must be positive");
+    ArgParser args("datacenter_mix",
+                   "Bursty multi-CNN tenants on a small cluster: "
+                   "placement policies and SLO-aware load shedding.");
+    args.addInt("--requests", 500, "requests per workload");
+    args.addInt("--nodes", 4, "fleet size");
+    args.addInt("--seed", 21, "workload seed");
+    args.parse(argc, argv);
 
-    std::printf("Profiling perception models on Eyeriss-V2...\n");
-    BenchSetup setup;
-    setup.includeAttnn = false;
-    auto ctx = makeBenchContext(setup);
+    int nodes = args.getInt("--nodes");
+    fatalIf(nodes <= 0, "datacenter_mix: --nodes must be positive");
 
     // Per-node saturation sits near 3.5 req/s (see the single-
     // accelerator sweep); scale the offered load with the fleet.
     // Rates below are the MMPP *base* rates — with the default burst
     // parameters (5x rate, 10s/2s dwells) the long-run offered load
     // is ~1.67x the base, so the sweep straddles saturation.
-    std::vector<double> rates;
+    ScenarioSpec spec;
+    spec.name = "datacenter-mix";
     for (double per_node : {2.0, 3.0, 4.0, 5.0})
-        rates.push_back(per_node * nodes);
-
+        spec.workloads.push_back(
+            {WorkloadKind::MultiCNN, per_node * nodes});
     // Bursty tenants: 5x base rate during exponential on-phases.
-    ArrivalConfig bursty;
-    bursty.kind = ArrivalKind::Mmpp;
+    spec.arrivals = {"mmpp"};
+    spec.fleets = {"sanger:" + std::to_string(nodes)};
+    spec.dispatchers = {"round-robin", "least-outstanding",
+                        "least-backlog"};
+    spec.schedulers = {"Dysta"};
+    spec.requests = args.getInt("--requests");
+    spec.seed = static_cast<uint64_t>(args.getInt("--seed"));
 
-    const std::vector<std::string> dispatchers = {
-        "round-robin", "least-outstanding", "least-backlog"};
+    std::printf("Profiling perception models on Eyeriss-V2...\n");
+    auto ctx = makeBenchContext(scenarioSetup(spec));
+    ScenarioRunOptions options;
+    options.ctx = ctx.get();
 
-    auto sweep = [&](bool admission) {
-        // One simulation per (dispatcher, rate); the metric tables
-        // below read from this cache.
-        std::vector<std::vector<Metrics>> cells;
-        for (const std::string& disp : dispatchers) {
-            cells.emplace_back();
-            for (double rate : rates) {
-                WorkloadConfig wl;
-                wl.kind = WorkloadKind::MultiCNN;
-                wl.arrivalRate = rate;
-                wl.arrival = bursty;
-                wl.sloMultiplier = 10.0;
-                wl.numRequests = requests;
-                wl.seed = static_cast<uint64_t>(seed);
+    // View 1: capacity planning without admission control.
+    printScenarioTable(runScenario(spec, options));
 
-                ClusterRunConfig cluster;
-                cluster.numNodes = static_cast<size_t>(nodes);
-                cluster.dispatcher = disp;
-                cluster.nodeScheduler = "Dysta";
-                cluster.admission.enabled = admission;
-
-                cells.back().push_back(
-                    runCluster(*ctx, wl, cluster).metrics);
-            }
-        }
-
-        for (const char* metric : {"ANTT", "violation", "shed"}) {
-            if (std::string(metric) == "shed" && !admission)
-                continue;
-            AsciiTable t(std::string("Data-center multi-CNN on ") +
-                         std::to_string(nodes) + " nodes (" + metric +
-                         "), bursty arrivals" +
-                         (admission ? ", SLO admission" : ""));
-            std::vector<std::string> header = {"dispatcher"};
-            for (double r : rates)
-                header.push_back(AsciiTable::num(r, 1) + " base r/s");
-            t.setHeader(header);
-
-            for (size_t d = 0; d < dispatchers.size(); ++d) {
-                std::vector<std::string> row = {dispatchers[d]};
-                for (const Metrics& m : cells[d]) {
-                    if (std::string(metric) == "ANTT")
-                        row.push_back(AsciiTable::num(m.antt, 2));
-                    else if (std::string(metric) == "violation")
-                        row.push_back(AsciiTable::num(
-                                          m.violationRate * 100, 1) +
-                                      "%");
-                    else
-                        row.push_back(std::to_string(m.shed));
-                }
-                t.addRow(row);
-            }
-            t.print();
-        }
-    };
-
-    sweep(/*admission=*/false);
-    sweep(/*admission=*/true);
+    // View 2: the same grid with SLO-aware shedding at the door.
+    spec.name = "datacenter-mix-admission";
+    spec.admission = true;
+    printScenarioTable(runScenario(spec, options));
 
     std::printf("Read: at low load any placement works; as the fleet "
                 "saturates, backlog-aware placement absorbs tenant "

@@ -1,15 +1,23 @@
 /**
  * @file
- * Quickstart: build the sparse multi-DNN benchmark, run the Dysta
- * scheduler against the classic baselines on one workload of each
- * scenario, and print ANTT / SLO violation rate / throughput.
+ * Quickstart: the Scenario API in one page. Builds the Phase-1
+ * trace pools, shows what the profiler measured, then declares the
+ * classic Dysta-vs-baselines comparison as a ScenarioSpec and runs
+ * it through runScenario() — the same engine the sdysta CLI and the
+ * bench binaries use, so this example is equivalent to a small
+ * scenario file:
+ *
+ *     workload  = attnn@30 | cnn@3
+ *     scheduler = FCFS | SJF | SDRM3 | PREMA | Planaria | Dysta
  *
  * Usage: quickstart [--requests N] [--seeds K]
  */
 
 #include <cstdio>
 
-#include "exp/experiments.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "util/args.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -17,11 +25,24 @@ using namespace dysta;
 int
 main(int argc, char** argv)
 {
-    int requests = argInt(argc, argv, "--requests", 500);
-    int seeds = argInt(argc, argv, "--seeds", 3);
+    ArgParser args("quickstart",
+                   "Run Dysta against the classic baselines on one "
+                   "workload of each scenario.");
+    args.addInt("--requests", 500, "requests per workload");
+    args.addInt("--seeds", 3, "seed replicas");
+    args.parse(argc, argv);
+
+    // Declare the experiment: two workload panels x six schedulers.
+    ScenarioSpec spec;
+    spec.name = "quickstart";
+    spec.workloads = {workloadPanelFromSpec("attnn@30"),
+                      workloadPanelFromSpec("cnn@3")};
+    spec.schedulers = table5Schedulers();
+    spec.requests = args.getInt("--requests");
+    spec.seeds = args.getInt("--seeds");
 
     std::printf("Building Phase-1 traces (hardware simulation)...\n");
-    auto ctx = makeBenchContext();
+    auto ctx = makeBenchContext(scenarioSetup(spec));
 
     // Show what the profiler measured: mean isolated latency per
     // model-pattern pair, i.e. the content of the static LUT.
@@ -40,28 +61,12 @@ main(int argc, char** argv)
     }
     lat.print();
 
-    for (WorkloadKind kind :
-         {WorkloadKind::MultiAttNN, WorkloadKind::MultiCNN}) {
-        WorkloadConfig wl;
-        wl.kind = kind;
-        wl.arrivalRate =
-            kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
-        wl.sloMultiplier = 10.0;
-        wl.numRequests = requests;
-        wl.seed = 42;
-
-        AsciiTable table(toString(kind) + " @ " +
-                         AsciiTable::num(wl.arrivalRate, 1) +
-                         " req/s, M_slo=10x");
-        table.setHeader({"scheduler", "ANTT", "violation [%]",
-                         "throughput [inf/s]"});
-        for (const std::string& name : table5Schedulers()) {
-            Metrics m = runAveraged(*ctx, wl, name, seeds);
-            table.addRow({name, AsciiTable::num(m.antt, 2),
-                          AsciiTable::num(m.violationRate * 100.0, 1),
-                          AsciiTable::num(m.throughput, 2)});
-        }
-        table.print();
-    }
+    // Run the declared grid on the shared context and print it.
+    ScenarioRunOptions options;
+    options.ctx = ctx.get();
+    ScenarioResult result = runScenario(spec, options);
+    printScenarioTable(result);
+    std::printf("Dysta should match or beat every baseline on ANTT "
+                "at equal throughput.\n");
     return 0;
 }

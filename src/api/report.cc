@@ -1,0 +1,283 @@
+#include "api/report.hh"
+
+#include <cstdio>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "util/table.hh"
+
+namespace dysta {
+
+Reporter::Reporter(std::string tool) : tool(std::move(tool)) {}
+
+void
+Reporter::meta(const std::string& key, const std::string& value)
+{
+    Value v;
+    v.kind = Value::Kind::Str;
+    v.str = value;
+    metaFields.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::meta(const std::string& key, int value)
+{
+    Value v;
+    v.kind = Value::Kind::Int;
+    v.integer = value;
+    metaFields.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::scalar(const std::string& key, double value)
+{
+    Value v;
+    v.kind = Value::Kind::Num;
+    v.num = value;
+    scalars.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::scalar(const std::string& key, int64_t value)
+{
+    Value v;
+    v.kind = Value::Kind::Int;
+    v.integer = value;
+    scalars.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::scalar(const std::string& key, bool value)
+{
+    Value v;
+    v.kind = Value::Kind::Bool;
+    v.boolean = value;
+    scalars.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::scalar(const std::string& key, const std::string& value)
+{
+    Value v;
+    v.kind = Value::Kind::Str;
+    v.str = value;
+    scalars.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::add(const ScenarioResult& result)
+{
+    runs.push_back(result);
+}
+
+namespace {
+
+void
+writeRow(JsonWriter& json, const ScenarioRow& row)
+{
+    json.beginObject();
+    json.field("workload", row.workload);
+    json.field("arrival", row.arrival);
+    json.field("slo", row.slo);
+    json.field("fleet", row.fleet);
+    json.field("dispatcher", row.dispatcher);
+    json.field("scheduler", row.scheduler);
+    const Metrics& m = row.metrics;
+    json.field("antt", m.antt);
+    json.field("violation_rate", m.violationRate);
+    json.field("slo_miss_rate", m.sloMissRate);
+    json.field("throughput", m.throughput);
+    json.field("stp", m.stp);
+    json.field("p50_turnaround", m.p50Turnaround);
+    json.field("p95_turnaround", m.p95Turnaround);
+    json.field("p99_turnaround", m.p99Turnaround);
+    json.field("p50_latency", m.p50Latency);
+    json.field("p95_latency", m.p95Latency);
+    json.field("p99_latency", m.p99Latency);
+    json.field("completed", static_cast<uint64_t>(m.completed));
+    json.field("shed", static_cast<uint64_t>(m.shed));
+    json.field("makespan", m.makespan);
+    json.field("decisions", row.decisions);
+    json.field("preemptions", row.preemptions);
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+Reporter::json() const
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("tool", tool);
+
+    json.beginObject("meta");
+    for (const auto& [key, value] : metaFields) {
+        switch (value.kind) {
+          case Value::Kind::Str: json.field(key, value.str); break;
+          case Value::Kind::Num: json.field(key, value.num); break;
+          case Value::Kind::Int:
+            json.field(key, value.integer);
+            break;
+          case Value::Kind::Bool:
+            json.field(key, value.boolean);
+            break;
+        }
+    }
+    json.endObject();
+
+    for (const auto& [key, value] : scalars) {
+        switch (value.kind) {
+          case Value::Kind::Str: json.field(key, value.str); break;
+          case Value::Kind::Num: json.field(key, value.num); break;
+          case Value::Kind::Int:
+            json.field(key, value.integer);
+            break;
+          case Value::Kind::Bool:
+            json.field(key, value.boolean);
+            break;
+        }
+    }
+
+    json.beginArray("scenarios");
+    for (const ScenarioResult& run : runs) {
+        json.beginObject();
+        json.field("name", run.spec.name);
+        json.field("spec", serializeScenario(run.spec));
+        json.beginArray("rows");
+        for (const ScenarioRow& row : run.rows)
+            writeRow(json, row);
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.endObject();
+    return json.str();
+}
+
+void
+Reporter::writeJson(const std::string& path) const
+{
+    std::string document = json();
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    fatalIf(out == nullptr, "Reporter: cannot write '" + path + "'");
+    bool ok =
+        std::fwrite(document.data(), 1, document.size(), out) ==
+            document.size() &&
+        std::fputc('\n', out) != EOF;
+    ok = std::fclose(out) == 0 && ok;
+    fatalIf(!ok, "Reporter: short write to '" + path + "'");
+    std::printf("Wrote %s\n", path.c_str());
+}
+
+void
+Reporter::printTables() const
+{
+    for (const ScenarioResult& run : runs)
+        printScenarioTable(run);
+}
+
+namespace {
+
+template <typename Fn>
+bool
+multiValued(const std::vector<ScenarioRow>& rows, Fn get)
+{
+    for (const ScenarioRow& row : rows) {
+        if (get(row) != get(rows.front()))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+printScenarioTable(const ScenarioResult& result)
+{
+    if (result.rows.empty()) {
+        std::printf("scenario '%s': no result rows\n",
+                    result.spec.name.c_str());
+        return;
+    }
+    const ScenarioSpec& spec = result.spec;
+    const std::vector<ScenarioRow>& rows = result.rows;
+
+    // Elide single-valued axis columns; their value is in the title.
+    bool show_workload = multiValued(
+        rows, [](const ScenarioRow& r) { return r.workload; });
+    bool show_arrival = multiValued(
+        rows, [](const ScenarioRow& r) { return r.arrival; });
+    bool show_slo =
+        multiValued(rows, [](const ScenarioRow& r) { return r.slo; });
+    bool show_fleet = spec.cluster() &&
+        multiValued(rows,
+                    [](const ScenarioRow& r) { return r.fleet; });
+    bool show_dispatcher = spec.cluster();
+    bool any_shed = false;
+    for (const ScenarioRow& row : rows)
+        any_shed = any_shed || row.metrics.shed > 0;
+
+    std::string title = "scenario '" + spec.name + "' (" +
+                        std::to_string(spec.requests) + " requests x " +
+                        std::to_string(spec.seeds) + " seed" +
+                        (spec.seeds > 1 ? "s" : "");
+    if (!show_workload)
+        title += ", " + rows.front().workload;
+    if (!show_arrival)
+        title += ", " + rows.front().arrival;
+    if (!show_slo)
+        title += ", M_slo=" + shortestDouble(rows.front().slo) + "x";
+    if (spec.cluster() && !show_fleet)
+        title += ", fleet " + rows.front().fleet;
+    title += ")";
+
+    AsciiTable table(title);
+    std::vector<std::string> header;
+    if (show_workload)
+        header.push_back("workload");
+    if (show_arrival)
+        header.push_back("arrival");
+    if (show_slo)
+        header.push_back("slo");
+    if (show_fleet)
+        header.push_back("fleet");
+    if (show_dispatcher)
+        header.push_back("dispatcher");
+    header.push_back("scheduler");
+    header.insert(header.end(),
+                  {"ANTT", "violation [%]", "slo miss [%]",
+                   "throughput", "p99 lat [ms]"});
+    if (any_shed)
+        header.push_back("shed");
+    table.setHeader(header);
+
+    for (const ScenarioRow& row : rows) {
+        std::vector<std::string> cells;
+        if (show_workload)
+            cells.push_back(row.workload);
+        if (show_arrival)
+            cells.push_back(row.arrival);
+        if (show_slo)
+            cells.push_back(shortestDouble(row.slo));
+        if (show_fleet)
+            cells.push_back(row.fleet);
+        if (show_dispatcher)
+            cells.push_back(row.dispatcher);
+        cells.push_back(row.scheduler);
+        const Metrics& m = row.metrics;
+        cells.push_back(AsciiTable::num(m.antt, 2));
+        cells.push_back(AsciiTable::num(m.violationRate * 100.0, 1));
+        cells.push_back(AsciiTable::num(m.sloMissRate * 100.0, 1));
+        cells.push_back(AsciiTable::num(m.throughput, 2));
+        cells.push_back(AsciiTable::num(m.p99Latency * 1e3, 2));
+        if (any_shed)
+            cells.push_back(std::to_string(m.shed));
+        table.addRow(cells);
+    }
+    table.print();
+}
+
+} // namespace dysta

@@ -1,0 +1,621 @@
+#include "api/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "api/registry.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "workload/cluster_spec.hh"
+
+namespace dysta {
+
+namespace {
+
+std::string
+trimmed(const std::string& s)
+{
+    size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+/** Split an axis value on '|', trimming each element. */
+std::vector<std::string>
+splitAxis(const std::string& key, const std::string& value)
+{
+    std::vector<std::string> out;
+    if (trimmed(value).empty())
+        return out;
+    size_t pos = 0;
+    while (pos <= value.size()) {
+        size_t bar = value.find('|', pos);
+        std::string item = trimmed(value.substr(
+            pos, bar == std::string::npos ? std::string::npos
+                                          : bar - pos));
+        fatalIf(item.empty(), "parseScenario: empty element in the '" +
+                                  key + "' list");
+        out.push_back(item);
+        if (bar == std::string::npos)
+            break;
+        pos = bar + 1;
+    }
+    return out;
+}
+
+double
+parseDoubleStrict(const std::string& key, const std::string& text)
+{
+    double v = 0.0;
+    fatalIf(!tryParseDouble(text, v),
+            "parseScenario: '" + key + "' expects a number, got '" +
+                text + "'");
+    return v;
+}
+
+int
+parseIntStrict(const std::string& key, const std::string& text)
+{
+    int v = 0;
+    fatalIf(!tryParseInt(text, v),
+            "parseScenario: '" + key + "' expects an integer, got '" +
+                text + "'");
+    return v;
+}
+
+uint64_t
+parseU64Strict(const std::string& key, const std::string& text)
+{
+    uint64_t v = 0;
+    fatalIf(!tryParseU64(text, v),
+            "parseScenario: '" + key +
+                "' expects a non-negative integer, got '" + text + "'");
+    return v;
+}
+
+bool
+parseBoolStrict(const std::string& key, const std::string& text)
+{
+    bool v = false;
+    fatalIf(!tryParseBool(text, v),
+            "parseScenario: '" + key +
+                "' expects 0/1/true/false, got '" + text + "'");
+    return v;
+}
+
+std::string
+kindShortName(WorkloadKind kind)
+{
+    return kind == WorkloadKind::MultiCNN ? "cnn" : "attnn";
+}
+
+WorkloadKind
+kindFromShortName(const std::string& name)
+{
+    if (name == "attnn" || name == "multi-attnn")
+        return WorkloadKind::MultiAttNN;
+    if (name == "cnn" || name == "multi-cnn")
+        return WorkloadKind::MultiCNN;
+    fatal("workloadPanelFromSpec: unknown workload kind '" + name +
+          "'; valid kinds: attnn, cnn");
+}
+
+/** The scenario-file keys, in canonical serialization order. */
+const char* const kScenarioKeys[] = {
+    "name",       "workload",        "arrival",
+    "slo",        "scheduler",       "fleet",
+    "dispatcher", "requests",        "seeds",
+    "seed",       "events",          "admission",
+    "admission_margin", "admission_estimator", "on_failure",
+    "samples",    "profile_seed",    "cnn_sparsity",
+};
+
+std::string
+validKeyList()
+{
+    return joinComma(std::vector<std::string>(
+        std::begin(kScenarioKeys), std::end(kScenarioKeys)));
+}
+
+void
+applyKey(ScenarioSpec& spec, const std::string& key,
+         const std::string& value)
+{
+    if (key == "name") {
+        fatalIf(value.empty(), "parseScenario: 'name' must not be "
+                               "empty");
+        spec.name = value;
+    } else if (key == "workload") {
+        spec.workloads.clear();
+        for (const std::string& item : splitAxis(key, value))
+            spec.workloads.push_back(workloadPanelFromSpec(item));
+    } else if (key == "arrival") {
+        spec.arrivals = splitAxis(key, value);
+    } else if (key == "slo") {
+        spec.sloMultipliers.clear();
+        for (const std::string& item : splitAxis(key, value))
+            spec.sloMultipliers.push_back(
+                parseDoubleStrict(key, item));
+    } else if (key == "scheduler") {
+        spec.schedulers = splitAxis(key, value);
+    } else if (key == "fleet") {
+        spec.fleets = splitAxis(key, value);
+    } else if (key == "dispatcher") {
+        spec.dispatchers = splitAxis(key, value);
+    } else if (key == "requests") {
+        spec.requests = parseIntStrict(key, value);
+    } else if (key == "seeds") {
+        spec.seeds = parseIntStrict(key, value);
+    } else if (key == "seed") {
+        spec.seed = parseU64Strict(key, value);
+    } else if (key == "events") {
+        spec.events = value;
+    } else if (key == "admission") {
+        spec.admission = parseBoolStrict(key, value);
+    } else if (key == "admission_margin") {
+        spec.admissionMargin = parseDoubleStrict(key, value);
+    } else if (key == "admission_estimator") {
+        spec.admissionEstimator = value;
+    } else if (key == "on_failure") {
+        spec.onFailure = value;
+    } else if (key == "samples") {
+        spec.samples = parseIntStrict(key, value);
+    } else if (key == "profile_seed") {
+        spec.profileSeed = parseU64Strict(key, value);
+    } else if (key == "cnn_sparsity") {
+        spec.cnnSparsityRate = parseDoubleStrict(key, value);
+    } else {
+        fatal("parseScenario: unknown key '" + key +
+              "'; valid keys: " + validKeyList());
+    }
+}
+
+template <typename T, typename Fn>
+std::string
+joinAxis(const std::vector<T>& items, Fn to_string)
+{
+    std::string out;
+    for (const T& item : items)
+        out += (out.empty() ? "" : " | ") + to_string(item);
+    return out;
+}
+
+} // namespace
+
+std::string
+WorkloadPanel::label() const
+{
+    return kindShortName(kind) + "@" + shortestDouble(rate);
+}
+
+WorkloadPanel
+workloadPanelFromSpec(const std::string& spec)
+{
+    size_t at = spec.find('@');
+    fatalIf(at == std::string::npos || at == 0 ||
+                at + 1 >= spec.size(),
+            "workloadPanelFromSpec: malformed workload panel '" + spec +
+                "' (want kind@rate, e.g. attnn@30)");
+    WorkloadPanel panel;
+    panel.kind = kindFromShortName(spec.substr(0, at));
+    panel.rate = parseDoubleStrict("workload", spec.substr(at + 1));
+    fatalIf(panel.rate <= 0.0,
+            "workloadPanelFromSpec: rate must be positive in '" + spec +
+                "'");
+    return panel;
+}
+
+ScenarioSpec
+parseScenario(const std::string& text)
+{
+    ScenarioSpec spec;
+    std::vector<std::string> seen;
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::string line = trimmed(raw);
+        if (line.empty())
+            continue;
+        size_t eq = line.find('=');
+        fatalIf(eq == std::string::npos,
+                "parseScenario: line " + std::to_string(lineno) +
+                    " is not 'key = value': '" + line + "'");
+        std::string key = trimmed(line.substr(0, eq));
+        std::string value = trimmed(line.substr(eq + 1));
+        fatalIf(key.empty(), "parseScenario: line " +
+                                 std::to_string(lineno) +
+                                 " has an empty key");
+        fatalIf(std::find(seen.begin(), seen.end(), key) != seen.end(),
+                "parseScenario: duplicate key '" + key + "' (line " +
+                    std::to_string(lineno) + ")");
+        seen.push_back(key);
+        applyKey(spec, key, value);
+    }
+    return spec;
+}
+
+ScenarioSpec
+parseScenarioFile(const std::string& path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "parseScenarioFile: cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseScenario(text.str());
+}
+
+std::string
+serializeScenario(const ScenarioSpec& spec)
+{
+    auto identity = [](const std::string& s) { return s; };
+    std::string out;
+    auto kv = [&out](const std::string& key,
+                     const std::string& value) {
+        // The file grammar has no quoting: '#' starts a comment and
+        // a newline ends the value, so neither may appear in an
+        // emitted value or the parse->serialize->parse identity
+        // silently breaks.
+        fatalIf(value.find_first_of("#\n") != std::string::npos,
+                "serializeScenario: '" + key + "' value contains '#' "
+                "or a newline, which the scenario-file grammar "
+                "cannot represent: '" + value + "'");
+        out += key;
+        out += value.empty() ? " =" : " = " + value;
+        out += "\n";
+    };
+    kv("name", spec.name);
+    kv("workload",
+       joinAxis(spec.workloads,
+                [](const WorkloadPanel& p) { return p.label(); }));
+    kv("arrival", joinAxis(spec.arrivals, identity));
+    kv("slo", joinAxis(spec.sloMultipliers,
+                       [](double v) { return shortestDouble(v); }));
+    kv("scheduler", joinAxis(spec.schedulers, identity));
+    kv("fleet", joinAxis(spec.fleets, identity));
+    kv("dispatcher", joinAxis(spec.dispatchers, identity));
+    kv("requests", std::to_string(spec.requests));
+    kv("seeds", std::to_string(spec.seeds));
+    kv("seed", std::to_string(spec.seed));
+    kv("events", spec.events);
+    kv("admission", spec.admission ? "1" : "0");
+    kv("admission_margin", shortestDouble(spec.admissionMargin));
+    kv("admission_estimator", spec.admissionEstimator);
+    kv("on_failure", spec.onFailure);
+    kv("samples", std::to_string(spec.samples));
+    kv("profile_seed", std::to_string(spec.profileSeed));
+    kv("cnn_sparsity", shortestDouble(spec.cnnSparsityRate));
+    return out;
+}
+
+void
+validateScenario(const ScenarioSpec& spec)
+{
+    const std::string where = "scenario '" + spec.name + "': ";
+    fatalIf(spec.workloads.empty(),
+            where + "needs at least one workload panel");
+    fatalIf(spec.arrivals.empty(),
+            where + "needs at least one arrival process");
+    fatalIf(spec.sloMultipliers.empty(),
+            where + "needs at least one SLO multiplier");
+    fatalIf(spec.schedulers.empty(),
+            where + "needs at least one scheduler");
+    fatalIf(spec.requests <= 0, where + "requests must be positive");
+    fatalIf(spec.seeds <= 0, where + "seeds must be positive");
+    fatalIf(spec.samples <= 0, where + "samples must be positive");
+    for (double slo : spec.sloMultipliers)
+        fatalIf(!(slo > 0.0) || !std::isfinite(slo),
+                where + "SLO multipliers must be positive and finite");
+    fatalIf(spec.onFailure != "restart" && spec.onFailure != "shed",
+            where + "on_failure must be 'restart' or 'shed', got '" +
+                spec.onFailure + "'");
+
+    const PolicyRegistry& registry = PolicyRegistry::global();
+    for (const std::string& sched : spec.schedulers)
+        registry.requireScheduler(sched);
+    for (const std::string& arrival : spec.arrivals)
+        registry.makeArrival(arrival);
+
+    if (!spec.cluster()) {
+        fatalIf(!spec.dispatchers.empty(),
+                where + "'dispatcher' requires a 'fleet' (single-"
+                        "accelerator scenarios have no front-end)");
+        fatalIf(!spec.events.empty(),
+                where + "'events' requires a 'fleet'");
+        fatalIf(spec.admission,
+                where + "'admission' requires a 'fleet'");
+        fatalIf(!spec.admissionEstimator.empty(),
+                where + "'admission_estimator' requires a 'fleet'");
+        return;
+    }
+
+    fatalIf(spec.dispatchers.empty(),
+            where + "cluster scenarios need at least one dispatcher");
+    for (const std::string& disp : spec.dispatchers)
+        registry.requireDispatcher(disp);
+    if (!spec.admissionEstimator.empty())
+        registry.requireEstimator(spec.admissionEstimator);
+    for (const std::string& fleet : spec.fleets)
+        fleetFromSpec(fleet); // validates classes and counts
+    if (!spec.events.empty())
+        nodeEventsFromSpec(spec.events);
+}
+
+BenchSetup
+scenarioSetup(const ScenarioSpec& spec)
+{
+    BenchSetup setup;
+    setup.samplesPerModel = spec.samples;
+    setup.seed = spec.profileSeed;
+    setup.cnnSparsityRate = spec.cnnSparsityRate;
+    setup.includeAttnn = false;
+    setup.includeCnn = false;
+    for (const WorkloadPanel& panel : spec.workloads) {
+        if (panel.kind == WorkloadKind::MultiCNN)
+            setup.includeCnn = true;
+        else
+            setup.includeAttnn = true;
+    }
+    return setup;
+}
+
+namespace {
+
+/**
+ * Enumerate the grid points of a scenario in canonical order —
+ * workload, arrival, slo, fleet, dispatcher, scheduler (seeds are
+ * expanded by the caller). Both the cell expansion and the result
+ * regrouping iterate through this ONE function, so row labels can
+ * never drift out of step with cell results. Cluster axes collapse
+ * to a single empty slot on single-accelerator grids.
+ */
+template <typename Fn>
+void
+forEachGridPoint(const ScenarioSpec& spec, Fn&& fn)
+{
+    const std::vector<std::string> none = {""};
+    const std::vector<std::string>& fleets =
+        spec.cluster() ? spec.fleets : none;
+    const std::vector<std::string>& dispatchers =
+        spec.cluster() ? spec.dispatchers : none;
+
+    for (const WorkloadPanel& panel : spec.workloads)
+        for (const std::string& arrival : spec.arrivals)
+            for (double slo : spec.sloMultipliers)
+                for (const std::string& fleet : fleets)
+                    for (const std::string& disp : dispatchers)
+                        for (const std::string& sched :
+                             spec.schedulers)
+                            fn(panel, arrival, slo, fleet, disp,
+                               sched);
+}
+
+} // namespace
+
+std::vector<SweepCell>
+scenarioCells(const ScenarioSpec& spec)
+{
+    const PolicyRegistry& registry = PolicyRegistry::global();
+    std::vector<SweepCell> cells;
+    forEachGridPoint(spec, [&](const WorkloadPanel& panel,
+                               const std::string& arrival, double slo,
+                               const std::string& fleet,
+                               const std::string& disp,
+                               const std::string& sched) {
+        SweepCell cell;
+        cell.workload.kind = panel.kind;
+        cell.workload.arrivalRate = panel.rate;
+        cell.workload.arrival = registry.makeArrival(arrival);
+        cell.workload.sloMultiplier = slo;
+        cell.workload.numRequests = spec.requests;
+        cell.workload.seed = spec.seed;
+        if (spec.cluster()) {
+            cell.clusterMode = true;
+            cell.cluster.nodes = fleetFromSpec(fleet);
+            cell.cluster.dispatcher = disp;
+            cell.cluster.nodeScheduler = sched;
+            cell.cluster.admission.enabled = spec.admission;
+            cell.cluster.admission.margin = spec.admissionMargin;
+            cell.cluster.admissionEstimator = spec.admissionEstimator;
+            if (!spec.events.empty())
+                cell.cluster.nodeEvents =
+                    nodeEventsFromSpec(spec.events);
+            cell.cluster.onFailure = spec.onFailure == "shed"
+                ? RestartPolicy::Shed
+                : RestartPolicy::Restart;
+        } else {
+            cell.scheduler = sched;
+        }
+        for (const SweepCell& replica :
+             seedReplicas(cell, spec.seeds))
+            cells.push_back(replica);
+    });
+    return cells;
+}
+
+ScenarioResult
+runScenario(const ScenarioSpec& spec,
+            const ScenarioRunOptions& options)
+{
+    validateScenario(spec);
+
+    std::unique_ptr<BenchContext> owned;
+    const BenchContext* ctx = options.ctx;
+    if (ctx == nullptr) {
+        owned = makeBenchContext(scenarioSetup(spec),
+                                 options.traceCache);
+        ctx = owned.get();
+    }
+
+    SweepRunner runner(*ctx, options.jobs);
+    std::vector<SweepCellResult> results =
+        runner.run(scenarioCells(spec));
+
+    ScenarioResult out;
+    out.spec = spec;
+    out.jobs = runner.jobs();
+
+    // Regroup the flat result vector through the same enumerator
+    // that emitted the cells; seed replicas are contiguous.
+    size_t index = 0;
+    std::vector<Metrics> group(static_cast<size_t>(spec.seeds));
+    forEachGridPoint(spec, [&](const WorkloadPanel& panel,
+                               const std::string& arrival, double slo,
+                               const std::string& fleet,
+                               const std::string& disp,
+                               const std::string& sched) {
+        ScenarioRow row;
+        row.workload = panel.label();
+        row.arrival = arrival;
+        row.slo = slo;
+        row.fleet = fleet;
+        row.dispatcher = disp;
+        row.scheduler = sched;
+        for (int s = 0; s < spec.seeds; ++s) {
+            const SweepCellResult& r = results[index++];
+            group[static_cast<size_t>(s)] = r.metrics;
+            row.decisions += static_cast<double>(r.decisions);
+            row.preemptions += static_cast<double>(r.preemptions);
+        }
+        row.metrics = averageMetrics(group);
+        row.decisions /= spec.seeds;
+        row.preemptions /= spec.seeds;
+        out.rows.push_back(std::move(row));
+    });
+    panicIf(index != results.size(),
+            "runScenario: grid expansion and regrouping disagree");
+    return out;
+}
+
+std::vector<std::string>
+builtinScenarioNames()
+{
+    return {"fig12",           "fig14",          "fig15",
+            "tab05",           "cluster-scaling", "hetero-cluster",
+            "hetero-failover"};
+}
+
+ScenarioSpec
+builtinScenario(const std::string& name)
+{
+    auto panels = [](std::initializer_list<const char*> specs) {
+        std::vector<WorkloadPanel> out;
+        for (const char* spec : specs)
+            out.push_back(workloadPanelFromSpec(spec));
+        return out;
+    };
+
+    if (name == "fig12") {
+        // Fig. 12: the ANTT / SLO-violation trade-off plane.
+        ScenarioSpec spec;
+        spec.name = "fig12";
+        spec.workloads =
+            panels({"attnn@30", "attnn@40", "cnn@3", "cnn@4"});
+        spec.schedulers = table5Schedulers();
+        spec.requests = 1000;
+        spec.seeds = 5;
+        return spec;
+    }
+    if (name == "fig14") {
+        // Fig. 14: robustness across latency SLOs.
+        ScenarioSpec spec;
+        spec.name = "fig14";
+        spec.workloads =
+            panels({"attnn@30", "attnn@40", "cnn@3", "cnn@4"});
+        spec.sloMultipliers = {10, 30, 50, 70, 90, 110, 130, 150};
+        spec.schedulers = table5Schedulers();
+        spec.schedulers.push_back("Oracle");
+        spec.requests = 600;
+        spec.seeds = 3;
+        return spec;
+    }
+    if (name == "fig15") {
+        // Fig. 15: robustness across arrival rates.
+        ScenarioSpec spec;
+        spec.name = "fig15";
+        spec.workloads = panels(
+            {"attnn@10", "attnn@15", "attnn@20", "attnn@25",
+             "attnn@30", "attnn@35", "attnn@40", "cnn@2", "cnn@2.5",
+             "cnn@3", "cnn@3.5", "cnn@4", "cnn@5", "cnn@6"});
+        spec.schedulers = table5Schedulers();
+        spec.schedulers.push_back("Oracle");
+        spec.requests = 600;
+        spec.seeds = 3;
+        return spec;
+    }
+    if (name == "tab05") {
+        // Table 5: end-to-end ANTT and violation rates, plus the
+        // Oracle and the FP16 hardware Dysta for reference.
+        ScenarioSpec spec;
+        spec.name = "tab05";
+        spec.workloads = panels({"attnn@30", "cnn@3"});
+        spec.schedulers = table5Schedulers();
+        spec.schedulers.push_back("Oracle");
+        spec.schedulers.push_back("Dysta-HW");
+        spec.requests = 1000;
+        spec.seeds = 5;
+        return spec;
+    }
+    if (name == "cluster-scaling") {
+        // Fleet size x dispatcher x arrival process at saturating
+        // offered load (bench_cluster_scaling).
+        ScenarioSpec spec;
+        spec.name = "cluster-scaling";
+        spec.workloads = panels({"attnn@120"});
+        spec.arrivals = {"poisson", "mmpp", "diurnal"};
+        spec.fleets = {"sanger:1", "sanger:2", "sanger:4",
+                       "sanger:8"};
+        spec.dispatchers = {"round-robin",      "least-outstanding",
+                            "least-backlog",    "least-backlog-lut",
+                            "capability-aware", "work-stealing"};
+        spec.schedulers = {"Dysta"};
+        spec.requests = 400;
+        spec.seeds = 1;
+        return spec;
+    }
+    if (name == "hetero-cluster") {
+        // Homogeneous vs mixed fleets under bursty traffic
+        // (bench_hetero_cluster's scenario groups, no failures).
+        ScenarioSpec spec;
+        spec.name = "hetero-cluster";
+        spec.workloads = panels({"attnn@100"});
+        spec.arrivals = {"mmpp"};
+        spec.fleets = {"sanger:4", "sanger:2,eyeriss-xl:2"};
+        spec.dispatchers = {"round-robin", "least-outstanding",
+                            "least-backlog", "capability-aware",
+                            "work-stealing"};
+        spec.schedulers = {"Dysta"};
+        spec.requests = 400;
+        spec.seeds = 1;
+        return spec;
+    }
+    if (name == "hetero-failover") {
+        // Failure injection on the mixed fleet: one sanger node
+        // fails at t=1s and recovers at t=3s.
+        ScenarioSpec spec;
+        spec.name = "hetero-failover";
+        spec.workloads = panels({"attnn@100"});
+        spec.arrivals = {"mmpp"};
+        spec.fleets = {"sanger:2,eyeriss-xl:2"};
+        spec.dispatchers = {"round-robin", "work-stealing"};
+        spec.schedulers = {"Dysta"};
+        spec.events = "fail@1.0:0,recover@3.0:0";
+        spec.requests = 400;
+        spec.seeds = 1;
+        return spec;
+    }
+
+    fatal("builtinScenario: unknown scenario '" + name +
+          "'; valid scenarios: " + joinComma(builtinScenarioNames()));
+}
+
+} // namespace dysta

@@ -18,6 +18,21 @@ toString(PredictorStrategy strategy)
     panic("toString: unknown PredictorStrategy");
 }
 
+PredictorStrategy
+predictorStrategyFromName(const std::string& name)
+{
+    if (name == "average-all")
+        return PredictorStrategy::AverageAll;
+    if (name == "last-n")
+        return PredictorStrategy::LastN;
+    if (name == "last-one")
+        return PredictorStrategy::LastOne;
+    if (name == "ema")
+        return PredictorStrategy::Ema;
+    fatal("predictorStrategyFromName: unknown strategy '" + name +
+          "'; valid strategies: average-all, last-n, last-one, ema");
+}
+
 SparseLatencyPredictor::SparseLatencyPredictor(const ModelInfo& info,
                                                PredictorConfig config)
     : info(&info), cfg(config)

@@ -50,6 +50,9 @@ enum class PredictorStrategy
 
 std::string toString(PredictorStrategy strategy);
 
+/** Inverse of toString; fatal() listing valid names on a mismatch. */
+PredictorStrategy predictorStrategyFromName(const std::string& name);
+
 /** Predictor knobs. */
 struct PredictorConfig
 {

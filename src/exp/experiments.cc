@@ -7,15 +7,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "api/registry.hh"
 #include "exp/sweep.hh"
-#include "hw/hw_scheduler.hh"
 #include "models/zoo.hh"
-#include "sched/fcfs.hh"
-#include "sched/oracle.hh"
-#include "sched/planaria.hh"
-#include "sched/prema.hh"
-#include "sched/sdrm3.hh"
-#include "sched/sjf.hh"
 #include "trace/profiler.hh"
 #include "util/logging.hh"
 
@@ -192,44 +186,14 @@ table5Schedulers()
 std::vector<std::string>
 allSchedulers()
 {
-    return {"FCFS", "SJF", "SDRM3", "PREMA", "Planaria",
-            "Oracle", "Dysta", "Dysta-w/o-sparse", "Dysta-HW"};
+    return PolicyRegistry::global().schedulerNames();
 }
 
 std::unique_ptr<Scheduler>
-makeSchedulerByName(const std::string& name, const BenchContext& ctx,
+makeSchedulerByName(const std::string& spec, const BenchContext& ctx,
                     WorkloadKind kind)
 {
-    bool cnn = kind == WorkloadKind::MultiCNN;
-    if (name == "FCFS")
-        return std::make_unique<FcfsScheduler>();
-    if (name == "SJF")
-        return std::make_unique<SjfScheduler>(ctx.lut);
-    if (name == "PREMA")
-        return std::make_unique<PremaScheduler>(ctx.lut);
-    if (name == "Planaria")
-        return std::make_unique<PlanariaScheduler>(ctx.lut);
-    if (name == "SDRM3")
-        return std::make_unique<Sdrm3Scheduler>(ctx.lut);
-    if (name == "Oracle") {
-        return std::make_unique<OracleScheduler>(
-            tunedDystaConfig(cnn).eta);
-    }
-    if (name == "Dysta") {
-        return std::make_unique<DystaScheduler>(ctx.lut,
-                                                tunedDystaConfig(cnn));
-    }
-    if (name == "Dysta-w/o-sparse") {
-        return std::make_unique<DystaScheduler>(
-            ctx.lut, dystaWithoutSparseConfig());
-    }
-    if (name == "Dysta-HW") {
-        HwSchedulerConfig hw_cfg;
-        hw_cfg.eta = tunedDystaConfig(cnn).eta;
-        return std::make_unique<DystaHwScheduler>(ctx.lut, ctx.models,
-                                                  hw_cfg);
-    }
-    fatal("makeSchedulerByName: unknown scheduler '" + name + "'");
+    return PolicyRegistry::global().makeScheduler(spec, ctx, kind);
 }
 
 EngineResult
@@ -261,32 +225,15 @@ runAveraged(const BenchContext& ctx, WorkloadConfig workload,
 std::vector<std::string>
 allDispatchers()
 {
-    return {"round-robin",       "least-outstanding",
-            "least-backlog",     "least-backlog-lut",
-            "capability-aware",  "work-stealing"};
+    return PolicyRegistry::global().dispatcherNames();
 }
 
 std::unique_ptr<Dispatcher>
-makeDispatcherByName(const std::string& name, const BenchContext& ctx,
+makeDispatcherByName(const std::string& spec, const BenchContext& ctx,
                      WorkStealingConfig steal_cfg)
 {
-    if (name == "round-robin")
-        return std::make_unique<RoundRobinDispatcher>();
-    if (name == "least-outstanding")
-        return std::make_unique<LeastOutstandingDispatcher>();
-    if (name == "least-backlog")
-        return std::make_unique<LeastBacklogDispatcher>(ctx.lut);
-    if (name == "least-backlog-lut") {
-        return std::make_unique<LeastBacklogDispatcher>(
-            ctx.lut, PredictorConfig{}, /*sparsity_aware=*/false);
-    }
-    if (name == "capability-aware")
-        return std::make_unique<CapabilityAwareDispatcher>(ctx.lut);
-    if (name == "work-stealing") {
-        return std::make_unique<WorkStealingDispatcher>(ctx.lut,
-                                                        steal_cfg);
-    }
-    fatal("makeDispatcherByName: unknown dispatcher '" + name + "'");
+    return PolicyRegistry::global().makeDispatcher(spec, ctx,
+                                                   steal_cfg);
 }
 
 ClusterResult
@@ -306,6 +253,13 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     cfg.nodeEvents = cluster.nodeEvents;
     cfg.onFailure = cluster.onFailure;
 
+    std::unique_ptr<LatencyEstimator> admission_est;
+    if (!cluster.admissionEstimator.empty()) {
+        admission_est = PolicyRegistry::global().makeEstimator(
+            cluster.admissionEstimator, ctx);
+        cfg.admissionEstimator = admission_est.get();
+    }
+
     std::vector<Request> requests =
         generateWorkload(workload, ctx.registry);
     auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx,
@@ -317,38 +271,6 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
             return makeSchedulerByName(cluster.nodeScheduler, ctx,
                                        workload.kind);
         });
-}
-
-int
-argInt(int argc, char** argv, const std::string& flag, int fallback)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i])
-            return std::atoi(argv[i + 1]);
-    }
-    return fallback;
-}
-
-double
-argDouble(int argc, char** argv, const std::string& flag,
-          double fallback)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i])
-            return std::atof(argv[i + 1]);
-    }
-    return fallback;
-}
-
-std::string
-argStr(int argc, char** argv, const std::string& flag,
-       const std::string& fallback)
-{
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (flag == argv[i])
-            return argv[i + 1];
-    }
-    return fallback;
 }
 
 } // namespace dysta

@@ -79,16 +79,17 @@ makeBenchContext(BenchSetup setup, const std::string& trace_cache_dir);
 /** Baseline scheduler names in the paper's Table 5 order. */
 std::vector<std::string> table5Schedulers();
 
-/** All scheduler names this harness can construct. */
+/** All registered scheduler names (PolicyRegistry::global()). */
 std::vector<std::string> allSchedulers();
 
 /**
- * Construct a scheduler by name: FCFS, SJF, SDRM3, PREMA, Planaria,
- * Oracle, Dysta, Dysta-w/o-sparse or Dysta-HW. Dysta and Oracle use
- * the per-scenario tuned eta. fatal() on unknown names.
+ * Construct a scheduler from a PolicyRegistry spec, e.g. "Dysta" or
+ * "dysta:eta=0.1,beta=0.25". Dysta and Oracle default to the
+ * per-scenario tuned eta. fatal() on unknown names, listing the
+ * valid ones.
  */
 std::unique_ptr<Scheduler>
-makeSchedulerByName(const std::string& name, const BenchContext& ctx,
+makeSchedulerByName(const std::string& spec, const BenchContext& ctx,
                     WorkloadKind kind = WorkloadKind::MultiAttNN);
 
 /** Run one generated workload under one policy. */
@@ -102,17 +103,17 @@ EngineResult runOne(const BenchContext& ctx,
 Metrics runAveraged(const BenchContext& ctx, WorkloadConfig workload,
                     const std::string& scheduler_name, int num_seeds);
 
-/** Front-end dispatcher names this harness can construct. */
+/** All registered dispatcher names (PolicyRegistry::global()). */
 std::vector<std::string> allDispatchers();
 
 /**
- * Construct a dispatcher by name: round-robin, least-outstanding,
- * least-backlog, least-backlog-lut (the sparsity-blind ablation),
- * capability-aware or work-stealing (`steal_cfg` applies to the
- * latter only). fatal() on unknown names.
+ * Construct a dispatcher from a PolicyRegistry spec, e.g.
+ * "least-backlog" or "work-stealing:ratio=4" (`steal_cfg` provides
+ * the base work-stealing thresholds spec parameters override).
+ * fatal() on unknown names, listing the valid ones.
  */
 std::unique_ptr<Dispatcher>
-makeDispatcherByName(const std::string& name, const BenchContext& ctx,
+makeDispatcherByName(const std::string& spec, const BenchContext& ctx,
                      WorkStealingConfig steal_cfg = {});
 
 /** Cluster-run knobs layered on top of a workload. */
@@ -128,6 +129,12 @@ struct ClusterRunConfig
     std::string nodeScheduler = "Dysta";
     /** Front-door SLO-aware load shedding. */
     AdmissionConfig admission;
+    /**
+     * Admission-estimator spec override, e.g. "lut" or
+     * "dysta:alpha=0.9" (PolicyRegistry); "" keeps the engine
+     * default.
+     */
+    std::string admissionEstimator;
     /** Scheduled drain/fail/recover transitions. */
     std::vector<NodeEvent> nodeEvents;
     /** Fate of started requests displaced by a node failure. */
@@ -140,18 +147,6 @@ struct ClusterRunConfig
 ClusterResult runCluster(const BenchContext& ctx,
                          const WorkloadConfig& workload,
                          const ClusterRunConfig& cluster);
-
-/** Parse "--flag value" integer arguments for bench binaries. */
-int argInt(int argc, char** argv, const std::string& flag,
-           int fallback);
-
-/** Parse "--flag value" floating-point arguments. */
-double argDouble(int argc, char** argv, const std::string& flag,
-                 double fallback);
-
-/** Parse "--flag value" string arguments. */
-std::string argStr(int argc, char** argv, const std::string& flag,
-                   const std::string& fallback);
 
 } // namespace dysta
 

@@ -136,17 +136,4 @@ SweepRunner::run(const std::vector<SweepCell>& cells) const
     return results;
 }
 
-int
-argJobs(int argc, char** argv)
-{
-    return argInt(argc, argv, "--jobs",
-                  static_cast<int>(ThreadPool::defaultConcurrency()));
-}
-
-std::string
-argTraceCache(int argc, char** argv)
-{
-    return argStr(argc, argv, "--trace-cache", "");
-}
-
 } // namespace dysta

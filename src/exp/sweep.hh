@@ -103,12 +103,6 @@ class SweepRunner
     int numJobs;
 };
 
-/** Parse the shared `--jobs N` flag (default: hardware concurrency). */
-int argJobs(int argc, char** argv);
-
-/** Parse the shared `--trace-cache DIR` flag (default: no cache). */
-std::string argTraceCache(int argc, char** argv);
-
 } // namespace dysta
 
 #endif // DYSTA_EXP_SWEEP_HH

@@ -1,0 +1,250 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/parse.hh"
+
+namespace dysta {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // JSON has no NaN/inf literals; null is the least-surprising
+    // spelling a reader can still load.
+    if (!std::isfinite(v))
+        return "null";
+    return shortestDouble(v);
+}
+
+void
+JsonWriter::indent()
+{
+    out.append(2 * scopes.size(), ' ');
+}
+
+void
+JsonWriter::beginValue()
+{
+    if (scopes.empty())
+        return;
+    if (dirty.back())
+        out += ',';
+    out += '\n';
+    dirty.back() = true;
+    indent();
+}
+
+void
+JsonWriter::key(const std::string& k)
+{
+    panicIf(scopes.empty() || scopes.back() != Scope::Object,
+            "JsonWriter: keyed member outside an object");
+    beginValue();
+    out += '"';
+    out += jsonEscape(k);
+    out += "\": ";
+}
+
+JsonWriter&
+JsonWriter::beginObject()
+{
+    panicIf(!scopes.empty() && scopes.back() == Scope::Object,
+            "JsonWriter: unnamed object directly inside an object");
+    beginValue();
+    out += '{';
+    scopes.push_back(Scope::Object);
+    dirty.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginObject(const std::string& k)
+{
+    key(k);
+    out += '{';
+    scopes.push_back(Scope::Object);
+    dirty.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endObject()
+{
+    panicIf(scopes.empty() || scopes.back() != Scope::Object,
+            "JsonWriter: endObject without an open object");
+    bool had = dirty.back();
+    scopes.pop_back();
+    dirty.pop_back();
+    if (had) {
+        out += '\n';
+        indent();
+    }
+    out += '}';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray(const std::string& k)
+{
+    key(k);
+    out += '[';
+    scopes.push_back(Scope::Array);
+    dirty.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::beginArray()
+{
+    panicIf(!scopes.empty() && scopes.back() == Scope::Object,
+            "JsonWriter: unnamed array directly inside an object");
+    beginValue();
+    out += '[';
+    scopes.push_back(Scope::Array);
+    dirty.push_back(false);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::endArray()
+{
+    panicIf(scopes.empty() || scopes.back() != Scope::Array,
+            "JsonWriter: endArray without an open array");
+    bool had = dirty.back();
+    scopes.pop_back();
+    dirty.pop_back();
+    if (had) {
+        out += '\n';
+        indent();
+    }
+    out += ']';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, const std::string& v)
+{
+    key(k);
+    out += '"';
+    out += jsonEscape(v);
+    out += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, const char* v)
+{
+    return field(k, std::string(v));
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, double v)
+{
+    key(k);
+    out += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, int v)
+{
+    key(k);
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, int64_t v)
+{
+    key(k);
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, uint64_t v)
+{
+    key(k);
+    out += std::to_string(v);
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::field(const std::string& k, bool v)
+{
+    key(k);
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::element(const std::string& v)
+{
+    panicIf(scopes.empty() || scopes.back() != Scope::Array,
+            "JsonWriter: element outside an array");
+    beginValue();
+    out += '"';
+    out += jsonEscape(v);
+    out += '"';
+    return *this;
+}
+
+JsonWriter&
+JsonWriter::element(double v)
+{
+    panicIf(scopes.empty() || scopes.back() != Scope::Array,
+            "JsonWriter: element outside an array");
+    beginValue();
+    out += jsonNumber(v);
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    panicIf(!scopes.empty(),
+            "JsonWriter: document has unclosed scopes");
+    return out;
+}
+
+bool
+JsonWriter::writeFile(const std::string& path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << str() << '\n';
+    return static_cast<bool>(f);
+}
+
+} // namespace dysta

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Minimal JSON emission with correct string escaping.
+ *
+ * The bench binaries used to assemble their BENCH_*.json reports by
+ * fprintf string concatenation, which breaks the moment a scenario
+ * name, fleet spec or policy parameter contains a quote, backslash
+ * or control character. JsonWriter is a small streaming writer:
+ * explicit object/array scopes, automatic comma placement,
+ * two-space indentation, and every string routed through
+ * jsonEscape(). Numbers are printed with %.17g so a written double
+ * round-trips bit-exactly — the same convention the trace CSVs use.
+ */
+
+#ifndef DYSTA_UTIL_JSON_HH
+#define DYSTA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dysta {
+
+/** JSON string-literal body for `s` (without surrounding quotes). */
+std::string jsonEscape(const std::string& s);
+
+/** Shortest exact decimal form of `v` ("%.17g"; NaN/inf -> null). */
+std::string jsonNumber(double v);
+
+/** Streaming JSON writer with scope tracking. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    // --- structure ---------------------------------------------------
+    /** Open the root object or a nested unnamed object (in arrays). */
+    JsonWriter& beginObject();
+    /** Open an object-valued member. */
+    JsonWriter& beginObject(const std::string& key);
+    JsonWriter& endObject();
+
+    /** Open an array-valued member. */
+    JsonWriter& beginArray(const std::string& key);
+    /** Open an unnamed array (array of arrays). */
+    JsonWriter& beginArray();
+    JsonWriter& endArray();
+
+    // --- members (inside an object) ----------------------------------
+    JsonWriter& field(const std::string& key, const std::string& v);
+    JsonWriter& field(const std::string& key, const char* v);
+    JsonWriter& field(const std::string& key, double v);
+    JsonWriter& field(const std::string& key, int v);
+    JsonWriter& field(const std::string& key, int64_t v);
+    JsonWriter& field(const std::string& key, uint64_t v);
+    JsonWriter& field(const std::string& key, bool v);
+
+    // --- elements (inside an array) ----------------------------------
+    JsonWriter& element(const std::string& v);
+    JsonWriter& element(double v);
+
+    /**
+     * The finished document. panic() if any scope is still open —
+     * a truncated report must not look complete.
+     */
+    std::string str() const;
+
+    /** Write str() + trailing newline to `path`; false on I/O error. */
+    bool writeFile(const std::string& path) const;
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    std::string out;
+    std::vector<Scope> scopes;
+    /** Whether the current scope already holds a member/element. */
+    std::vector<bool> dirty;
+
+    void beginValue();          ///< comma/newline before a new value
+    void key(const std::string& k);
+    void indent();
+};
+
+} // namespace dysta
+
+#endif // DYSTA_UTIL_JSON_HH

@@ -4,6 +4,17 @@
 
 namespace dysta {
 
+std::string
+joinComma(const std::vector<std::string>& items)
+{
+    if (items.empty())
+        return "(none)";
+    std::string out;
+    for (const std::string& item : items)
+        out += (out.empty() ? "" : ", ") + item;
+    return out;
+}
+
 void
 panic(const std::string& msg)
 {

@@ -13,8 +13,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace dysta {
+
+/**
+ * "a, b, c" ("(none)" when empty) — the error-message convention for
+ * listing valid alternatives next to a rejected input.
+ */
+std::string joinComma(const std::vector<std::string>& items);
 
 /** Report an internal invariant violation and abort. */
 [[noreturn]] void panic(const std::string& msg);

@@ -1,0 +1,88 @@
+#include "util/parse.hh"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dysta {
+
+bool
+tryParseInt(const std::string& text, int& out)
+{
+    char* end = nullptr;
+    errno = 0;
+    long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < INT_MIN || v > INT_MAX)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+tryParseDouble(const std::string& text, double& out)
+{
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+tryParseU64(const std::string& text, uint64_t& out)
+{
+    // strtoull happily wraps "-1" around; reject signs up front.
+    if (text.find_first_of("-+") != std::string::npos)
+        return false;
+    char* end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+tryParseBool(const std::string& text, bool& out)
+{
+    if (text == "1" || text == "true" || text == "yes" ||
+        text == "on") {
+        out = true;
+        return true;
+    }
+    if (text == "0" || text == "false" || text == "no" ||
+        text == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::string
+shortestDouble(double v)
+{
+    char buf[40];
+    // Integral values print plain ("30", not "3e+01"). The range
+    // check must precede the cast: float-to-integer conversion of an
+    // out-of-range (or NaN) double is undefined behavior.
+    if (std::isfinite(v) && std::abs(v) < 1e15 &&
+        v == static_cast<double>(static_cast<long long>(v))) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace dysta

@@ -39,9 +39,14 @@ TraceRegistry::get(const std::string& model,
                    SparsityPattern pattern) const
 {
     auto it = sets.find(TraceSet::makeKey(model, pattern));
-    fatalIf(it == sets.end(),
-            "TraceRegistry: missing traces for " +
-                TraceSet::makeKey(model, pattern));
+    if (it == sets.end()) {
+        // Name both the missing key and the registered ones — the
+        // usual cause is a scenario whose model mix was excluded
+        // from the Phase-1 profile (includeCnn/includeAttnn).
+        fatal("TraceRegistry: missing traces for '" +
+              TraceSet::makeKey(model, pattern) +
+              "'; available trace sets: " + joinComma(keys()));
+    }
     return it->second;
 }
 
@@ -83,14 +88,17 @@ TraceRegistry
 TraceRegistry::loadAll(const std::string& dir)
 {
     fatalIf(!std::filesystem::is_directory(dir),
-            "TraceRegistry::loadAll: not a directory: " + dir);
+            "TraceRegistry::loadAll: not a directory: '" + dir +
+                "' (expected a trace-cache directory of *.csv files "
+                "written by saveAll)");
     TraceRegistry registry;
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
         if (entry.path().extension() == ".csv")
             registry.add(TraceSet::load(entry.path().string()));
     }
     fatalIf(registry.size() == 0,
-            "TraceRegistry::loadAll: no trace files in " + dir);
+            "TraceRegistry::loadAll: no *.csv trace files in '" + dir +
+                "'");
     return registry;
 }
 

@@ -1,0 +1,493 @@
+/**
+ * @file
+ * Tests of the declarative experiment API: policy-spec parsing, the
+ * PolicyRegistry (construction, parameters, error messages),
+ * scenario parse/serialize round-trips, strict rejection of unknown
+ * keys and policies, equivalence of registry-constructed and
+ * hand-constructed policies, and the shipped scenarios/ directory
+ * staying in sync with the built-in specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+
+#include "api/registry.hh"
+#include "api/report.hh"
+#include "api/scenario.hh"
+#include "core/dysta.hh"
+#include "exp/experiments.hh"
+#include "sched/fcfs.hh"
+#include "sched/sjf.hh"
+
+using namespace dysta;
+
+namespace {
+
+/** Small shared Phase-1 context (profiled once per process). */
+const BenchContext&
+smallCtx()
+{
+    static std::unique_ptr<BenchContext> ctx = [] {
+        BenchSetup setup;
+        setup.samplesPerModel = 20;
+        return makeBenchContext(setup);
+    }();
+    return *ctx;
+}
+
+WorkloadConfig
+smallWorkload(WorkloadKind kind = WorkloadKind::MultiAttNN)
+{
+    WorkloadConfig wl;
+    wl.kind = kind;
+    wl.arrivalRate = kind == WorkloadKind::MultiAttNN ? 30.0 : 3.0;
+    wl.numRequests = 60;
+    wl.seed = 11;
+    return wl;
+}
+
+bool
+identicalMetrics(const Metrics& a, const Metrics& b)
+{
+    return a.antt == b.antt && a.violationRate == b.violationRate &&
+           a.sloMissRate == b.sloMissRate &&
+           a.throughput == b.throughput && a.stp == b.stp &&
+           a.p99Latency == b.p99Latency &&
+           a.completed == b.completed && a.shed == b.shed &&
+           a.makespan == b.makespan;
+}
+
+} // namespace
+
+// --- policy-spec grammar ---------------------------------------------
+
+TEST(PolicySpec, ParsesNameAndParameters)
+{
+    PolicySpec spec = parsePolicySpec("dysta:eta=0.1,beta=0.25");
+    EXPECT_EQ(spec.name, "dysta");
+    ASSERT_EQ(spec.params.size(), 2u);
+    EXPECT_EQ(spec.params[0].first, "eta");
+    EXPECT_EQ(spec.params[0].second, "0.1");
+    EXPECT_EQ(spec.params[1].first, "beta");
+    EXPECT_EQ(spec.params[1].second, "0.25");
+}
+
+TEST(PolicySpec, BareNameHasNoParameters)
+{
+    PolicySpec spec = parsePolicySpec("work-stealing");
+    EXPECT_EQ(spec.name, "work-stealing");
+    EXPECT_TRUE(spec.params.empty());
+}
+
+TEST(PolicySpec, RejectsMalformedSpecs)
+{
+    EXPECT_EXIT(parsePolicySpec(""), ::testing::ExitedWithCode(1),
+                "empty policy name");
+    EXPECT_EXIT(parsePolicySpec("dysta:"),
+                ::testing::ExitedWithCode(1), "no parameters");
+    EXPECT_EXIT(parsePolicySpec("dysta:eta"),
+                ::testing::ExitedWithCode(1), "want key=value");
+    EXPECT_EXIT(parsePolicySpec("dysta:eta=1,eta=2"),
+                ::testing::ExitedWithCode(1),
+                "duplicate parameter 'eta'");
+}
+
+// --- registry construction and errors --------------------------------
+
+TEST(PolicyRegistry, UnknownSchedulerErrorListsValidNames)
+{
+    EXPECT_EXIT(PolicyRegistry::global().makeScheduler("NoSuchPolicy",
+                                                       smallCtx()),
+                ::testing::ExitedWithCode(1),
+                "unknown scheduler 'NoSuchPolicy'.*valid schedulers:"
+                ".*FCFS.*Dysta");
+}
+
+TEST(PolicyRegistry, UnknownDispatcherErrorListsValidNames)
+{
+    EXPECT_EXIT(
+        PolicyRegistry::global().makeDispatcher("best-effort",
+                                                smallCtx()),
+        ::testing::ExitedWithCode(1),
+        "unknown dispatcher 'best-effort'.*valid dispatchers:"
+        ".*round-robin.*work-stealing");
+}
+
+TEST(PolicyRegistry, UnknownParameterErrorListsConsumedKeys)
+{
+    EXPECT_EXIT(
+        PolicyRegistry::global().makeScheduler("dysta:slo_mult=1.2",
+                                               smallCtx()),
+        ::testing::ExitedWithCode(1),
+        "unknown parameter 'slo_mult' for scheduler 'Dysta'.*valid "
+        "parameters:.*eta.*beta");
+}
+
+TEST(PolicyRegistry, ParameterlessPolicyRejectsAnyParameter)
+{
+    EXPECT_EXIT(
+        PolicyRegistry::global().makeScheduler("FCFS:eta=1",
+                                               smallCtx()),
+        ::testing::ExitedWithCode(1),
+        "unknown parameter 'eta' for scheduler 'FCFS'");
+}
+
+TEST(PolicyRegistry, NamesAreCaseInsensitive)
+{
+    auto a = PolicyRegistry::global().makeScheduler("dysta",
+                                                    smallCtx());
+    auto b = PolicyRegistry::global().makeScheduler("Dysta",
+                                                    smallCtx());
+    EXPECT_EQ(a->name(), b->name());
+}
+
+TEST(PolicyRegistry, SchedulerParametersReachTheConfig)
+{
+    auto sched = PolicyRegistry::global().makeScheduler(
+        "dysta:eta=0.125,beta=0.75,predictor=ema", smallCtx());
+    auto* dysta = dynamic_cast<DystaScheduler*>(sched.get());
+    ASSERT_NE(dysta, nullptr);
+    EXPECT_DOUBLE_EQ(dysta->config().eta, 0.125);
+    EXPECT_DOUBLE_EQ(dysta->config().beta, 0.75);
+    EXPECT_EQ(dysta->config().predictor.strategy,
+              PredictorStrategy::Ema);
+}
+
+TEST(PolicyRegistry, ArrivalSpecsFillTheConfig)
+{
+    ArrivalConfig mmpp = PolicyRegistry::global().makeArrival(
+        "mmpp:burst=8,base_dwell=5,burst_dwell=1");
+    EXPECT_EQ(mmpp.kind, ArrivalKind::Mmpp);
+    EXPECT_DOUBLE_EQ(mmpp.burstMultiplier, 8.0);
+    EXPECT_DOUBLE_EQ(mmpp.meanBaseDwell, 5.0);
+    EXPECT_DOUBLE_EQ(mmpp.meanBurstDwell, 1.0);
+
+    EXPECT_EXIT(PolicyRegistry::global().makeArrival("weibull"),
+                ::testing::ExitedWithCode(1),
+                "unknown arrival process 'weibull'.*poisson.*mmpp"
+                ".*diurnal");
+}
+
+TEST(PolicyRegistry, EstimatorSpecsConstruct)
+{
+    auto lut = PolicyRegistry::global().makeEstimator("lut",
+                                                      smallCtx());
+    EXPECT_EQ(lut->name(), "lut");
+    auto dysta = PolicyRegistry::global().makeEstimator(
+        "dysta:alpha=0.9", smallCtx());
+    EXPECT_EQ(dysta->name(), "dysta");
+}
+
+TEST(PolicyRegistry, RegistryMatchesHandConstructionBitExactly)
+{
+    // A registry-built policy must be indistinguishable from the
+    // hand-built equivalent: same workload, same engine, identical
+    // metrics field for field.
+    const BenchContext& ctx = smallCtx();
+    WorkloadConfig wl = smallWorkload();
+
+    auto from_registry =
+        PolicyRegistry::global().makeScheduler("SJF", ctx, wl.kind);
+    SjfScheduler by_hand(ctx.lut);
+
+    EngineResult a = runOne(ctx, wl, *from_registry);
+    EngineResult b = runOne(ctx, wl, by_hand);
+    EXPECT_TRUE(identicalMetrics(a.metrics, b.metrics));
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+
+    // Same for a parameterized Dysta vs the tuned hand config.
+    DystaConfig cfg = tunedDystaConfig(/*cnn_workload=*/false);
+    cfg.eta = 0.125;
+    DystaScheduler dysta_hand(ctx.lut, cfg);
+    auto dysta_reg = PolicyRegistry::global().makeScheduler(
+        "dysta:eta=0.125", ctx, wl.kind);
+    EngineResult c = runOne(ctx, wl, *dysta_reg);
+    EngineResult d = runOne(ctx, wl, dysta_hand);
+    EXPECT_TRUE(identicalMetrics(c.metrics, d.metrics));
+    EXPECT_EQ(c.decisions, d.decisions);
+}
+
+TEST(PolicyRegistry, CustomRegistrationIsSpecConstructible)
+{
+    PolicyRegistry registry; // private registry; global() untouched
+    registry.registerScheduler(
+        "test-fcfs", "", "registration smoke test",
+        [](const BenchContext&, WorkloadKind, PolicyParams&) {
+            return std::make_unique<FcfsScheduler>();
+        });
+    EXPECT_TRUE(registry.hasScheduler("test-fcfs"));
+    auto sched = registry.makeScheduler("test-fcfs", smallCtx());
+    EXPECT_EQ(sched->name(), "FCFS");
+
+    EXPECT_EXIT(registry.registerScheduler(
+                    "TEST-FCFS", "", "case-insensitive duplicate",
+                    [](const BenchContext&, WorkloadKind,
+                       PolicyParams&) {
+                        return std::make_unique<FcfsScheduler>();
+                    }),
+                ::testing::ExitedWithCode(1),
+                "duplicate scheduler 'TEST-FCFS'");
+}
+
+// --- scenario parsing ------------------------------------------------
+
+TEST(Scenario, ParseSerializeParseIsBitIdentical)
+{
+    const std::string text =
+        "# comment\n"
+        "name = roundtrip\n"
+        "workload = attnn@30 | cnn@2.5\n"
+        "arrival = poisson | mmpp:burst=8\n"
+        "slo = 10 | 37.5\n"
+        "scheduler = Dysta | dysta:eta=0.1,beta=0.25\n"
+        "fleet = sanger:2,eyeriss-xl:1\n"
+        "dispatcher = work-stealing:ratio=4\n"
+        "requests = 123\n"
+        "seeds = 2\n"
+        "seed = 99\n"
+        "events = fail@1.5:0,recover@4.0:0\n"
+        "admission = 1\n"
+        "admission_margin = 1.25\n"
+        "on_failure = shed\n"
+        "samples = 50\n";
+    ScenarioSpec once = parseScenario(text);
+    std::string canonical = serializeScenario(once);
+    ScenarioSpec twice = parseScenario(canonical);
+    EXPECT_EQ(canonical, serializeScenario(twice));
+
+    // Spot-check the parsed content survived the round trip.
+    EXPECT_EQ(twice.name, "roundtrip");
+    ASSERT_EQ(twice.workloads.size(), 2u);
+    EXPECT_EQ(twice.workloads[1].kind, WorkloadKind::MultiCNN);
+    EXPECT_DOUBLE_EQ(twice.workloads[1].rate, 2.5);
+    EXPECT_EQ(twice.arrivals[1], "mmpp:burst=8");
+    EXPECT_DOUBLE_EQ(twice.sloMultipliers[1], 37.5);
+    EXPECT_EQ(twice.schedulers[1], "dysta:eta=0.1,beta=0.25");
+    EXPECT_TRUE(twice.cluster());
+    EXPECT_TRUE(twice.admission);
+    EXPECT_EQ(twice.onFailure, "shed");
+}
+
+TEST(Scenario, BuiltinsRoundTrip)
+{
+    for (const std::string& name : builtinScenarioNames()) {
+        ScenarioSpec spec = builtinScenario(name);
+        std::string canonical = serializeScenario(spec);
+        EXPECT_EQ(canonical,
+                  serializeScenario(parseScenario(canonical)))
+            << "builtin scenario " << name;
+        validateScenario(spec);
+    }
+}
+
+TEST(Scenario, UnknownKeyIsRejectedNamingValidKeys)
+{
+    EXPECT_EXIT(parseScenario("workloads = attnn@30\n"),
+                ::testing::ExitedWithCode(1),
+                "unknown key 'workloads'.*valid keys:.*workload"
+                ".*scheduler.*fleet");
+}
+
+TEST(Scenario, MalformedLinesAreRejected)
+{
+    EXPECT_EXIT(parseScenario("just some text\n"),
+                ::testing::ExitedWithCode(1),
+                "line 1 is not 'key = value'");
+    EXPECT_EXIT(
+        parseScenario("requests = 10\nrequests = 20\n"),
+        ::testing::ExitedWithCode(1), "duplicate key 'requests'");
+    EXPECT_EXIT(parseScenario("workload = attnn\n"),
+                ::testing::ExitedWithCode(1),
+                "malformed workload panel 'attnn'");
+    EXPECT_EXIT(parseScenario("workload = hybrid@30\n"),
+                ::testing::ExitedWithCode(1),
+                "unknown workload kind 'hybrid'.*attnn, cnn");
+    EXPECT_EXIT(parseScenario("slo = ten\n"),
+                ::testing::ExitedWithCode(1), "expects a number");
+}
+
+TEST(Scenario, UnknownPolicyIsRejectedAtValidation)
+{
+    ScenarioSpec spec;
+    spec.name = "bad-policy";
+    spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    spec.schedulers = {"Dysta", "Quantum"};
+    EXPECT_EXIT(validateScenario(spec), ::testing::ExitedWithCode(1),
+                "unknown scheduler 'Quantum'.*valid schedulers:");
+}
+
+TEST(Scenario, ClusterKeysRequireAFleet)
+{
+    ScenarioSpec spec;
+    spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    spec.schedulers = {"Dysta"};
+    spec.dispatchers = {"round-robin"};
+    EXPECT_EXIT(validateScenario(spec), ::testing::ExitedWithCode(1),
+                "'dispatcher' requires a 'fleet'");
+
+    spec.dispatchers.clear();
+    spec.admission = true;
+    EXPECT_EXIT(validateScenario(spec), ::testing::ExitedWithCode(1),
+                "'admission' requires a 'fleet'");
+}
+
+TEST(Scenario, CellExpansionFollowsTheCanonicalOrder)
+{
+    ScenarioSpec spec;
+    spec.workloads = {workloadPanelFromSpec("attnn@30"),
+                      workloadPanelFromSpec("cnn@3")};
+    spec.sloMultipliers = {10, 50};
+    spec.schedulers = {"FCFS", "SJF"};
+    spec.requests = 10;
+    spec.seeds = 3;
+
+    std::vector<SweepCell> cells = scenarioCells(spec);
+    // 2 workloads x 2 slos x 2 schedulers x 3 seeds.
+    ASSERT_EQ(cells.size(), 24u);
+    // Seeds are innermost and consecutive.
+    EXPECT_EQ(cells[0].workload.seed, spec.seed);
+    EXPECT_EQ(cells[1].workload.seed, spec.seed + 1);
+    EXPECT_EQ(cells[2].workload.seed, spec.seed + 2);
+    // Scheduler is the next axis out.
+    EXPECT_EQ(cells[0].scheduler, "FCFS");
+    EXPECT_EQ(cells[3].scheduler, "SJF");
+    // Then slo, then workload.
+    EXPECT_DOUBLE_EQ(cells[0].workload.sloMultiplier, 10.0);
+    EXPECT_DOUBLE_EQ(cells[6].workload.sloMultiplier, 50.0);
+    EXPECT_EQ(cells[0].workload.kind, WorkloadKind::MultiAttNN);
+    EXPECT_EQ(cells[12].workload.kind, WorkloadKind::MultiCNN);
+}
+
+TEST(Scenario, RunScenarioMatchesManualSweep)
+{
+    // The declarative path must reproduce a hand-rolled SweepRunner
+    // grid bit-exactly (this is the tab05-vs-sdysta acceptance
+    // property, shrunk to test size).
+    const BenchContext& ctx = smallCtx();
+
+    ScenarioSpec spec;
+    spec.name = "equivalence";
+    spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    spec.schedulers = {"SJF", "Dysta"};
+    spec.requests = 50;
+    spec.seeds = 2;
+
+    ScenarioRunOptions options;
+    options.ctx = &ctx;
+    options.jobs = 2;
+    ScenarioResult result = runScenario(spec, options);
+    ASSERT_EQ(result.rows.size(), 2u);
+
+    for (size_t i = 0; i < result.rows.size(); ++i) {
+        SweepCell cell;
+        cell.workload = smallWorkload();
+        cell.workload.numRequests = 50;
+        cell.workload.seed = spec.seed;
+        cell.scheduler = spec.schedulers[i];
+        std::vector<Metrics> runs;
+        for (const SweepCell& c : seedReplicas(cell, spec.seeds))
+            runs.push_back(runSweepCell(ctx, c).metrics);
+        EXPECT_TRUE(identicalMetrics(result.rows[i].metrics,
+                                     averageMetrics(runs)))
+            << "row " << i;
+    }
+}
+
+TEST(Scenario, ClusterRunsAreDeterministicAcrossJobs)
+{
+    const BenchContext& ctx = smallCtx();
+    ScenarioSpec spec;
+    spec.name = "cluster-determinism";
+    spec.workloads = {workloadPanelFromSpec("attnn@60")};
+    spec.arrivals = {"mmpp"};
+    spec.fleets = {"sanger:1,eyeriss-xl:1"};
+    spec.dispatchers = {"round-robin", "work-stealing"};
+    spec.schedulers = {"Dysta"};
+    spec.requests = 40;
+
+    ScenarioRunOptions serial;
+    serial.ctx = &ctx;
+    serial.jobs = 1;
+    ScenarioRunOptions parallel;
+    parallel.ctx = &ctx;
+    parallel.jobs = 4;
+
+    ScenarioResult a = runScenario(spec, serial);
+    ScenarioResult b = runScenario(spec, parallel);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i)
+        EXPECT_TRUE(identicalMetrics(a.rows[i].metrics,
+                                     b.rows[i].metrics))
+            << "row " << i;
+}
+
+// --- shipped scenario files ------------------------------------------
+
+TEST(Scenario, ShippedFilesMatchTheBuiltins)
+{
+    // scenarios/<name>.scn must parse to exactly the built-in spec
+    // the ported bench binaries run, or the two drift apart.
+    namespace fs = std::filesystem;
+    const std::string dir = DYSTA_SCENARIO_DIR;
+    ASSERT_TRUE(fs::is_directory(dir)) << dir;
+
+    size_t checked = 0;
+    for (const std::string& name : builtinScenarioNames()) {
+        std::string path = dir + "/" + name + ".scn";
+        ASSERT_TRUE(fs::exists(path)) << path;
+        ScenarioSpec from_file = parseScenarioFile(path);
+        EXPECT_EQ(serializeScenario(from_file),
+                  serializeScenario(builtinScenario(name)))
+            << path;
+        ++checked;
+    }
+    EXPECT_EQ(checked, builtinScenarioNames().size());
+
+    // And every file in the directory must be a valid scenario.
+    for (const auto& entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".scn")
+            continue;
+        validateScenario(parseScenarioFile(entry.path().string()));
+    }
+}
+
+// --- reporter --------------------------------------------------------
+
+TEST(Reporter, EmitsWellFormedEscapedJson)
+{
+    ScenarioResult result;
+    result.spec.name = "quote\"and\\backslash";
+    result.spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    result.spec.schedulers = {"Dysta"};
+    ScenarioRow row;
+    row.workload = "attnn@30";
+    row.arrival = "poisson";
+    row.scheduler = "Dysta";
+    result.rows.push_back(row);
+
+    Reporter report("test\ttool");
+    report.meta("note", "line\nbreak");
+    report.scalar("deterministic", true);
+    report.scalar("speedup", 2.5);
+    report.add(result);
+
+    std::string json = report.json();
+    EXPECT_NE(json.find("\"tool\": \"test\\ttool\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"note\": \"line\\nbreak\""),
+              std::string::npos);
+    EXPECT_NE(json.find("quote\\\"and\\\\backslash"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"deterministic\": true"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"speedup\": 2.5"), std::string::npos);
+    // No raw control characters may survive into the document.
+    for (char c : json)
+        EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 &&
+                     c != '\n')
+            << "raw control character in JSON";
+}

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "exp/experiments.hh"
@@ -101,17 +102,20 @@ TEST(Harness, RunAveragedIsMeanOfSeeds)
                 1e-9);
 }
 
-TEST(Harness, ArgParsing)
+TEST(Harness, SchedulerNamesComeFromTheRegistry)
 {
-    const char* argv_c[] = {"prog", "--requests", "123", "--rate",
-                            "2.5", "--flag"};
-    char** argv = const_cast<char**>(argv_c);
-    EXPECT_EQ(argInt(6, argv, "--requests", 9), 123);
-    EXPECT_EQ(argInt(6, argv, "--missing", 9), 9);
-    EXPECT_DOUBLE_EQ(argDouble(6, argv, "--rate", 1.0), 2.5);
-    EXPECT_DOUBLE_EQ(argDouble(6, argv, "--missing", 1.5), 1.5);
-    // A trailing flag without a value falls back.
-    EXPECT_EQ(argInt(6, argv, "--flag", 4), 4);
+    // The legacy by-name constructors are thin shims over the
+    // PolicyRegistry; the name lists must agree.
+    std::vector<std::string> names = allSchedulers();
+    EXPECT_NE(std::find(names.begin(), names.end(), "Dysta"),
+              names.end());
+    for (const std::string& name : table5Schedulers())
+        EXPECT_NE(std::find(names.begin(), names.end(), name),
+                  names.end());
+    std::vector<std::string> dispatchers = allDispatchers();
+    EXPECT_NE(std::find(dispatchers.begin(), dispatchers.end(),
+                        "work-stealing"),
+              dispatchers.end());
 }
 
 TEST(Harness, DecisionOverheadDegradesMetricsMonotonically)

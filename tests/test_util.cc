@@ -1,8 +1,9 @@
 /**
  * @file
  * Unit tests for the util module: RNG determinism and distribution
- * moments, statistics helpers, histograms, CSV IO, table rendering
- * and IEEE-754 half-precision emulation.
+ * moments, statistics helpers, histograms, CSV IO, table rendering,
+ * IEEE-754 half-precision emulation, JSON emission and the shared
+ * ArgParser.
  */
 
 #include <gtest/gtest.h>
@@ -15,9 +16,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/args.hh"
 #include "util/csv.hh"
 #include "util/fp16.hh"
 #include "util/histogram.hh"
+#include "util/json.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -568,4 +571,188 @@ TEST(ParallelFor, PropagatesTheFirstException)
     }
     // Remaining iterations still ran (no early abort mid-sweep).
     EXPECT_EQ(ran.load(), 64);
+}
+
+// --- JSON writer ---
+
+TEST(Json, EscapesEveryStringHazard)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape("cr\rlf"), "cr\\rlf");
+    EXPECT_EQ(jsonEscape(std::string("nul\0byte", 8)),
+              "nul\\u0000byte");
+    EXPECT_EQ(jsonEscape("\x01\x1f"), "\\u0001\\u001f");
+    // UTF-8 multi-byte sequences pass through untouched.
+    EXPECT_EQ(jsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(Json, NumbersRoundTripAndNonFiniteBecomeNull)
+{
+    EXPECT_EQ(jsonNumber(0.5), "0.5");
+    EXPECT_EQ(std::strtod(jsonNumber(1.0 / 3.0).c_str(), nullptr),
+              1.0 / 3.0);
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(INFINITY), "null");
+}
+
+TEST(Json, WriterBuildsNestedDocuments)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("name", "a \"b\" c");
+    json.field("count", 3);
+    json.field("ok", true);
+    json.beginObject("nested");
+    json.field("x", 1.5);
+    json.endObject();
+    json.beginArray("items");
+    json.element("one");
+    json.element(2.0);
+    json.endArray();
+    json.beginArray("empty");
+    json.endArray();
+    json.endObject();
+
+    std::string text = json.str();
+    EXPECT_NE(text.find("\"name\": \"a \\\"b\\\" c\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+    EXPECT_NE(text.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(text.find("\"x\": 1.5"), std::string::npos);
+    EXPECT_NE(text.find("\"empty\": []"), std::string::npos);
+    // Commas separate members; no trailing comma before a close.
+    EXPECT_EQ(text.find(",\n}"), std::string::npos);
+    EXPECT_EQ(text.find(",\n  }"), std::string::npos);
+}
+
+TEST(Json, WriterRejectsUnbalancedScopes)
+{
+    JsonWriter open_scope;
+    open_scope.beginObject();
+    EXPECT_DEATH(open_scope.str(), "unclosed scopes");
+
+    JsonWriter mismatched;
+    mismatched.beginObject();
+    EXPECT_DEATH(mismatched.endArray(), "without an open array");
+}
+
+// --- ArgParser ---
+
+namespace {
+
+ArgParser
+benchParser()
+{
+    ArgParser args("bench_test", "parser under test");
+    args.addInt("--requests", 100, "request count");
+    args.addDouble("--rate", 2.5, "arrival rate");
+    args.addString("--sched", "Dysta", "scheduler spec");
+    args.addBool("--admission", false, "admission control");
+    args.addSwitch("--verbose", "say more");
+    return args;
+}
+
+} // namespace
+
+TEST(ArgParser, DefaultsAndSuppliedValues)
+{
+    const char* argv_c[] = {"prog", "--requests", "123",
+                            "--rate=7.25", "--verbose"};
+    ArgParser args = benchParser();
+    args.parse(5, const_cast<char**>(argv_c));
+
+    EXPECT_EQ(args.getInt("--requests"), 123);
+    EXPECT_DOUBLE_EQ(args.getDouble("--rate"), 7.25);
+    EXPECT_EQ(args.getString("--sched"), "Dysta");
+    EXPECT_FALSE(args.getBool("--admission"));
+    EXPECT_TRUE(args.getBool("--verbose"));
+    EXPECT_TRUE(args.given("--requests"));
+    EXPECT_FALSE(args.given("--sched"));
+}
+
+TEST(ArgParser, UnknownFlagIsAHardErrorListingValidFlags)
+{
+    const char* argv_c[] = {"prog", "--request", "50"};
+    ArgParser args = benchParser();
+    EXPECT_EXIT(args.parse(3, const_cast<char**>(argv_c)),
+                ::testing::ExitedWithCode(1),
+                "unknown flag '--request'.*valid flags:"
+                ".*--requests.*--rate.*--help for usage");
+}
+
+TEST(ArgParser, MalformedValuesAreHardErrors)
+{
+    {
+        const char* argv_c[] = {"prog", "--requests", "many"};
+        ArgParser args = benchParser();
+        EXPECT_EXIT(args.parse(3, const_cast<char**>(argv_c)),
+                    ::testing::ExitedWithCode(1),
+                    "--requests expects an integer");
+    }
+    {
+        const char* argv_c[] = {"prog", "--requests"};
+        ArgParser args = benchParser();
+        EXPECT_EXIT(args.parse(2, const_cast<char**>(argv_c)),
+                    ::testing::ExitedWithCode(1),
+                    "--requests expects a value");
+    }
+    {
+        const char* argv_c[] = {"prog", "--admission", "maybe"};
+        ArgParser args = benchParser();
+        EXPECT_EXIT(args.parse(3, const_cast<char**>(argv_c)),
+                    ::testing::ExitedWithCode(1),
+                    "--admission expects 0/1/true/false");
+    }
+}
+
+TEST(ArgParser, HelpExitsCleanlyAndUsageNamesEveryFlag)
+{
+    ArgParser args = benchParser();
+
+    // The generated help page names the program and every flag.
+    std::string usage = args.usage();
+    EXPECT_NE(usage.find("usage: bench_test"), std::string::npos);
+    for (const char* flag : {"--requests", "--rate", "--sched",
+                             "--admission", "--verbose", "--help"})
+        EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+    EXPECT_NE(usage.find("request count"), std::string::npos);
+    EXPECT_NE(usage.find("[default: 100]"), std::string::npos);
+
+    // --help goes to stdout (not matchable here) and exits 0.
+    const char* argv_c[] = {"prog", "--help"};
+    EXPECT_EXIT(args.parse(2, const_cast<char**>(argv_c)),
+                ::testing::ExitedWithCode(0), "");
+}
+
+TEST(ArgParser, PositionalsByNameAndRequiredErrors)
+{
+    {
+        const char* argv_c[] = {"prog", "input.scn", "--requests",
+                                "9"};
+        ArgParser args = benchParser();
+        args.addPositional("scenario", "scenario file");
+        args.parse(4, const_cast<char**>(argv_c));
+        EXPECT_EQ(args.positional("scenario"), "input.scn");
+        EXPECT_EQ(args.getInt("--requests"), 9);
+    }
+    {
+        const char* argv_c[] = {"prog"};
+        ArgParser args = benchParser();
+        args.addPositional("scenario", "scenario file");
+        EXPECT_EXIT(args.parse(1, const_cast<char**>(argv_c)),
+                    ::testing::ExitedWithCode(1),
+                    "missing required argument <scenario>");
+    }
+    {
+        const char* argv_c[] = {"prog", "a.scn", "b.scn"};
+        ArgParser args = benchParser();
+        args.addPositional("scenario", "scenario file");
+        EXPECT_EXIT(args.parse(3, const_cast<char**>(argv_c)),
+                    ::testing::ExitedWithCode(1),
+                    "unexpected argument 'b.scn'");
+    }
 }

@@ -208,7 +208,7 @@ TEST(Workload, LoadAllEmptyDirIsFatal)
     fs::remove_all(dir);
     fs::create_directories(dir);
     EXPECT_EXIT(TraceRegistry::loadAll(dir),
-                ::testing::ExitedWithCode(1), "no trace files");
+                ::testing::ExitedWithCode(1), "no \\*.csv trace files");
     fs::remove_all(dir);
 }
 
