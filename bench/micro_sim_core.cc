@@ -14,7 +14,16 @@
  *    picked request (onLayerComplete, wrapping at the trace end),
  *    exercising the lazy re-keying path.
  *
+ * `--telemetry-check` instead gates the telemetry subsystem's
+ * disabled-path cost: the same cluster run is timed with a null
+ * telemetry sink and with an attached no-op sink (all channels off,
+ * no probes), medians compared. The two runs must produce identical
+ * metrics (the bit-identity guarantee) and the attached-sink median
+ * must stay within `--check-bound` of the null-sink median; exit 1
+ * otherwise (the CI guard against emission-point regressions).
+ *
  * Usage: micro_sim_core [--queue N] [--iters N]
+ *        micro_sim_core --telemetry-check [--check-reps K]
  */
 
 #include <algorithm>
@@ -25,7 +34,9 @@
 #include <vector>
 
 #include "exp/experiments.hh"
+#include "obs/telemetry.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -133,6 +144,71 @@ rateStr(double per_sec)
     return AsciiTable::num(per_sec / 1e3, 1) + " k/s";
 }
 
+/**
+ * Gate the telemetry emission points: an attached no-op sink must
+ * neither change the simulated results nor cost more than `bound`
+ * times the null-sink run. @return process exit code.
+ */
+int
+telemetryCheck(const BenchContext& ctx, int reps, double bound)
+{
+    WorkloadConfig wl;
+    wl.kind = WorkloadKind::MultiAttNN;
+    wl.arrivalRate = 100.0;
+    wl.numRequests = 400;
+
+    ClusterRunConfig cluster; // 4 reference nodes, Dysta per node
+
+    auto timeOne = [&](Telemetry* sink, Metrics& metrics) {
+        ClusterRunConfig cfg = cluster;
+        cfg.telemetry = sink;
+        auto t0 = std::chrono::steady_clock::now();
+        ClusterResult result = runCluster(ctx, wl, cfg);
+        metrics = result.metrics;
+        return secondsSince(t0);
+    };
+    auto median = [](std::vector<double> times) {
+        std::sort(times.begin(), times.end());
+        return times[times.size() / 2];
+    };
+
+    // Interleave the two configurations so clock/cache drift over
+    // the measurement cannot bias one side.
+    Telemetry noop(TelemetryConfig{/*recordEvents=*/false,
+                                   /*recordSeries=*/false});
+    Metrics off;
+    Metrics on;
+    std::vector<double> base_times;
+    std::vector<double> noop_times;
+    for (int rep = 0; rep < reps; ++rep) {
+        base_times.push_back(timeOne(nullptr, off));
+        noop_times.push_back(timeOne(&noop, on));
+    }
+    double base_sec = median(base_times);
+    double noop_sec = median(noop_times);
+
+    // Bit-identity first: a no-op sink must not perturb the run.
+    fatalIf(off.antt != on.antt || off.makespan != on.makespan ||
+                off.completed != on.completed || off.shed != on.shed,
+            "telemetry-check: attached no-op telemetry changed the "
+            "simulated results");
+
+    double ratio = noop_sec / base_sec;
+    std::printf("telemetry-check: median of %d cluster runs "
+                "(%d requests, 4 nodes)\n"
+                "  null sink:  %.4fs\n"
+                "  no-op sink: %.4fs  (%.3fx, bound %.2fx)\n",
+                reps, wl.numRequests, base_sec, noop_sec, ratio,
+                bound);
+    if (ratio > bound) {
+        std::printf("telemetry-check: FAIL — disabled-telemetry "
+                    "overhead above bound\n");
+        return 1;
+    }
+    std::printf("telemetry-check: OK\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -143,6 +219,16 @@ main(int argc, char** argv)
                    "vs the legacy linear scan.");
     args.addInt("--queue", 64, "ready-set depth");
     args.addInt("--iters", 200000, "decisions per measurement");
+    args.addSwitch("--telemetry-check",
+                   "gate disabled-telemetry overhead on a cluster "
+                   "run instead of benchmarking pickNext (exit 1 "
+                   "when outside --check-bound)");
+    args.addInt("--check-reps", 9,
+                "cluster-run repetitions per median "
+                "(--telemetry-check)");
+    args.addDouble("--check-bound", 1.25,
+                   "max allowed no-op/null median wall-time ratio "
+                   "(--telemetry-check)");
     args.parse(argc, argv);
     size_t depth = static_cast<size_t>(args.getInt("--queue"));
     long iters = args.getInt("--iters");
@@ -152,6 +238,10 @@ main(int argc, char** argv)
     setup.includeCnn = false;
     setup.samplesPerModel = 60;
     auto ctx = makeBenchContext(setup);
+
+    if (args.getBool("--telemetry-check"))
+        return telemetryCheck(*ctx, args.getInt("--check-reps"),
+                              args.getDouble("--check-bound"));
 
     WorkloadConfig wl;
     wl.kind = WorkloadKind::MultiAttNN;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/telemetry.hh"
+#include "util/csv.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -26,6 +28,15 @@ Reporter::meta(const std::string& key, int value)
     Value v;
     v.kind = Value::Kind::Int;
     v.integer = value;
+    metaFields.emplace_back(key, std::move(v));
+}
+
+void
+Reporter::meta(const std::string& key, double value)
+{
+    Value v;
+    v.kind = Value::Kind::Num;
+    v.num = value;
     metaFields.emplace_back(key, std::move(v));
 }
 
@@ -100,6 +111,21 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
     json.field("makespan", m.makespan);
     json.field("decisions", row.decisions);
     json.field("preemptions", row.preemptions);
+    if (!m.estimators.empty()) {
+        json.beginArray("estimators");
+        for (const EstimatorAccuracy& est : m.estimators) {
+            json.beginObject();
+            json.field("estimator", est.estimator);
+            json.field("samples", est.samples);
+            json.field("bias", est.bias);
+            json.field("rmse", est.rmse);
+            json.field("isolated_samples", est.isolatedSamples);
+            json.field("isolated_bias", est.isolatedBias);
+            json.field("isolated_rmse", est.isolatedRmse);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.endObject();
 }
 
@@ -169,6 +195,85 @@ Reporter::writeJson(const std::string& path) const
         std::fputc('\n', out) != EOF;
     ok = std::fclose(out) == 0 && ok;
     fatalIf(!ok, "Reporter: short write to '" + path + "'");
+    std::printf("Wrote %s\n", path.c_str());
+}
+
+void
+Reporter::writeCsv(const std::string& path) const
+{
+    // Union of probe names across all rows, first-appearance order,
+    // so heterogeneous scenarios share one header.
+    std::vector<std::string> probes;
+    for (const ScenarioResult& run : runs) {
+        for (const ScenarioRow& row : run.rows) {
+            for (const EstimatorAccuracy& est :
+                 row.metrics.estimators) {
+                bool known = false;
+                for (const std::string& name : probes)
+                    known = known || name == est.estimator;
+                if (!known)
+                    probes.push_back(est.estimator);
+            }
+        }
+    }
+
+    CsvWriter csv(path);
+    std::vector<std::string> header = {
+        "scenario",       "workload",       "arrival",
+        "slo",            "fleet",          "dispatcher",
+        "scheduler",      "antt",           "violation_rate",
+        "slo_miss_rate",  "throughput",     "stp",
+        "p50_turnaround", "p95_turnaround", "p99_turnaround",
+        "p50_latency",    "p95_latency",    "p99_latency",
+        "completed",      "shed",           "makespan",
+        "decisions",      "preemptions",
+    };
+    for (const std::string& name : probes) {
+        header.push_back("est_" + name + "_bias");
+        header.push_back("est_" + name + "_rmse");
+    }
+    csv.writeRow(header);
+
+    for (const ScenarioResult& run : runs) {
+        for (const ScenarioRow& row : run.rows) {
+            const Metrics& m = row.metrics;
+            std::vector<std::string> cells = {
+                run.spec.name,
+                row.workload,
+                row.arrival,
+                jsonNumber(row.slo),
+                row.fleet,
+                row.dispatcher,
+                row.scheduler,
+                jsonNumber(m.antt),
+                jsonNumber(m.violationRate),
+                jsonNumber(m.sloMissRate),
+                jsonNumber(m.throughput),
+                jsonNumber(m.stp),
+                jsonNumber(m.p50Turnaround),
+                jsonNumber(m.p95Turnaround),
+                jsonNumber(m.p99Turnaround),
+                jsonNumber(m.p50Latency),
+                jsonNumber(m.p95Latency),
+                jsonNumber(m.p99Latency),
+                std::to_string(m.completed),
+                std::to_string(m.shed),
+                jsonNumber(m.makespan),
+                jsonNumber(row.decisions),
+                jsonNumber(row.preemptions),
+            };
+            for (const std::string& name : probes) {
+                const EstimatorAccuracy* found = nullptr;
+                for (const EstimatorAccuracy& est : m.estimators)
+                    if (est.estimator == name)
+                        found = &est;
+                cells.push_back(found ? jsonNumber(found->bias) : "");
+                cells.push_back(found ? jsonNumber(found->rmse) : "");
+            }
+            csv.writeRow(cells);
+        }
+    }
+    csv.close();
     std::printf("Wrote %s\n", path.c_str());
 }
 
@@ -252,6 +357,11 @@ printScenarioTable(const ScenarioResult& result)
                    "throughput", "p99 lat [ms]"});
     if (any_shed)
         header.push_back("shed");
+    // Estimator accuracy probes, when the scenario ran any.
+    const std::vector<EstimatorAccuracy>& probes =
+        rows.front().metrics.estimators;
+    for (const EstimatorAccuracy& est : probes)
+        header.push_back("rmse " + est.estimator + " [ms]");
     table.setHeader(header);
 
     for (const ScenarioRow& row : rows) {
@@ -275,9 +385,85 @@ printScenarioTable(const ScenarioResult& result)
         cells.push_back(AsciiTable::num(m.p99Latency * 1e3, 2));
         if (any_shed)
             cells.push_back(std::to_string(m.shed));
+        for (const EstimatorAccuracy& probe : probes) {
+            const EstimatorAccuracy* found = nullptr;
+            for (const EstimatorAccuracy& est : m.estimators)
+                if (est.estimator == probe.estimator)
+                    found = &est;
+            cells.push_back(
+                found ? AsciiTable::num(found->rmse * 1e3, 2) : "-");
+        }
         table.addRow(cells);
     }
     table.print();
+}
+
+void
+printTelemetrySummary(const Telemetry& telemetry,
+                      const std::vector<std::string>& node_names,
+                      double makespan)
+{
+    if (makespan <= 0.0)
+        makespan = telemetry.runEnd();
+
+    std::printf("telemetry: %zu arrivals, %zu dispatches, %zu shed, "
+                "%zu completed; %zu migrations, %zu restarts, "
+                "%zu preemptions\n",
+                telemetry.arrivals(), telemetry.dispatches(),
+                telemetry.sheds(), telemetry.completions(),
+                telemetry.migrations(), telemetry.restarts(),
+                telemetry.preemptionEvents());
+    std::printf("layers: %zu started = %zu completed + %zu abandoned "
+                "(failures)\n",
+                telemetry.execStarts(), telemetry.layerCompletions(),
+                telemetry.abandonedLayers());
+
+    const std::vector<NodeTelemetry>& nodes = telemetry.nodes();
+    if (!nodes.empty()) {
+        AsciiTable table("per-node telemetry (makespan " +
+                         AsciiTable::num(makespan, 4) + "s)");
+        table.setHeader({"node", "dispatched", "completed", "layers",
+                         "preempt", "migr in/out", "fails",
+                         "util [%]", "peak queue"});
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            const NodeTelemetry& nt = nodes[i];
+            std::string name =
+                i < node_names.size() && !node_names[i].empty()
+                    ? node_names[i]
+                    : "node" + std::to_string(i);
+            double util = makespan > 0.0
+                              ? nt.busySec / makespan * 100.0
+                              : 0.0;
+            table.addRow(
+                {name, std::to_string(nt.dispatched),
+                 std::to_string(nt.completed),
+                 std::to_string(nt.layersCompleted),
+                 std::to_string(nt.preemptions),
+                 std::to_string(nt.migratedIn) + "/" +
+                     std::to_string(nt.migratedOut),
+                 std::to_string(nt.fails), AsciiTable::num(util, 1),
+                 std::to_string(nt.peakQueueDepth)});
+        }
+        table.print();
+    }
+
+    std::vector<EstimatorAccuracy> accuracy = telemetry.accuracy();
+    if (!accuracy.empty()) {
+        AsciiTable table("estimator accuracy (remaining-latency "
+                         "residuals, reference-hardware ms)");
+        table.setHeader({"estimator", "samples", "bias [ms]",
+                         "rmse [ms]", "iso bias [ms]",
+                         "iso rmse [ms]"});
+        for (const EstimatorAccuracy& est : accuracy) {
+            table.addRow({est.estimator,
+                          AsciiTable::num(est.samples, 0),
+                          AsciiTable::num(est.bias * 1e3, 3),
+                          AsciiTable::num(est.rmse * 1e3, 3),
+                          AsciiTable::num(est.isolatedBias * 1e3, 3),
+                          AsciiTable::num(est.isolatedRmse * 1e3, 3)});
+        }
+        table.print();
+    }
 }
 
 } // namespace dysta

@@ -16,7 +16,9 @@
  * policy parameters are escaped correctly no matter what they
  * contain. printTables() renders the long-format result table of
  * each scenario: one row per averaged grid point, with the columns
- * of single-valued axes elided.
+ * of single-valued axes elided. writeCsv() writes the same rows in
+ * long format for spreadsheet/pandas consumption, estimator-probe
+ * columns flattened to est_<name>_bias / est_<name>_rmse.
  */
 
 #ifndef DYSTA_API_REPORT_HH
@@ -39,6 +41,7 @@ class Reporter
     // --- run metadata (excluded from result comparisons) -------------
     void meta(const std::string& key, const std::string& value);
     void meta(const std::string& key, int value);
+    void meta(const std::string& key, double value);
 
     // --- headline scalars --------------------------------------------
     void scalar(const std::string& key, double value);
@@ -59,6 +62,13 @@ class Reporter
 
     /** Write json() to `path`; fatal() on I/O errors. */
     void writeJson(const std::string& path) const;
+
+    /**
+     * Write every scenario's rows as one long-format CSV: scenario
+     * and axis columns, all Metrics fields, and one bias/rmse column
+     * pair per estimator probe. fatal() on I/O errors.
+     */
+    void writeCsv(const std::string& path) const;
 
     /** Print the long-format result table of every scenario. */
     void printTables() const;
@@ -81,6 +91,19 @@ class Reporter
 
 /** Print one scenario's long-format result table. */
 void printScenarioTable(const ScenarioResult& result);
+
+class Telemetry;
+
+/**
+ * Print the telemetry summary of one recorded run: event totals,
+ * the per-node utilization/queue table, and per-probe estimator
+ * accuracy.
+ * @param node_names one display name per node ("node<i>" fallback)
+ * @param makespan   run length used for utilization (runEnd() when 0)
+ */
+void printTelemetrySummary(const Telemetry& telemetry,
+                           const std::vector<std::string>& node_names,
+                           double makespan = 0.0);
 
 } // namespace dysta
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "api/registry.hh"
+#include "obs/phase_timer.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 #include "workload/cluster_spec.hh"
@@ -112,7 +113,8 @@ const char* const kScenarioKeys[] = {
     "dispatcher", "requests",        "seeds",
     "seed",       "events",          "admission",
     "admission_margin", "admission_estimator", "on_failure",
-    "samples",    "profile_seed",    "cnn_sparsity",
+    "probes",     "samples",         "profile_seed",
+    "cnn_sparsity",
 };
 
 std::string
@@ -163,6 +165,8 @@ applyKey(ScenarioSpec& spec, const std::string& key,
         spec.admissionEstimator = value;
     } else if (key == "on_failure") {
         spec.onFailure = value;
+    } else if (key == "probes") {
+        spec.probes = splitAxis(key, value);
     } else if (key == "samples") {
         spec.samples = parseIntStrict(key, value);
     } else if (key == "profile_seed") {
@@ -291,6 +295,7 @@ serializeScenario(const ScenarioSpec& spec)
     kv("admission_margin", shortestDouble(spec.admissionMargin));
     kv("admission_estimator", spec.admissionEstimator);
     kv("on_failure", spec.onFailure);
+    kv("probes", joinAxis(spec.probes, identity));
     kv("samples", std::to_string(spec.samples));
     kv("profile_seed", std::to_string(spec.profileSeed));
     kv("cnn_sparsity", shortestDouble(spec.cnnSparsityRate));
@@ -324,6 +329,8 @@ validateScenario(const ScenarioSpec& spec)
         registry.requireScheduler(sched);
     for (const std::string& arrival : spec.arrivals)
         registry.makeArrival(arrival);
+    for (const std::string& probe : spec.probes)
+        registry.requireEstimator(probe);
 
     if (!spec.cluster()) {
         fatalIf(!spec.dispatchers.empty(),
@@ -418,6 +425,7 @@ scenarioCells(const ScenarioSpec& spec)
         cell.workload.sloMultiplier = slo;
         cell.workload.numRequests = spec.requests;
         cell.workload.seed = spec.seed;
+        cell.probes = spec.probes;
         if (spec.cluster()) {
             cell.clusterMode = true;
             cell.cluster.nodes = fleetFromSpec(fleet);
@@ -448,6 +456,9 @@ runScenario(const ScenarioSpec& spec,
 {
     validateScenario(spec);
 
+    ScenarioResult out;
+
+    WallTimer profile_timer;
     std::unique_ptr<BenchContext> owned;
     const BenchContext* ctx = options.ctx;
     if (ctx == nullptr) {
@@ -455,12 +466,14 @@ runScenario(const ScenarioSpec& spec,
                                  options.traceCache);
         ctx = owned.get();
     }
+    out.profileSec = profile_timer.seconds();
 
+    WallTimer sweep_timer;
     SweepRunner runner(*ctx, options.jobs);
     std::vector<SweepCellResult> results =
-        runner.run(scenarioCells(spec));
+        runner.run(scenarioCells(spec), &out.cellSeconds);
+    out.sweepSec = sweep_timer.seconds();
 
-    ScenarioResult out;
     out.spec = spec;
     out.jobs = runner.jobs();
 

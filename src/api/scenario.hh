@@ -91,6 +91,15 @@ struct ScenarioSpec
     /** "restart" or "shed": fate of work displaced by a failure. */
     std::string onFailure = "restart";
 
+    // --- telemetry ---------------------------------------------------
+    /**
+     * Estimator accuracy probe specs ('|' list; `probes =` with an
+     * empty value disables). Every cell shadows these estimators
+     * through the request lifecycle and reports their prediction
+     * RMSE/bias in the result rows (Metrics::estimators).
+     */
+    std::vector<std::string> probes = {"lut", "dysta"};
+
     // --- Phase-1 profile knobs ---------------------------------------
     int samples = 300;
     uint64_t profileSeed = 7;
@@ -149,6 +158,15 @@ struct ScenarioResult
     std::vector<ScenarioRow> rows;
     /** Worker threads the sweep ran on. */
     int jobs = 1;
+
+    // --- wall-clock phase timings (report metadata only; excluded
+    // --- from report comparison and never part of simulated data) --
+    /** Phase-1 profile (or trace-cache replay) duration, seconds. */
+    double profileSec = 0.0;
+    /** Grid-execution duration, seconds. */
+    double sweepSec = 0.0;
+    /** Per-cell wall-clock durations, in cell order. */
+    std::vector<double> cellSeconds;
 };
 
 /** Execution knobs orthogonal to the scenario itself. */

@@ -252,6 +252,7 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     cfg.lut = &ctx.lut;
     cfg.nodeEvents = cluster.nodeEvents;
     cfg.onFailure = cluster.onFailure;
+    cfg.telemetry = cluster.telemetry;
 
     std::unique_ptr<LatencyEstimator> admission_est;
     if (!cluster.admissionEstimator.empty()) {

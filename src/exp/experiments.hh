@@ -141,6 +141,8 @@ struct ClusterRunConfig
     RestartPolicy onFailure = RestartPolicy::Restart;
     /** Thresholds for the work-stealing dispatcher. */
     WorkStealingConfig stealing;
+    /** Optional telemetry sink (not owned; see SimConfig). */
+    Telemetry* telemetry = nullptr;
 };
 
 /** Generate one workload and serve it on a simulated cluster. */

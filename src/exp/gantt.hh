@@ -1,9 +1,19 @@
 /**
  * @file
- * ASCII Gantt renderer for engine schedule events: one row per
- * request, time bucketed into fixed-width columns, '#' where the
- * request holds the accelerator. Makes preemption behaviour visible
- * in examples and debugging sessions.
+ * ASCII Gantt renderers.
+ *
+ * Two views share one bucketing scheme (fixed-width columns over a
+ * time window):
+ *
+ *  - `renderGantt`: the legacy per-request view over single-engine
+ *    `ScheduleEvent`s — one row per request, '#' where it holds the
+ *    accelerator. Makes preemption behaviour visible in examples.
+ *  - `renderTelemetryGantt`: the cluster view over a recorded
+ *    telemetry event stream — one lane per *node*, each execution
+ *    slice drawn with a character identifying the request
+ *    (id mod 36 -> '0'-'9a-z'), '.' idle and 'x' while the node is
+ *    down. Works for any fleet because it consumes the same events
+ *    the Chrome-trace exporter does (`sdysta --gantt`).
  */
 
 #ifndef DYSTA_EXP_GANTT_HH
@@ -12,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hh"
 #include "sched/engine.hh"
 
 namespace dysta {
@@ -37,6 +48,17 @@ struct GanttConfig
 std::string renderGantt(const std::vector<ScheduleEvent>& events,
                         const std::vector<Request>& requests,
                         GanttConfig config = {});
+
+/**
+ * Render a recorded telemetry run as a per-node ASCII Gantt chart
+ * (`maxRows` caps the node lanes, not requests). Requires
+ * `recordEvents`; fatal() otherwise.
+ * @param node_names one display name per node ("node<i>" fallback)
+ */
+std::string
+renderTelemetryGantt(const Telemetry& telemetry,
+                     const std::vector<std::string>& node_names,
+                     GanttConfig config = {});
 
 } // namespace dysta
 

@@ -1,13 +1,47 @@
 #include "exp/sweep.hh"
 
+#include <cmath>
+
+#include "api/registry.hh"
+#include "obs/phase_timer.hh"
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace dysta {
 
+namespace {
+
+// Build the cell's private probe sink: counters and accuracy only,
+// no event log or series — cheap enough for full sweep grids, and
+// thread-safe because nothing is shared between cells.
+std::unique_ptr<Telemetry>
+makeProbeSink(const BenchContext& ctx,
+              const std::vector<std::string>& probes)
+{
+    TelemetryConfig tcfg;
+    tcfg.recordEvents = false;
+    tcfg.recordSeries = false;
+    auto sink = std::make_unique<Telemetry>(tcfg);
+    for (const std::string& spec : probes)
+        sink->addProbe(spec,
+                       PolicyRegistry::global().makeEstimator(spec,
+                                                              ctx));
+    return sink;
+}
+
+} // namespace
+
 SweepCellResult
 runSweepCell(const BenchContext& ctx, const SweepCell& cell)
 {
+    std::unique_ptr<Telemetry> probe_sink;
+    Telemetry* sink = cell.telemetry;
+    if (sink == nullptr && !cell.probes.empty()) {
+        probe_sink = makeProbeSink(ctx, cell.probes);
+        sink = probe_sink.get();
+    }
+
     SweepCellResult out;
     if (cell.clusterMode) {
         // Cluster cells configure node policies by name and block
@@ -19,7 +53,9 @@ runSweepCell(const BenchContext& ctx, const SweepCell& cell)
         panicIf(cell.layerBlockSize != 1,
                 "runSweepCell: set block granularity on the cluster "
                 "NodeProfiles, not SweepCell::layerBlockSize");
-        ClusterResult r = runCluster(ctx, cell.workload, cell.cluster);
+        ClusterRunConfig cluster = cell.cluster;
+        cluster.telemetry = sink;
+        ClusterResult r = runCluster(ctx, cell.workload, cluster);
         out.metrics = r.metrics;
         out.decisions = r.decisions;
         out.preemptions = r.preemptions;
@@ -36,6 +72,7 @@ runSweepCell(const BenchContext& ctx, const SweepCell& cell)
 
     EngineConfig ecfg;
     ecfg.layerBlockSize = cell.layerBlockSize;
+    ecfg.telemetry = sink;
     SchedulerEngine engine(ecfg);
     EngineResult r = engine.run(requests, *policy);
     out.metrics = r.metrics;
@@ -93,6 +130,48 @@ averageMetrics(const std::vector<Metrics>& runs)
         static_cast<double>(avg.completed) / n);
     avg.shed =
         static_cast<size_t>(static_cast<double>(avg.shed) / n);
+
+    // Pool estimator-accuracy probes exactly: bias and rmse
+    // reconstruct the underlying residual sums, so averaging seed
+    // replicas equals one run over the union of their residuals.
+    avg.estimators = runs[0].estimators;
+    for (EstimatorAccuracy& acc : avg.estimators) {
+        acc.samples = acc.bias = acc.rmse = 0.0;
+        acc.isolatedSamples = acc.isolatedBias = 0.0;
+        acc.isolatedRmse = 0.0;
+    }
+    for (const Metrics& m : runs) {
+        panicIf(m.estimators.size() != avg.estimators.size(),
+                "averageMetrics: runs carry different probe sets");
+        for (size_t i = 0; i < m.estimators.size(); ++i) {
+            const EstimatorAccuracy& run_acc = m.estimators[i];
+            EstimatorAccuracy& acc = avg.estimators[i];
+            panicIf(run_acc.estimator != acc.estimator,
+                    "averageMetrics: runs carry different probe "
+                    "sets");
+            acc.samples += run_acc.samples;
+            acc.bias += run_acc.bias * run_acc.samples;
+            acc.rmse +=
+                run_acc.rmse * run_acc.rmse * run_acc.samples;
+            acc.isolatedSamples += run_acc.isolatedSamples;
+            acc.isolatedBias +=
+                run_acc.isolatedBias * run_acc.isolatedSamples;
+            acc.isolatedRmse += run_acc.isolatedRmse *
+                                run_acc.isolatedRmse *
+                                run_acc.isolatedSamples;
+        }
+    }
+    for (EstimatorAccuracy& acc : avg.estimators) {
+        if (acc.samples > 0.0) {
+            acc.bias /= acc.samples;
+            acc.rmse = std::sqrt(acc.rmse / acc.samples);
+        }
+        if (acc.isolatedSamples > 0.0) {
+            acc.isolatedBias /= acc.isolatedSamples;
+            acc.isolatedRmse =
+                std::sqrt(acc.isolatedRmse / acc.isolatedSamples);
+        }
+    }
     return avg;
 }
 
@@ -125,13 +204,19 @@ SweepRunner::SweepRunner(const BenchContext& ctx, int jobs)
 }
 
 std::vector<SweepCellResult>
-SweepRunner::run(const std::vector<SweepCell>& cells) const
+SweepRunner::run(const std::vector<SweepCell>& cells,
+                 std::vector<double>* cell_seconds) const
 {
     std::vector<SweepCellResult> results(cells.size());
+    if (cell_seconds)
+        cell_seconds->assign(cells.size(), 0.0);
     const BenchContext& context = *ctx;
     parallelFor(cells.size(), static_cast<size_t>(numJobs),
                 [&](size_t i) {
+                    WallTimer timer;
                     results[i] = runSweepCell(context, cells[i]);
+                    if (cell_seconds)
+                        (*cell_seconds)[i] = timer.seconds();
                 });
     return results;
 }

@@ -44,6 +44,20 @@ struct SweepCell
     bool clusterMode = false;
     /** Cluster topology/policies (used when clusterMode). */
     ClusterRunConfig cluster;
+    /**
+     * Estimator accuracy probe specs (PolicyRegistry, e.g. "lut",
+     * "dysta"). Non-empty builds a private counters-only Telemetry
+     * for the cell and surfaces per-probe prediction RMSE/bias in
+     * the cell's Metrics::estimators. Ignored when `telemetry` is
+     * set.
+     */
+    std::vector<std::string> probes;
+    /**
+     * Explicit caller-owned telemetry sink (full event recording for
+     * trace exports). The caller registers any probes itself and
+     * must not share one sink between concurrently-running cells.
+     */
+    Telemetry* telemetry = nullptr;
 };
 
 /** One cell's outcome. */
@@ -93,10 +107,14 @@ class SweepRunner
 
     /**
      * Execute all cells; results[i] is cells[i]'s outcome, in input
-     * order, bit-identical for any jobs count.
+     * order, bit-identical for any jobs count. When `cell_seconds`
+     * is non-null it is resized to the cell count and filled with
+     * each cell's wall-clock duration (timing data only — never part
+     * of the simulated results).
      */
     std::vector<SweepCellResult>
-    run(const std::vector<SweepCell>& cells) const;
+    run(const std::vector<SweepCell>& cells,
+        std::vector<double>* cell_seconds = nullptr) const;
 
   private:
     const BenchContext* ctx;

@@ -1,0 +1,217 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+namespace {
+
+constexpr double kMicrosPerSec = 1e6;
+
+std::string
+nodeName(const std::vector<std::string>& names, int node)
+{
+    if (node >= 0 && static_cast<size_t>(node) < names.size() &&
+        !names[static_cast<size_t>(node)].empty())
+        return names[static_cast<size_t>(node)];
+    return "node" + std::to_string(node);
+}
+
+/** A contiguous run of layers one request executes on one node. */
+struct OpenSegment
+{
+    int request = -1;
+    double start = 0.0;
+    /** End of the last *completed* layer (failures lose the rest). */
+    double end = 0.0;
+    int firstLayer = -1;
+    int lastLayer = -1;
+};
+
+void
+emitSlice(JsonWriter& json, int node, const OpenSegment& seg)
+{
+    // A segment whose first layer never completed (the node failed
+    // mid-layer) has zero recorded extent: nothing to draw.
+    if (seg.lastLayer < seg.firstLayer || seg.end <= seg.start)
+        return;
+    json.beginObject();
+    json.field("name", "req " + std::to_string(seg.request));
+    json.field("cat", "exec");
+    json.field("ph", "X");
+    json.field("ts", seg.start * kMicrosPerSec);
+    json.field("dur", (seg.end - seg.start) * kMicrosPerSec);
+    json.field("pid", 0);
+    json.field("tid", node);
+    json.beginObject("args");
+    json.field("request", seg.request);
+    json.field("first_layer", seg.firstLayer);
+    json.field("last_layer", seg.lastLayer);
+    json.endObject();
+    json.endObject();
+}
+
+void
+emitInstant(JsonWriter& json, const std::string& name, double ts,
+            int tid, bool global_scope, int request)
+{
+    json.beginObject();
+    json.field("name", name);
+    json.field("cat", "lifecycle");
+    json.field("ph", "i");
+    json.field("s", global_scope ? "g" : "t");
+    json.field("ts", ts * kMicrosPerSec);
+    json.field("pid", 0);
+    json.field("tid", tid < 0 ? 0 : tid);
+    if (request >= 0) {
+        json.beginObject("args");
+        json.field("request", request);
+        json.endObject();
+    }
+    json.endObject();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Telemetry& telemetry,
+                const std::vector<std::string>& node_names)
+{
+    fatalIf(!telemetry.config().recordEvents,
+            "chromeTraceJson: telemetry ran without event recording");
+
+    JsonWriter json;
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.beginArray("traceEvents");
+
+    // Track names first, one metadata event per node.
+    size_t num_nodes = telemetry.nodes().size();
+    for (size_t node = 0; node < num_nodes; ++node) {
+        json.beginObject();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", 0);
+        json.field("tid", static_cast<int>(node));
+        json.beginObject("args");
+        json.field("name",
+                   nodeName(node_names, static_cast<int>(node)));
+        json.endObject();
+        json.endObject();
+    }
+
+    // One pass over the deterministic event log: merge per-layer
+    // executions into slices, everything else becomes instants.
+    std::vector<OpenSegment> open(num_nodes);
+    auto closeSegment = [&](int node) {
+        OpenSegment& seg = open[static_cast<size_t>(node)];
+        if (seg.request >= 0)
+            emitSlice(json, node, seg);
+        seg = OpenSegment{};
+    };
+
+    for (const TelemetryEvent& ev : telemetry.events()) {
+        switch (ev.kind) {
+          case TeleKind::ExecStart: {
+            OpenSegment& seg = open[static_cast<size_t>(ev.node)];
+            if (seg.request != ev.request) {
+                closeSegment(ev.node);
+                seg.request = ev.request;
+                seg.start = ev.time;
+                seg.end = ev.time;
+                seg.firstLayer = ev.layer;
+                seg.lastLayer = ev.layer - 1;
+            }
+            break;
+          }
+          case TeleKind::LayerComplete: {
+            OpenSegment& seg = open[static_cast<size_t>(ev.node)];
+            if (seg.request == ev.request) {
+                seg.end = ev.time;
+                seg.lastLayer = ev.layer;
+            }
+            break;
+          }
+          case TeleKind::Complete:
+            closeSegment(ev.node);
+            break;
+          case TeleKind::Preempt:
+            // The block boundary where the switch happened: close
+            // the preempted request's segment so the preemptor's
+            // slice starts fresh.
+            closeSegment(ev.node);
+            emitInstant(json, "preempt", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::Shed:
+            emitInstant(json, "shed", ev.time, 0, true, ev.request);
+            break;
+          case TeleKind::Migrate:
+            emitInstant(json, "migrate", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::Restart:
+            emitInstant(json, "restart", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::NodeDrain:
+            emitInstant(json, "drain", ev.time, ev.node, false, -1);
+            break;
+          case TeleKind::NodeFail:
+            closeSegment(ev.node);
+            emitInstant(json, "fail", ev.time, ev.node, false, -1);
+            break;
+          case TeleKind::NodeRecover:
+            emitInstant(json, "recover", ev.time, ev.node, false, -1);
+            break;
+          case TeleKind::Arrival:
+          case TeleKind::Dispatch:
+            break;
+        }
+    }
+    for (size_t node = 0; node < num_nodes; ++node)
+        closeSegment(static_cast<int>(node));
+
+    // Queue-depth counter tracks from the per-node series.
+    if (telemetry.config().recordSeries) {
+        for (size_t node = 0; node < num_nodes; ++node) {
+            std::string track =
+                "queue " + nodeName(node_names,
+                                    static_cast<int>(node));
+            for (const NodeSample& s :
+                 telemetry.nodes()[node].samples) {
+                json.beginObject();
+                json.field("name", track);
+                json.field("ph", "C");
+                json.field("ts", s.time * kMicrosPerSec);
+                json.field("pid", 0);
+                json.field("tid", static_cast<int>(node));
+                json.beginObject("args");
+                json.field("depth", s.queueDepth);
+                json.endObject();
+                json.endObject();
+            }
+        }
+    }
+
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+void
+writeChromeTrace(const Telemetry& telemetry,
+                 const std::vector<std::string>& node_names,
+                 const std::string& path)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "writeChromeTrace: cannot open '" + path + "'");
+    out << chromeTraceJson(telemetry, node_names) << "\n";
+    fatalIf(!out.good(),
+            "writeChromeTrace: write failed for '" + path + "'");
+}
+
+} // namespace dysta

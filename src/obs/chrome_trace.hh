@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Chrome trace event exporter for telemetry event streams.
+ *
+ * Serializes a recorded `Telemetry` run into the Chrome trace event
+ * format (the JSON object form: {"traceEvents": [...]}) loadable in
+ * Perfetto (ui.perfetto.dev) and chrome://tracing:
+ *
+ *  - one track (tid) per node, named after the fleet profile;
+ *  - one "X" complete slice per contiguous execution segment of a
+ *    request on a node (per-layer starts/completes are merged until
+ *    the node switches request or goes idle), labelled "req <id>"
+ *    with the layer range in args;
+ *  - instant events for shed (global scope — sheds happen at the
+ *    front door), preempt, migrate, restart, and node
+ *    drain/fail/recover (thread scope, on the node's track);
+ *  - "C" counter events tracking each node's queue depth (when the
+ *    telemetry recorded series).
+ *
+ * Timestamps are sim time converted to integer-free microseconds —
+ * no wall clock anywhere — and events are emitted in deterministic
+ * log order, so the same scenario cell always exports a byte-equal
+ * trace, for any --jobs count.
+ */
+
+#ifndef DYSTA_OBS_CHROME_TRACE_HH
+#define DYSTA_OBS_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hh"
+
+namespace dysta {
+
+/**
+ * The Chrome-trace JSON document for a recorded run.
+ * @param telemetry a run recorded with `recordEvents`
+ * @param node_names one display name per node ("node<i>" fallback
+ *                   for missing entries)
+ */
+std::string chromeTraceJson(const Telemetry& telemetry,
+                            const std::vector<std::string>& node_names);
+
+/** Write chromeTraceJson() to `path`; fatal() on I/O errors. */
+void writeChromeTrace(const Telemetry& telemetry,
+                      const std::vector<std::string>& node_names,
+                      const std::string& path);
+
+} // namespace dysta
+
+#endif // DYSTA_OBS_CHROME_TRACE_HH

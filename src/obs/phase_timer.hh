@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock phase timers for report metadata.
+ *
+ * Telemetry proper is sim-time only so exported traces stay
+ * deterministic; wall-clock durations (how long did Phase-1
+ * profiling take, how long did each sweep cell run) are still useful
+ * operational data. `WallTimer` measures them, and callers record
+ * the seconds in the report's "meta" section — which report
+ * comparison (`sdysta --diff`) deliberately ignores.
+ */
+
+#ifndef DYSTA_OBS_PHASE_TIMER_HH
+#define DYSTA_OBS_PHASE_TIMER_HH
+
+#include <chrono>
+
+namespace dysta {
+
+/** Monotonic wall-clock stopwatch, started at construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_OBS_PHASE_TIMER_HH

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Telemetry sink implementation: event log, per-node series and
+ * counters, and estimator accuracy probes (see telemetry.hh).
+ */
+
+#include "obs/telemetry.hh"
+
+#include <cmath>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace dysta {
+
+std::string
+toString(TeleKind kind)
+{
+    switch (kind) {
+      case TeleKind::Arrival:       return "arrival";
+      case TeleKind::Dispatch:      return "dispatch";
+      case TeleKind::Shed:          return "shed";
+      case TeleKind::ExecStart:     return "exec_start";
+      case TeleKind::LayerComplete: return "layer_complete";
+      case TeleKind::Preempt:       return "preempt";
+      case TeleKind::Migrate:       return "migrate";
+      case TeleKind::Restart:       return "restart";
+      case TeleKind::Complete:      return "complete";
+      case TeleKind::NodeDrain:     return "node_drain";
+      case TeleKind::NodeFail:      return "node_fail";
+      case TeleKind::NodeRecover:   return "node_recover";
+    }
+    panic("toString: unhandled TeleKind");
+}
+
+Telemetry::Telemetry(TelemetryConfig cfg) : cfg(cfg) {}
+
+void
+Telemetry::addProbe(const std::string& name,
+                    std::unique_ptr<LatencyEstimator> estimator)
+{
+    panicIf(!estimator, "Telemetry::addProbe: null estimator");
+    Probe probe;
+    probe.name = name;
+    probe.est = std::move(estimator);
+    probes.push_back(std::move(probe));
+}
+
+std::vector<std::string>
+Telemetry::probeNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(probes.size());
+    for (const Probe& probe : probes)
+        names.push_back(probe.name);
+    return names;
+}
+
+void
+Telemetry::beginRun(size_t num_nodes)
+{
+    log.clear();
+    perNode.assign(num_nodes, NodeTelemetry{});
+    endTime = 0.0;
+    numArrivals = numDispatches = numSheds = 0;
+    numMigrations = numRestarts = numCompletions = 0;
+    numPreemptions = numExecStarts = numLayerCompletions = 0;
+    numAbandoned = 0;
+    for (Probe& probe : probes) {
+        probe.est->reset();
+        probe.n = 0;
+        probe.sum = probe.sum2 = 0.0;
+        probe.isoN = 0;
+        probe.isoSum = probe.isoSum2 = 0.0;
+    }
+}
+
+void
+Telemetry::endRun(double now)
+{
+    endTime = now;
+}
+
+NodeTelemetry&
+Telemetry::nodeRef(int node)
+{
+    panicIf(node < 0 || static_cast<size_t>(node) >= perNode.size(),
+            "Telemetry: node index out of range (beginRun missing?)");
+    return perNode[static_cast<size_t>(node)];
+}
+
+void
+Telemetry::record(const TelemetryEvent& ev)
+{
+    if (cfg.recordEvents)
+        log.push_back(ev);
+}
+
+void
+Telemetry::sample(int node, double now)
+{
+    if (!cfg.recordSeries)
+        return;
+    NodeTelemetry& nt = nodeRef(node);
+    nt.samples.push_back({now, nt.depth, nt.running});
+}
+
+void
+Telemetry::arrival(const Request& req, double now)
+{
+    ++numArrivals;
+    record({now, TeleKind::Arrival, -1, req.id, -1, 0.0, 0.0, -1});
+}
+
+void
+Telemetry::dispatch(const Request& req, int node, size_t depth,
+                    double now)
+{
+    ++numDispatches;
+    NodeTelemetry& nt = nodeRef(node);
+    ++nt.dispatched;
+    nt.depth = static_cast<int>(depth);
+    if (nt.depth > nt.peakQueueDepth)
+        nt.peakQueueDepth = nt.depth;
+    record({now, TeleKind::Dispatch, node, req.id, -1, 0.0,
+            static_cast<double>(depth), -1});
+    sample(node, now);
+    for (Probe& probe : probes) {
+        probe.est->admit(req);
+        double residual = probe.est->isolated(req) - req.isolated();
+        ++probe.isoN;
+        probe.isoSum += residual;
+        probe.isoSum2 += residual * residual;
+    }
+}
+
+void
+Telemetry::shed(const Request& req, double now)
+{
+    ++numSheds;
+    record({now, TeleKind::Shed, -1, req.id, -1, 0.0, 0.0, -1});
+    for (Probe& probe : probes)
+        probe.est->release(req);
+}
+
+void
+Telemetry::execStart(const Request& req, int node, size_t layer,
+                     double now)
+{
+    ++numExecStarts;
+    NodeTelemetry& nt = nodeRef(node);
+    ++nt.layersStarted;
+    nt.running = true;
+    record({now, TeleKind::ExecStart, node, req.id,
+            static_cast<int>(layer), 0.0, 0.0, -1});
+    sample(node, now);
+}
+
+void
+Telemetry::layerComplete(const Request& req, int node, size_t layer,
+                         double start, double end, double sparsity)
+{
+    ++numLayerCompletions;
+    NodeTelemetry& nt = nodeRef(node);
+    ++nt.layersCompleted;
+    nt.running = false;
+    nt.busySec += end - start;
+    record({end, TeleKind::LayerComplete, node, req.id,
+            static_cast<int>(layer), start, sparsity, -1});
+    sample(node, end);
+    for (Probe& probe : probes) {
+        probe.est->observe(req, sparsity);
+        if (req.done())
+            continue;
+        double residual =
+            probe.est->remaining(req) - req.trueRemaining();
+        ++probe.n;
+        probe.sum += residual;
+        probe.sum2 += residual * residual;
+    }
+}
+
+void
+Telemetry::preempt(const Request& req, int node, double now)
+{
+    ++numPreemptions;
+    NodeTelemetry& nt = nodeRef(node);
+    ++nt.preemptions;
+    record({now, TeleKind::Preempt, node, req.id, -1, 0.0, 0.0, -1});
+}
+
+void
+Telemetry::migrate(const Request& req, int from, int to,
+                   size_t from_depth, size_t to_depth, double now)
+{
+    ++numMigrations;
+    NodeTelemetry& src = nodeRef(from);
+    ++src.migratedOut;
+    src.depth = static_cast<int>(from_depth);
+    NodeTelemetry& dst = nodeRef(to);
+    ++dst.migratedIn;
+    dst.depth = static_cast<int>(to_depth);
+    if (dst.depth > dst.peakQueueDepth)
+        dst.peakQueueDepth = dst.depth;
+    record({now, TeleKind::Migrate, to, req.id, -1, 0.0,
+            static_cast<double>(to_depth), from});
+    sample(from, now);
+    sample(to, now);
+}
+
+void
+Telemetry::restartFromFailure(const Request& req, int node, double now)
+{
+    ++numRestarts;
+    record({now, TeleKind::Restart, node, req.id, -1, 0.0, 0.0, -1});
+    // The restarted request re-enters through the dispatcher; drop
+    // probe state so its re-admission starts a fresh prediction.
+    for (Probe& probe : probes)
+        probe.est->release(req);
+}
+
+void
+Telemetry::nodeChange(int node, NodeEventKind kind, double now)
+{
+    NodeTelemetry& nt = nodeRef(node);
+    switch (kind) {
+      case NodeEventKind::Drain:
+        ++nt.drains;
+        record({now, TeleKind::NodeDrain, node, -1, -1, 0.0, 0.0, -1});
+        break;
+      case NodeEventKind::Fail:
+        ++nt.fails;
+        if (nt.running) {
+            ++nt.layersAbandoned;
+            ++numAbandoned;
+        }
+        nt.running = false;
+        nt.depth = 0;
+        record({now, TeleKind::NodeFail, node, -1, -1, 0.0, 0.0, -1});
+        break;
+      case NodeEventKind::Recover:
+        ++nt.recovers;
+        record({now, TeleKind::NodeRecover, node, -1, -1, 0.0, 0.0,
+                -1});
+        break;
+    }
+    sample(node, now);
+}
+
+void
+Telemetry::complete(const Request& req, int node, size_t depth,
+                    double now)
+{
+    ++numCompletions;
+    NodeTelemetry& nt = nodeRef(node);
+    ++nt.completed;
+    nt.depth = static_cast<int>(depth);
+    record({now, TeleKind::Complete, node, req.id, -1, 0.0,
+            static_cast<double>(depth), -1});
+    sample(node, now);
+    for (Probe& probe : probes)
+        probe.est->release(req);
+}
+
+std::vector<EstimatorAccuracy>
+Telemetry::accuracy() const
+{
+    std::vector<EstimatorAccuracy> out;
+    out.reserve(probes.size());
+    for (const Probe& probe : probes) {
+        EstimatorAccuracy acc;
+        acc.estimator = probe.name;
+        acc.samples = static_cast<double>(probe.n);
+        if (probe.n > 0) {
+            acc.bias = probe.sum / static_cast<double>(probe.n);
+            acc.rmse =
+                std::sqrt(probe.sum2 / static_cast<double>(probe.n));
+        }
+        acc.isolatedSamples = static_cast<double>(probe.isoN);
+        if (probe.isoN > 0) {
+            acc.isolatedBias =
+                probe.isoSum / static_cast<double>(probe.isoN);
+            acc.isolatedRmse = std::sqrt(
+                probe.isoSum2 / static_cast<double>(probe.isoN));
+        }
+        out.push_back(std::move(acc));
+    }
+    return out;
+}
+
+void
+writeTimeSeriesCsv(const Telemetry& telemetry,
+                   const std::string& path)
+{
+    fatalIf(!telemetry.config().recordSeries,
+            "writeTimeSeriesCsv: telemetry ran without series "
+            "recording");
+    CsvWriter csv(path);
+    csv.writeRow(std::vector<std::string>{"time", "node",
+                                          "queue_depth", "running"});
+    const std::vector<NodeTelemetry>& nodes = telemetry.nodes();
+    for (size_t node = 0; node < nodes.size(); ++node)
+        for (const NodeSample& s : nodes[node].samples)
+            csv.writeRow(std::vector<double>{
+                s.time, static_cast<double>(node),
+                static_cast<double>(s.queueDepth),
+                s.running ? 1.0 : 0.0});
+}
+
+} // namespace dysta

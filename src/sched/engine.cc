@@ -27,6 +27,7 @@ SchedulerEngine::run(std::vector<Request>& requests,
     profile.layerBlockSize = cfg.layerBlockSize;
     sim.nodes.push_back(profile);
     sim.recordEvents = cfg.recordEvents;
+    sim.telemetry = cfg.telemetry;
 
     SingleNodeDispatcher dispatcher;
     PolicyFactory factory = [&policy](const NodeProfile&, int) {

@@ -25,6 +25,8 @@
 
 namespace dysta {
 
+class Telemetry;
+
 /** One scheduled execution slot (optional Gantt record). */
 struct ScheduleEvent
 {
@@ -52,6 +54,11 @@ struct EngineConfig
      * dispatch decision at block boundaries.
      */
     size_t layerBlockSize = 1;
+    /**
+     * Optional telemetry sink (not owned; see src/obs/telemetry.hh
+     * and SimConfig::telemetry). nullptr disables all emission.
+     */
+    Telemetry* telemetry = nullptr;
 };
 
 /** Result of one engine run. */

@@ -9,11 +9,36 @@
 #define DYSTA_SCHED_METRICS_HH
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "sched/request.hh"
 
 namespace dysta {
+
+/**
+ * Prediction accuracy of one latency estimator over a run, measured
+ * by a telemetry probe (src/obs/telemetry.hh): residuals are
+ * estimated minus ground-truth latency in reference-hardware
+ * seconds. `bias`/`rmse` cover remaining-latency queries after each
+ * observed layer; the `isolated*` fields cover the one-shot
+ * end-to-end estimate at dispatch.
+ */
+struct EstimatorAccuracy
+{
+    /** Estimator spec the probe was built from (e.g. "dysta"). */
+    std::string estimator;
+    /** Remaining-latency residual sample count. */
+    double samples = 0.0;
+    /** Mean residual (positive = over-estimates). */
+    double bias = 0.0;
+    /** Root-mean-square residual. */
+    double rmse = 0.0;
+    /** Isolated-latency residual sample count (one per dispatch). */
+    double isolatedSamples = 0.0;
+    double isolatedBias = 0.0;
+    double isolatedRmse = 0.0;
+};
 
 /** Aggregate results of one scheduling run. */
 struct Metrics
@@ -52,6 +77,11 @@ struct Metrics
     size_t shed = 0;
     /** Last finish time minus first arrival. */
     double makespan = 0.0;
+    /**
+     * Per-estimator prediction accuracy from telemetry probes;
+     * empty when the run carried no probes.
+     */
+    std::vector<EstimatorAccuracy> estimators;
 
     /** Shed fraction of all offered requests, in [0, 1]. */
     double shedRate() const;

@@ -51,6 +51,7 @@ ClusterEngine::run(std::vector<Request>& requests,
     sim.admissionEstimator = cfg.admissionEstimator;
     sim.nodeEvents = cfg.nodeEvents;
     sim.onFailure = cfg.onFailure;
+    sim.telemetry = cfg.telemetry;
     return runSimulation(sim, requests, dispatcher, make_policy);
 }
 

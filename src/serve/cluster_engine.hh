@@ -52,6 +52,8 @@ struct ClusterConfig
     std::vector<NodeEvent> nodeEvents;
     /** Fate of started requests displaced by a node failure. */
     RestartPolicy onFailure = RestartPolicy::Restart;
+    /** Optional telemetry sink (not owned; see SimConfig). */
+    Telemetry* telemetry = nullptr;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */

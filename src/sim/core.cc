@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dysta {
@@ -28,6 +29,13 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
                 "runSimulation: policy factory returned null");
         nodes.push_back(std::make_unique<SimNode>(
             static_cast<int>(i), cfg.nodes[i], std::move(policy)));
+    }
+
+    Telemetry* tele = cfg.telemetry;
+    if (tele) {
+        tele->beginRun(nodes.size());
+        for (auto& node : nodes)
+            node->setTelemetry(tele);
     }
 
     // All admission estimates flow through the estimator layer; the
@@ -130,6 +138,8 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         req->shed = true;
         ++shed_count;
         dispatcher.onShed(*req, now);
+        if (tele)
+            tele->shed(*req, now);
     };
 
     // Place one request (fresh arrival or failure re-dispatch):
@@ -177,6 +187,9 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         }
 
         nodes[pick]->enqueue(req, now);
+        if (tele)
+            tele->dispatch(*req, static_cast<int>(pick),
+                           nodes[pick]->outstanding(), now);
         // Dispatch after every arrival of this instant has been
         // placed (admit-then-select): the Decision kind sorts
         // after all same-time arrivals and completions.
@@ -200,9 +213,16 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
                     "node");
             nodes[m.from]->removeQueued(m.req, now);
             nodes[m.to]->enqueue(m.req, now);
+            if (tele)
+                tele->migrate(*m.req, static_cast<int>(m.from),
+                              static_cast<int>(m.to),
+                              nodes[m.from]->outstanding(),
+                              nodes[m.to]->outstanding(), now);
         }
         return !moves.empty();
     };
+
+    double sim_now = 0.0;
 
     while (finished + shed_count < requests.size()) {
         panicIf(calendar.empty(),
@@ -210,15 +230,23 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
                 "requests");
         SimEvent ev = calendar.pop();
         double now = ev.time;
+        sim_now = now;
 
         switch (ev.kind) {
           case SimEventKind::Arrival: {
+            if (tele)
+                tele->arrival(*ev.req, now);
             placeRequest(ev.req, now);
             break;
           }
 
           case SimEventKind::NodeChange: {
             SimNode& node = *nodes[ev.node];
+            // Emitted before the displaced work is re-placed, so the
+            // fail instant precedes its restarts/dispatches in the
+            // event log.
+            if (tele)
+                tele->nodeChange(ev.node, ev.nodeEvent, now);
             switch (ev.nodeEvent) {
               case NodeEventKind::Drain:
                 node.drain();
@@ -239,6 +267,9 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
                         // from layer 0 (enqueue re-zeroes the rest).
                         req->nextLayer = 0;
                         req->executedTime = 0.0;
+                        if (tele)
+                            tele->restartFromFailure(*req, ev.node,
+                                                     now);
                     }
                     placeRequest(req, now);
                 }
@@ -313,6 +344,10 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         result.perNodeCompleted.push_back(n->completedCount());
         result.preemptions += n->preemptionCount();
         result.decisions += n->decisionCount();
+    }
+    if (tele) {
+        tele->endRun(sim_now);
+        result.metrics.estimators = tele->accuracy();
     }
     return result;
 }

@@ -34,6 +34,8 @@
 
 namespace dysta {
 
+class Telemetry;
+
 /** One scheduled availability change of one node. */
 struct NodeEvent
 {
@@ -114,6 +116,12 @@ struct SimConfig
     std::vector<NodeEvent> nodeEvents;
     /** Fate of started requests displaced by a node failure. */
     RestartPolicy onFailure = RestartPolicy::Restart;
+    /**
+     * Optional telemetry sink (not owned; see src/obs/telemetry.hh).
+     * nullptr — the default — disables all emission: the run is
+     * bit-identical to one without the subsystem.
+     */
+    Telemetry* telemetry = nullptr;
 };
 
 /** Result of one simulation run. */

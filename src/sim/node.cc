@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.hh"
 #include "util/logging.hh"
 
 namespace dysta {
@@ -168,6 +169,9 @@ SimNode::startLayer(double now)
         blockOwner->trace->layers[blockOwner->nextLayer];
     running = blockOwner;
     layerEnd = now + layerLatency(layer);
+    if (telemetry)
+        telemetry->execStart(*blockOwner, nodeId,
+                             blockOwner->nextLayer, now);
     return layerEnd;
 }
 
@@ -192,6 +196,8 @@ SimNode::beginBlock(double now)
     if (lastRun != nullptr && blockOwner != lastRun &&
         lastRun->nextLayer > 0 && !lastRun->done()) {
         ++numPreemptions;
+        if (telemetry)
+            telemetry->preempt(*lastRun, nodeId, now);
     }
 
     return startLayer(now + prof.decisionOverheadSec);
@@ -202,7 +208,8 @@ SimNode::completeLayer()
 {
     panicIf(!busy(), "SimNode::completeLayer on idle node");
     Request* req = running;
-    const LayerTrace& layer = req->trace->layers[req->nextLayer];
+    size_t layer_idx = req->nextLayer;
+    const LayerTrace& layer = req->trace->layers[layer_idx];
 
     req->executedTime += layerLatency(layer);
     ++req->nextLayer;
@@ -212,6 +219,10 @@ SimNode::completeLayer()
     running = nullptr;
 
     sched->onLayerComplete(*req, layerEnd, layer.monitoredSparsity);
+    if (telemetry)
+        telemetry->layerComplete(*req, nodeId, layer_idx,
+                                 layerEnd - layerLatency(layer),
+                                 layerEnd, layer.monitoredSparsity);
 
     if (req->done()) {
         req->finishTime = layerEnd;
@@ -220,6 +231,8 @@ SimNode::completeLayer()
         ++numCompleted;
         blockOwner = nullptr;
         lastRun = nullptr;
+        if (telemetry)
+            telemetry->complete(*req, nodeId, ready.size(), layerEnd);
         return req;
     }
     lastRun = req;

@@ -44,6 +44,8 @@
 
 namespace dysta {
 
+class Telemetry;
+
 /**
  * Per-node accelerator configuration. The reference hardware is the
  * full-size Sanger array the Phase-1 traces were profiled on; a
@@ -234,6 +236,13 @@ class SimNode
     /** Monitored sparsity reported by the layer just completed. */
     double lastMonitoredSparsity() const { return lastSparsity; }
 
+    /**
+     * Attach a telemetry sink (not owned; nullptr detaches). The
+     * node emits exec-start, layer-complete, preempt and complete
+     * events; the surrounding event loop emits the rest.
+     */
+    void setTelemetry(Telemetry* sink) { telemetry = sink; }
+
   private:
     int nodeId;
     NodeProfile prof;
@@ -249,6 +258,7 @@ class SimNode
 
     NodeState nodeState = NodeState::Up;
     uint64_t failEpoch = 0;
+    Telemetry* telemetry = nullptr; ///< optional sink (not owned)
 
     size_t numCompleted = 0;
     size_t numPreemptions = 0;

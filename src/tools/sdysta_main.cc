@@ -5,12 +5,15 @@
  * Runs any declarative scenario file end to end: parse, validate,
  * Phase-1 profile (or trace-cache replay), grid execution on the
  * thread-pooled SweepRunner, long-format result table, and a
- * unified JSON report. The built-in scenario names (shipped as
+ * unified JSON + CSV report. The built-in scenario names (shipped as
  * scenarios/<name>.scn) are accepted in place of a path.
  *
  * Usage:
  *   sdysta scenarios/tab05.scn --jobs 4 --trace-cache .cache
  *   sdysta fig12 --requests 100 --seeds 1
+ *   sdysta scenarios/hetero-failover.scn --chrome-trace trace.json
+ *   sdysta scenarios/hetero-failover.scn --gantt --cell 1
+ *   sdysta --diff a.json b.json
  *   sdysta --list-policies
  *   sdysta scenarios/tab05.scn --print-spec
  */
@@ -18,11 +21,17 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "api/diff.hh"
 #include "api/registry.hh"
 #include "api/report.hh"
 #include "api/scenario.hh"
+#include "exp/gantt.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/phase_timer.hh"
+#include "obs/telemetry.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
+#include "util/parse.hh"
 #include "util/table.hh"
 
 using namespace dysta;
@@ -42,6 +51,19 @@ printPolicyGroup(const std::string& title,
     table.print();
 }
 
+/** Display names of the nodes a cell serves on. */
+std::vector<std::string>
+cellNodeNames(const SweepCell& cell)
+{
+    if (!cell.clusterMode)
+        return {"accel"};
+    // fleetFromSpec already numbers nodes uniquely per class.
+    std::vector<std::string> names;
+    for (const NodeProfile& node : cell.cluster.nodes)
+        names.push_back(node.name);
+    return names;
+}
+
 } // namespace
 
 int
@@ -56,7 +78,11 @@ main(int argc, char** argv)
                        "scenario file path, or a built-in name "
                        "(fig12, fig14, fig15, tab05, "
                        "cluster-scaling, hetero-cluster, "
-                       "hetero-failover)",
+                       "hetero-failover); first report file with "
+                       "--diff",
+                       /*required=*/false);
+    args.addPositional("report_b",
+                       "second report file (--diff only)",
                        /*required=*/false);
     args.addInt("--requests", 0,
                 "override the scenario's request count (0 = keep)");
@@ -67,7 +93,23 @@ main(int argc, char** argv)
     args.addJobs();
     args.addTraceCache();
     args.addString("--out", "",
-                   "report path (default: REPORT_<name>.json)");
+                   "report path (default: REPORT_<name>.json; a .csv "
+                   "twin is always written next to it)");
+    args.addString("--chrome-trace", "",
+                   "re-run one grid cell with full telemetry and "
+                   "write a Chrome/Perfetto trace JSON");
+    args.addString("--series-csv", "",
+                   "write the traced cell's per-node queue-depth/"
+                   "busy time series CSV");
+    args.addSwitch("--gantt",
+                   "print the traced cell's per-node ASCII Gantt "
+                   "chart");
+    args.addInt("--cell", 0,
+                "grid cell index (seed replicas included) to trace "
+                "for --chrome-trace/--gantt/--series-csv");
+    args.addSwitch("--diff",
+                   "compare two report JSON files modulo their "
+                   "'meta' sections and exit (1 when they differ)");
     args.addSwitch("--list-policies",
                    "print the policy registry tables and exit");
     args.addSwitch("--print-spec",
@@ -84,6 +126,15 @@ main(int argc, char** argv)
         printPolicyGroup("Arrival processes",
                          registry.arrivalTable());
         return 0;
+    }
+
+    if (args.getBool("--diff")) {
+        const std::string& a = args.positional("scenario");
+        const std::string& b = args.positional("report_b");
+        fatalIf(a.empty() || b.empty(),
+                "sdysta: --diff needs two report files: "
+                "sdysta --diff a.json b.json");
+        return runReportDiff(a, b);
     }
 
     const std::string& source = args.positional("scenario");
@@ -124,22 +175,99 @@ main(int argc, char** argv)
     options.jobs = args.getInt("--jobs");
     options.traceCache = args.getString("--trace-cache");
 
+    const std::string chrome_out = args.getString("--chrome-trace");
+    const std::string series_out = args.getString("--series-csv");
+    bool want_trace = args.getBool("--gantt") ||
+                      !chrome_out.empty() || !series_out.empty();
+
+    // The trace exports re-run one cell after the sweep, so when any
+    // is requested the Phase-1 context is built here and shared.
+    std::unique_ptr<BenchContext> ctx;
+    double profile_sec = 0.0;
+    if (want_trace) {
+        WallTimer profile_timer;
+        ctx = makeBenchContext(scenarioSetup(spec),
+                               options.traceCache);
+        profile_sec = profile_timer.seconds();
+        options.ctx = ctx.get();
+    }
+
     std::printf("Running scenario '%s' (%zu grid cells) on %d "
                 "thread%s...\n",
                 spec.name.c_str(), scenarioCells(spec).size(),
                 options.jobs, options.jobs == 1 ? "" : "s");
     ScenarioResult result = runScenario(spec, options);
+    if (want_trace)
+        result.profileSec = profile_sec;
     printScenarioTable(result);
+
+    if (want_trace) {
+        std::vector<SweepCell> cells = scenarioCells(spec);
+        int traced = args.getInt("--cell");
+        fatalIf(traced < 0 ||
+                    static_cast<size_t>(traced) >= cells.size(),
+                "sdysta: --cell " + std::to_string(traced) +
+                    " out of range (scenario has " +
+                    std::to_string(cells.size()) + " cells)");
+
+        Telemetry telemetry;
+        const PolicyRegistry& registry = PolicyRegistry::global();
+        for (const std::string& probe : spec.probes)
+            telemetry.addProbe(probe,
+                               registry.makeEstimator(probe, *ctx));
+
+        SweepCell cell = cells[static_cast<size_t>(traced)];
+        cell.telemetry = &telemetry;
+        std::printf("Re-running cell %d of %zu with full "
+                    "telemetry...\n",
+                    traced, cells.size());
+        runSweepCell(*ctx, cell);
+
+        std::vector<std::string> node_names = cellNodeNames(cell);
+        printTelemetrySummary(telemetry, node_names);
+        if (args.getBool("--gantt"))
+            std::printf("%s",
+                        renderTelemetryGantt(telemetry, node_names)
+                            .c_str());
+        if (!chrome_out.empty()) {
+            writeChromeTrace(telemetry, node_names, chrome_out);
+            std::printf("Wrote %s\n", chrome_out.c_str());
+        }
+        if (!series_out.empty()) {
+            writeTimeSeriesCsv(telemetry, series_out);
+            std::printf("Wrote %s\n", series_out.c_str());
+        }
+    }
 
     Reporter report("sdysta");
     report.meta("scenario_source", source);
     report.meta("jobs", result.jobs);
     report.meta("trace_cache", options.traceCache);
+    report.meta("profile_sec", result.profileSec);
+    report.meta("sweep_sec", result.sweepSec);
+    double cell_total = 0.0;
+    double cell_max = 0.0;
+    std::string cell_list;
+    for (double sec : result.cellSeconds) {
+        cell_total += sec;
+        cell_max = cell_max > sec ? cell_max : sec;
+        cell_list +=
+            (cell_list.empty() ? "" : ",") + shortestDouble(sec);
+    }
+    report.meta("cell_sec_total", cell_total);
+    report.meta("cell_sec_max", cell_max);
+    report.meta("cell_seconds", cell_list);
     report.add(result);
 
     std::string out = args.getString("--out");
     if (out.empty())
         out = "REPORT_" + spec.name + ".json";
     report.writeJson(out);
+    std::string csv_out = out;
+    if (csv_out.size() > 5 &&
+        csv_out.substr(csv_out.size() - 5) == ".json")
+        csv_out.resize(csv_out.size() - 5);
+    csv_out += ".csv";
+    report.writeCsv(csv_out);
     return 0;
 }

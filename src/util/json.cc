@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -227,6 +228,357 @@ JsonWriter::element(double v)
     beginValue();
     out += jsonNumber(v);
     return *this;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+toString(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null:   return "null";
+      case JsonValue::Kind::Bool:   return "bool";
+      case JsonValue::Kind::Number: return "number";
+      case JsonValue::Kind::String: return "string";
+      case JsonValue::Kind::Array:  return "array";
+      case JsonValue::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Strict recursive-descent JSON parser over a text buffer. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string& text, std::string& error)
+        : text(text), error(error)
+    {
+    }
+
+    bool
+    parseDocument(JsonValue& out)
+    {
+        skipWhitespace();
+        if (!parseValue(out))
+            return false;
+        skipWhitespace();
+        if (pos != text.size())
+            return fail("trailing garbage after the document");
+        return true;
+    }
+
+  private:
+    const std::string& text;
+    std::string& error;
+    size_t pos = 0;
+
+    bool
+    fail(const std::string& reason)
+    {
+        error = "offset " + std::to_string(pos) + ": " + reason;
+        return false;
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char* word, size_t len)
+    {
+        if (text.compare(pos, len, word) != 0)
+            return fail(std::string("invalid literal (expected '") +
+                        word + "')");
+        pos += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue& out)
+    {
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        switch (text[pos]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipWhitespace();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            if (pos >= text.size() || text[pos] != '"')
+                return fail("expected a string object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWhitespace();
+            if (pos >= text.size() || text[pos] != ':')
+                return fail("expected ':' after object key");
+            ++pos;
+            skipWhitespace();
+            JsonValue member;
+            if (!parseValue(member))
+                return false;
+            out.members.emplace_back(std::move(key),
+                                     std::move(member));
+            skipWhitespace();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipWhitespace();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWhitespace();
+            JsonValue item;
+            if (!parseValue(item))
+                return false;
+            out.items.push_back(std::move(item));
+            skipWhitespace();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        ++pos; // opening quote
+        out.clear();
+        while (pos < text.size()) {
+            unsigned char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (!parseEscape(out))
+                    return false;
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            out += static_cast<char>(c);
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseEscape(std::string& out)
+    {
+        ++pos; // backslash
+        if (pos >= text.size())
+            return fail("unterminated escape sequence");
+        char c = text[pos++];
+        switch (c) {
+          case '"': out += '"'; return true;
+          case '\\': out += '\\'; return true;
+          case '/': out += '/'; return true;
+          case 'b': out += '\b'; return true;
+          case 'f': out += '\f'; return true;
+          case 'n': out += '\n'; return true;
+          case 'r': out += '\r'; return true;
+          case 't': out += '\t'; return true;
+          case 'u': return parseUnicodeEscape(out);
+          default: return fail("invalid escape sequence");
+        }
+    }
+
+    bool
+    parseUnicodeEscape(std::string& out)
+    {
+        unsigned code = 0;
+        if (!parseHex4(code))
+            return false;
+        // Surrogate pair: a high surrogate must be followed by an
+        // escaped low surrogate to form one code point.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (text.compare(pos, 2, "\\u") != 0)
+                return fail("high surrogate without a low "
+                            "surrogate");
+            pos += 2;
+            unsigned low = 0;
+            if (!parseHex4(low))
+                return false;
+            if (low < 0xDC00 || low > 0xDFFF)
+                return fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired low surrogate");
+        }
+        appendUtf8(out, code);
+        return true;
+    }
+
+    bool
+    parseHex4(unsigned& out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos >= text.size())
+                return fail("unterminated \\u escape");
+            char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("invalid hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string& out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    bool
+    parseNumber(JsonValue& out)
+    {
+        size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               ((text[pos] >= '0' && text[pos] <= '9') ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        double v = 0.0;
+        if (pos == start ||
+            !tryParseDouble(text.substr(start, pos - start), v)) {
+            pos = start;
+            return fail("invalid number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+tryParseJson(const std::string& text, JsonValue& out,
+             std::string& error)
+{
+    out = JsonValue{};
+    return JsonParser(text, error).parseDocument(out);
+}
+
+JsonValue
+parseJson(const std::string& text)
+{
+    JsonValue out;
+    std::string error;
+    fatalIf(!tryParseJson(text, out, error),
+            "parseJson: malformed JSON at " + error);
+    return out;
+}
+
+JsonValue
+parseJsonFile(const std::string& path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "parseJsonFile: cannot open '" + path + "'");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    JsonValue out;
+    std::string error;
+    fatalIf(!tryParseJson(text, out, error),
+            "parseJsonFile: '" + path + "' is malformed JSON at " +
+                error);
+    return out;
 }
 
 std::string

@@ -1,6 +1,6 @@
 /**
  * @file
- * Minimal JSON emission with correct string escaping.
+ * Minimal JSON emission and parsing with correct string escaping.
  *
  * The bench binaries used to assemble their BENCH_*.json reports by
  * fprintf string concatenation, which breaks the moment a scenario
@@ -10,6 +10,11 @@
  * two-space indentation, and every string routed through
  * jsonEscape(). Numbers are printed with %.17g so a written double
  * round-trips bit-exactly — the same convention the trace CSVs use.
+ *
+ * JsonValue/parseJson is the matching reader (`sdysta --diff` loads
+ * two reports to compare them): a strict recursive-descent parser
+ * over the full JSON grammar, object members kept in document order
+ * so parse(write(x)) preserves member ordering.
  */
 
 #ifndef DYSTA_UTIL_JSON_HH
@@ -20,6 +25,53 @@
 #include <vector>
 
 namespace dysta {
+
+/** A parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind : uint8_t
+    {
+        Null = 0,
+        Bool = 1,
+        Number = 2,
+        String = 3,
+        Array = 4,
+        Object = 5,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    /** String payload (Kind::String). */
+    std::string str;
+    /** Array elements (Kind::Array). */
+    std::vector<JsonValue> items;
+    /** Object members in document order (Kind::Object). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Member by key (objects); nullptr when absent or not one. */
+    const JsonValue* find(const std::string& key) const;
+};
+
+std::string toString(JsonValue::Kind kind);
+
+/**
+ * Parse a complete JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). On failure returns false and sets
+ * `error` to "offset N: reason".
+ */
+bool tryParseJson(const std::string& text, JsonValue& out,
+                  std::string& error);
+
+/** Parse a complete JSON document; fatal() on malformed input. */
+JsonValue parseJson(const std::string& text);
+
+/** Read and parse a JSON file; fatal() if unreadable or malformed. */
+JsonValue parseJsonFile(const std::string& path);
 
 /** JSON string-literal body for `s` (without surrounding quotes). */
 std::string jsonEscape(const std::string& s);

@@ -640,6 +640,80 @@ TEST(Json, WriterRejectsUnbalancedScopes)
     EXPECT_DEATH(mismatched.endArray(), "without an open array");
 }
 
+TEST(Json, ParserReadsEveryValueKind)
+{
+    JsonValue doc = parseJson(
+        R"({"s":"hi","n":-1.5e2,"t":true,"f":false,"z":null,)"
+        R"("a":[1,"two",{}],"o":{"inner":3}})");
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.members.size(), 7u);
+    EXPECT_EQ(doc.find("s")->str, "hi");
+    EXPECT_EQ(doc.find("n")->number, -150.0);
+    EXPECT_TRUE(doc.find("t")->boolean);
+    EXPECT_FALSE(doc.find("f")->boolean);
+    EXPECT_TRUE(doc.find("z")->isNull());
+    const JsonValue* arr = doc.find("a");
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_EQ(arr->items.size(), 3u);
+    EXPECT_EQ(arr->items[0].number, 1.0);
+    EXPECT_EQ(arr->items[1].str, "two");
+    EXPECT_TRUE(arr->items[2].isObject());
+    EXPECT_EQ(doc.find("o")->find("inner")->number, 3.0);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, ParserPreservesMemberOrderAndRoundTripsTheWriter)
+{
+    JsonWriter json;
+    json.beginObject();
+    json.field("zeta", 1.0);
+    json.field("alpha", "a \"b\" \\ c\n");
+    json.beginArray("list");
+    json.element(1.0 / 3.0);
+    json.endArray();
+    json.endObject();
+
+    JsonValue doc = parseJson(json.str());
+    ASSERT_EQ(doc.members.size(), 3u);
+    // Document order, not sorted order.
+    EXPECT_EQ(doc.members[0].first, "zeta");
+    EXPECT_EQ(doc.members[1].first, "alpha");
+    EXPECT_EQ(doc.find("alpha")->str, "a \"b\" \\ c\n");
+    EXPECT_EQ(doc.find("list")->items[0].number, 1.0 / 3.0);
+}
+
+TEST(Json, ParserDecodesUnicodeEscapes)
+{
+    // BMP escape and a surrogate pair (U+1F600) to UTF-8.
+    JsonValue doc = parseJson(
+        "[\"\\u00e9\", \"\\ud83d\\ude00\", \"\\u0041\"]");
+    EXPECT_EQ(doc.items[0].str, "\xc3\xa9");
+    EXPECT_EQ(doc.items[1].str, "\xf0\x9f\x98\x80");
+    EXPECT_EQ(doc.items[2].str, "A");
+
+    // A lone high surrogate cannot be decoded.
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(tryParseJson(R"(["\ud83d"])", out, error));
+}
+
+TEST(Json, ParserRejectsMalformedDocumentsWithOffsets)
+{
+    JsonValue out;
+    std::string error;
+    EXPECT_FALSE(tryParseJson("", out, error));
+    EXPECT_FALSE(tryParseJson("{", out, error));
+    EXPECT_NE(error.find("offset"), std::string::npos);
+    EXPECT_FALSE(tryParseJson("[1,]", out, error));
+    EXPECT_FALSE(tryParseJson(R"({"a" 1})", out, error));
+    EXPECT_FALSE(tryParseJson(R"("unterminated)", out, error));
+    EXPECT_FALSE(tryParseJson("nul", out, error));
+    EXPECT_FALSE(tryParseJson("1.2.3", out, error));
+    // Trailing garbage after a complete value is rejected.
+    EXPECT_FALSE(tryParseJson("{} x", out, error));
+    EXPECT_TRUE(tryParseJson("{}  \n", out, error));
+}
+
 // --- ArgParser ---
 
 namespace {
