@@ -88,7 +88,13 @@ diffValues(const JsonValue& a, const JsonValue& b,
     }
 }
 
-/** Copy of `doc` with the top-level "meta" member dropped. */
+/**
+ * Copy of `doc` with the provenance members dropped: the top-level
+ * "meta" object and each scenario's serialized "spec". The diff
+ * compares *results*; two runs that produced identical rows compare
+ * equal even when their specs differ in execution-model knobs
+ * (streaming on/off, calendar choice, CLI overrides).
+ */
 JsonValue
 stripMeta(const JsonValue& doc)
 {
@@ -96,9 +102,27 @@ stripMeta(const JsonValue& doc)
         return doc;
     JsonValue out = doc;
     out.members.clear();
-    for (const auto& [key, value] : doc.members)
-        if (key != "meta")
-            out.members.emplace_back(key, value);
+    for (const auto& [key, value] : doc.members) {
+        if (key == "meta")
+            continue;
+        if (key == "scenarios" && value.kind ==
+                                      JsonValue::Kind::Array) {
+            JsonValue scenarios = value;
+            for (JsonValue& scenario : scenarios.items) {
+                if (!scenario.isObject())
+                    continue;
+                JsonValue stripped = scenario;
+                stripped.members.clear();
+                for (const auto& [k, v] : scenario.members)
+                    if (k != "spec")
+                        stripped.members.emplace_back(k, v);
+                scenario = std::move(stripped);
+            }
+            out.members.emplace_back(key, std::move(scenarios));
+            continue;
+        }
+        out.members.emplace_back(key, value);
+    }
     return out;
 }
 

@@ -323,6 +323,43 @@ PolicyRegistry::registerArrival(const std::string& name,
              std::move(factory));
 }
 
+void
+PolicyRegistry::registerArrivalProcess(const std::string& name,
+                                       const std::string& params,
+                                       const std::string& description,
+                                       ArrivalProcessFactory factory)
+{
+    registerArrival(
+        name, params, description,
+        [name, factory](PolicyParams& parse_params) {
+            // Probe-construct at a nominal rate so the factory
+            // consumes (and thereby validates) its parameter keys
+            // now — makeArrival's unknown-parameter rejection then
+            // covers user processes exactly like built-ins.
+            auto probe = factory(1.0, parse_params);
+            fatalIf(probe == nullptr,
+                    "PolicyRegistry: arrival-process factory '" +
+                        name + "' returned null");
+
+            // Real construction is deferred until the workload's
+            // base rate is known (makeArrivalProcess), possibly many
+            // times, so capture the raw spec and rebuild the params
+            // view per invocation.
+            PolicySpec spec;
+            spec.name = parse_params.specName();
+            spec.params = parse_params.raw();
+            ArrivalConfig cfg;
+            cfg.kind = ArrivalKind::Custom;
+            cfg.customName = name;
+            cfg.customFactory =
+                [factory, spec](double rate) {
+                    PolicyParams build_params(spec);
+                    return factory(rate, build_params);
+                };
+            return cfg;
+        });
+}
+
 std::unique_ptr<Scheduler>
 PolicyRegistry::makeScheduler(const std::string& spec,
                               const BenchContext& ctx,

@@ -82,6 +82,17 @@ class PolicyParams
     /** Keys consumed so far — the factory's valid-parameter list. */
     std::vector<std::string> consumed() const;
 
+    /**
+     * The raw key/value list in spec order — for factories that
+     * defer construction and must rebuild a PolicyParams later
+     * (registerArrivalProcess).
+     */
+    const std::vector<std::pair<std::string, std::string>>&
+    raw() const
+    {
+        return params;
+    }
+
     const std::string& specName() const { return name; }
 
   private:
@@ -114,6 +125,16 @@ using EstimatorFactory =
                                                     PolicyParams&)>;
 /** Arrival factories fill an ArrivalConfig from the spec params. */
 using ArrivalFactory = std::function<ArrivalConfig(PolicyParams&)>;
+/**
+ * User arrival-process factory (registerArrivalProcess): constructs
+ * the ArrivalProcess itself from the workload's base rate and the
+ * spec parameters, giving user processes the same factory parity as
+ * custom schedulers and dispatchers. Invoked once per generated
+ * workload; must be pure construction (thread-safe under sweeps).
+ */
+using ArrivalProcessFactory =
+    std::function<std::unique_ptr<ArrivalProcess>(double rate,
+                                                  PolicyParams&)>;
 
 /** One registry row (for --list-policies and the README table). */
 struct PolicyInfo
@@ -160,6 +181,18 @@ class PolicyRegistry
                          const std::string& params,
                          const std::string& description,
                          ArrivalFactory factory);
+    /**
+     * Register a user ArrivalProcess constructible from spec strings
+     * ("myprocess:key=val") everywhere arrivals are specified —
+     * scenario files, WorkloadConfigs, the sdysta CLI. The factory
+     * is probe-invoked once at spec-parse time (rate 1.0) to
+     * validate its parameters eagerly; real construction happens per
+     * generated workload with that workload's base rate.
+     */
+    void registerArrivalProcess(const std::string& name,
+                                const std::string& params,
+                                const std::string& description,
+                                ArrivalProcessFactory factory);
 
     // --- construction ------------------------------------------------
     /**

@@ -93,6 +93,8 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
     json.field("slo", row.slo);
     json.field("fleet", row.fleet);
     json.field("dispatcher", row.dispatcher);
+    json.field("admission_margin", row.admissionMargin);
+    json.field("steal_ratio", row.stealRatio);
     json.field("scheduler", row.scheduler);
     const Metrics& m = row.metrics;
     json.field("antt", m.antt);
@@ -221,6 +223,7 @@ Reporter::writeCsv(const std::string& path) const
     std::vector<std::string> header = {
         "scenario",       "workload",       "arrival",
         "slo",            "fleet",          "dispatcher",
+        "admission_margin", "steal_ratio",
         "scheduler",      "antt",           "violation_rate",
         "slo_miss_rate",  "throughput",     "stp",
         "p50_turnaround", "p95_turnaround", "p99_turnaround",
@@ -244,6 +247,8 @@ Reporter::writeCsv(const std::string& path) const
                 jsonNumber(row.slo),
                 row.fleet,
                 row.dispatcher,
+                jsonNumber(row.admissionMargin),
+                jsonNumber(row.stealRatio),
                 row.scheduler,
                 jsonNumber(m.antt),
                 jsonNumber(m.violationRate),
@@ -321,6 +326,11 @@ printScenarioTable(const ScenarioResult& result)
         multiValued(rows,
                     [](const ScenarioRow& r) { return r.fleet; });
     bool show_dispatcher = spec.cluster();
+    bool show_margin = multiValued(
+        rows,
+        [](const ScenarioRow& r) { return r.admissionMargin; });
+    bool show_steal = multiValued(
+        rows, [](const ScenarioRow& r) { return r.stealRatio; });
     bool any_shed = false;
     for (const ScenarioRow& row : rows)
         any_shed = any_shed || row.metrics.shed > 0;
@@ -351,6 +361,10 @@ printScenarioTable(const ScenarioResult& result)
         header.push_back("fleet");
     if (show_dispatcher)
         header.push_back("dispatcher");
+    if (show_margin)
+        header.push_back("margin");
+    if (show_steal)
+        header.push_back("steal");
     header.push_back("scheduler");
     header.insert(header.end(),
                   {"ANTT", "violation [%]", "slo miss [%]",
@@ -376,6 +390,12 @@ printScenarioTable(const ScenarioResult& result)
             cells.push_back(row.fleet);
         if (show_dispatcher)
             cells.push_back(row.dispatcher);
+        if (show_margin)
+            cells.push_back(shortestDouble(row.admissionMargin));
+        if (show_steal)
+            cells.push_back(row.stealRatio < 0.0
+                                ? "default"
+                                : shortestDouble(row.stealRatio));
         cells.push_back(row.scheduler);
         const Metrics& m = row.metrics;
         cells.push_back(AsciiTable::num(m.antt, 2));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -108,13 +109,15 @@ kindFromShortName(const std::string& name)
 
 /** The scenario-file keys, in canonical serialization order. */
 const char* const kScenarioKeys[] = {
-    "name",       "workload",        "arrival",
-    "slo",        "scheduler",       "fleet",
-    "dispatcher", "requests",        "seeds",
-    "seed",       "events",          "admission",
-    "admission_margin", "admission_estimator", "on_failure",
+    "include",    "name",            "workload",
+    "arrival",    "slo",             "scheduler",
+    "fleet",      "dispatcher",      "requests",
+    "seeds",      "seed",            "events",
+    "admission",  "admission_margin", "steal_ratio",
+    "admission_estimator", "on_failure",
     "probes",     "samples",         "profile_seed",
-    "cnn_sparsity",
+    "cnn_sparsity", "streaming",     "metrics",
+    "calendar",
 };
 
 std::string
@@ -160,7 +163,17 @@ applyKey(ScenarioSpec& spec, const std::string& key,
     } else if (key == "admission") {
         spec.admission = parseBoolStrict(key, value);
     } else if (key == "admission_margin") {
-        spec.admissionMargin = parseDoubleStrict(key, value);
+        spec.admissionMargins.clear();
+        for (const std::string& item : splitAxis(key, value))
+            spec.admissionMargins.push_back(
+                parseDoubleStrict(key, item));
+        fatalIf(spec.admissionMargins.empty(),
+                "parseScenario: 'admission_margin' needs at least "
+                "one value");
+    } else if (key == "steal_ratio") {
+        spec.stealRatios.clear();
+        for (const std::string& item : splitAxis(key, value))
+            spec.stealRatios.push_back(parseDoubleStrict(key, item));
     } else if (key == "admission_estimator") {
         spec.admissionEstimator = value;
     } else if (key == "on_failure") {
@@ -173,6 +186,12 @@ applyKey(ScenarioSpec& spec, const std::string& key,
         spec.profileSeed = parseU64Strict(key, value);
     } else if (key == "cnn_sparsity") {
         spec.cnnSparsityRate = parseDoubleStrict(key, value);
+    } else if (key == "streaming") {
+        spec.streaming = parseBoolStrict(key, value);
+    } else if (key == "metrics") {
+        spec.metricsKind = metricsKindFromName(value);
+    } else if (key == "calendar") {
+        spec.calendar = calendarKindFromName(value);
     } else {
         fatal("parseScenario: unknown key '" + key +
               "'; valid keys: " + validKeyList());
@@ -214,8 +233,51 @@ workloadPanelFromSpec(const std::string& spec)
     return panel;
 }
 
+namespace {
+
 ScenarioSpec
-parseScenario(const std::string& text)
+parseScenarioImpl(const std::string& text, const std::string& base_dir,
+                  std::vector<std::string>& include_stack);
+
+/**
+ * Resolve `include = name` against the including file's directory
+ * and parse the base scenario, carrying the canonical-path stack for
+ * cycle detection.
+ */
+ScenarioSpec
+resolveInclude(const std::string& name, const std::string& base_dir,
+               std::vector<std::string>& include_stack)
+{
+    fatalIf(name.empty(), "parseScenario: 'include' needs a file "
+                          "name");
+    std::filesystem::path path(name);
+    if (path.is_relative() && !base_dir.empty())
+        path = std::filesystem::path(base_dir) / path;
+
+    std::error_code ec;
+    std::filesystem::path canon =
+        std::filesystem::weakly_canonical(path, ec);
+    std::string id = ec ? path.string() : canon.string();
+    for (const std::string& open : include_stack)
+        fatalIf(open == id, "parseScenario: include cycle through '" +
+                                id + "'");
+
+    std::ifstream in(path);
+    fatalIf(!in, "parseScenario: cannot open include '" +
+                     path.string() + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    include_stack.push_back(id);
+    ScenarioSpec spec = parseScenarioImpl(
+        text.str(), path.parent_path().string(), include_stack);
+    include_stack.pop_back();
+    return spec;
+}
+
+ScenarioSpec
+parseScenarioImpl(const std::string& text, const std::string& base_dir,
+                  std::vector<std::string>& include_stack)
 {
     ScenarioSpec spec;
     std::vector<std::string> seen;
@@ -242,10 +304,31 @@ parseScenario(const std::string& text)
         fatalIf(std::find(seen.begin(), seen.end(), key) != seen.end(),
                 "parseScenario: duplicate key '" + key + "' (line " +
                     std::to_string(lineno) + ")");
+        if (key == "include") {
+            // The base must come first so the file reads
+            // top-to-bottom as "inherit, then override" — later
+            // keys replace the inherited values wholesale.
+            fatalIf(!seen.empty(),
+                    "parseScenario: 'include' must be the first key "
+                    "(line " + std::to_string(lineno) + ")");
+            seen.push_back(key);
+            spec = resolveInclude(value, base_dir, include_stack);
+            continue;
+        }
         seen.push_back(key);
         applyKey(spec, key, value);
     }
     return spec;
+}
+
+} // namespace
+
+ScenarioSpec
+parseScenario(const std::string& text)
+{
+    // No source file: includes resolve against the working directory.
+    std::vector<std::string> include_stack;
+    return parseScenarioImpl(text, "", include_stack);
 }
 
 ScenarioSpec
@@ -255,7 +338,16 @@ parseScenarioFile(const std::string& path)
     fatalIf(!in, "parseScenarioFile: cannot open '" + path + "'");
     std::ostringstream text;
     text << in.rdbuf();
-    return parseScenario(text.str());
+
+    std::error_code ec;
+    std::filesystem::path canon =
+        std::filesystem::weakly_canonical(path, ec);
+    std::vector<std::string> include_stack;
+    include_stack.push_back(ec ? path : canon.string());
+    return parseScenarioImpl(
+        text.str(),
+        std::filesystem::path(path).parent_path().string(),
+        include_stack);
 }
 
 std::string
@@ -292,13 +384,21 @@ serializeScenario(const ScenarioSpec& spec)
     kv("seed", std::to_string(spec.seed));
     kv("events", spec.events);
     kv("admission", spec.admission ? "1" : "0");
-    kv("admission_margin", shortestDouble(spec.admissionMargin));
+    kv("admission_margin",
+       joinAxis(spec.admissionMargins,
+                [](double v) { return shortestDouble(v); }));
+    kv("steal_ratio",
+       joinAxis(spec.stealRatios,
+                [](double v) { return shortestDouble(v); }));
     kv("admission_estimator", spec.admissionEstimator);
     kv("on_failure", spec.onFailure);
     kv("probes", joinAxis(spec.probes, identity));
     kv("samples", std::to_string(spec.samples));
     kv("profile_seed", std::to_string(spec.profileSeed));
     kv("cnn_sparsity", shortestDouble(spec.cnnSparsityRate));
+    kv("streaming", spec.streaming ? "1" : "0");
+    kv("metrics", toString(spec.metricsKind));
+    kv("calendar", toString(spec.calendar));
     return out;
 }
 
@@ -323,6 +423,15 @@ validateScenario(const ScenarioSpec& spec)
     fatalIf(spec.onFailure != "restart" && spec.onFailure != "shed",
             where + "on_failure must be 'restart' or 'shed', got '" +
                 spec.onFailure + "'");
+    fatalIf(spec.admissionMargins.empty(),
+            where + "needs at least one admission margin");
+    for (double margin : spec.admissionMargins)
+        fatalIf(!(margin > 0.0) || !std::isfinite(margin),
+                where +
+                    "admission margins must be positive and finite");
+    for (double ratio : spec.stealRatios)
+        fatalIf(!(ratio > 1.0) || !std::isfinite(ratio),
+                where + "steal ratios must be > 1 and finite");
 
     const PolicyRegistry& registry = PolicyRegistry::global();
     for (const std::string& sched : spec.schedulers)
@@ -342,6 +451,11 @@ validateScenario(const ScenarioSpec& spec)
                 where + "'admission' requires a 'fleet'");
         fatalIf(!spec.admissionEstimator.empty(),
                 where + "'admission_estimator' requires a 'fleet'");
+        fatalIf(spec.admissionMargins.size() > 1,
+                where + "an 'admission_margin' axis requires a "
+                        "'fleet'");
+        fatalIf(!spec.stealRatios.empty(),
+                where + "'steal_ratio' requires a 'fleet'");
         return;
     }
 
@@ -379,31 +493,38 @@ namespace {
 
 /**
  * Enumerate the grid points of a scenario in canonical order —
- * workload, arrival, slo, fleet, dispatcher, scheduler (seeds are
- * expanded by the caller). Both the cell expansion and the result
- * regrouping iterate through this ONE function, so row labels can
- * never drift out of step with cell results. Cluster axes collapse
- * to a single empty slot on single-accelerator grids.
+ * workload, arrival, slo, fleet, dispatcher, admission margin,
+ * steal ratio, scheduler (seeds are expanded by the caller). Both
+ * the cell expansion and the result regrouping iterate through this
+ * ONE function, so row labels can never drift out of step with cell
+ * results. Cluster axes collapse to a single empty slot on
+ * single-accelerator grids; an absent steal_ratio axis collapses to
+ * the -1 sentinel (dispatcher default).
  */
 template <typename Fn>
 void
 forEachGridPoint(const ScenarioSpec& spec, Fn&& fn)
 {
     const std::vector<std::string> none = {""};
+    const std::vector<double> default_steal = {-1.0};
     const std::vector<std::string>& fleets =
         spec.cluster() ? spec.fleets : none;
     const std::vector<std::string>& dispatchers =
         spec.cluster() ? spec.dispatchers : none;
+    const std::vector<double>& steals =
+        spec.stealRatios.empty() ? default_steal : spec.stealRatios;
 
     for (const WorkloadPanel& panel : spec.workloads)
         for (const std::string& arrival : spec.arrivals)
             for (double slo : spec.sloMultipliers)
                 for (const std::string& fleet : fleets)
                     for (const std::string& disp : dispatchers)
-                        for (const std::string& sched :
-                             spec.schedulers)
-                            fn(panel, arrival, slo, fleet, disp,
-                               sched);
+                        for (double margin : spec.admissionMargins)
+                            for (double steal : steals)
+                                for (const std::string& sched :
+                                     spec.schedulers)
+                                    fn(panel, arrival, slo, fleet,
+                                       disp, margin, steal, sched);
 }
 
 } // namespace
@@ -416,7 +537,8 @@ scenarioCells(const ScenarioSpec& spec)
     forEachGridPoint(spec, [&](const WorkloadPanel& panel,
                                const std::string& arrival, double slo,
                                const std::string& fleet,
-                               const std::string& disp,
+                               const std::string& disp, double margin,
+                               double steal,
                                const std::string& sched) {
         SweepCell cell;
         cell.workload.kind = panel.kind;
@@ -426,14 +548,19 @@ scenarioCells(const ScenarioSpec& spec)
         cell.workload.numRequests = spec.requests;
         cell.workload.seed = spec.seed;
         cell.probes = spec.probes;
+        cell.streaming = spec.streaming;
+        cell.calendar = spec.calendar;
+        cell.metricsKind = spec.metricsKind;
         if (spec.cluster()) {
             cell.clusterMode = true;
             cell.cluster.nodes = fleetFromSpec(fleet);
             cell.cluster.dispatcher = disp;
             cell.cluster.nodeScheduler = sched;
             cell.cluster.admission.enabled = spec.admission;
-            cell.cluster.admission.margin = spec.admissionMargin;
+            cell.cluster.admission.margin = margin;
             cell.cluster.admissionEstimator = spec.admissionEstimator;
+            if (steal >= 0.0)
+                cell.cluster.stealing.imbalanceRatio = steal;
             if (!spec.events.empty())
                 cell.cluster.nodeEvents =
                     nodeEventsFromSpec(spec.events);
@@ -484,7 +611,8 @@ runScenario(const ScenarioSpec& spec,
     forEachGridPoint(spec, [&](const WorkloadPanel& panel,
                                const std::string& arrival, double slo,
                                const std::string& fleet,
-                               const std::string& disp,
+                               const std::string& disp, double margin,
+                               double steal,
                                const std::string& sched) {
         ScenarioRow row;
         row.workload = panel.label();
@@ -492,6 +620,8 @@ runScenario(const ScenarioSpec& spec,
         row.slo = slo;
         row.fleet = fleet;
         row.dispatcher = disp;
+        row.admissionMargin = margin;
+        row.stealRatio = steal;
         row.scheduler = sched;
         for (int s = 0; s < spec.seeds; ++s) {
             const SweepCellResult& r = results[index++];
@@ -514,7 +644,7 @@ builtinScenarioNames()
 {
     return {"fig12",           "fig14",          "fig15",
             "tab05",           "cluster-scaling", "hetero-cluster",
-            "hetero-failover"};
+            "hetero-failover", "megascale"};
 }
 
 ScenarioSpec
@@ -609,6 +739,30 @@ builtinScenario(const std::string& name)
         spec.schedulers = {"Dysta"};
         spec.requests = 400;
         spec.seeds = 1;
+        return spec;
+    }
+    if (name == "megascale") {
+        // Streaming endurance run: >=10M requests through a 4-node
+        // fleet under diurnal/bursty traffic, lazy arrivals, sketch
+        // metrics and the bucket calendar — peak RSS must stay
+        // independent of the request count (bench_megascale asserts
+        // it). Derives from cluster-scaling, exactly like the
+        // scenario file's `include = cluster-scaling.scn`.
+        ScenarioSpec spec = builtinScenario("cluster-scaling");
+        spec.name = "megascale";
+        spec.workloads = panels({"attnn@90"});
+        spec.arrivals = {"diurnal:period=600", "mmpp"};
+        spec.fleets = {"sanger:4"};
+        spec.dispatchers = {"least-outstanding"};
+        spec.schedulers = {"Dysta"};
+        spec.requests = 10000000;
+        spec.seeds = 1;
+        spec.admission = true;
+        spec.admissionMargins = {1.5};
+        spec.probes = {};
+        spec.streaming = true;
+        spec.metricsKind = MetricsKind::Sketch;
+        spec.calendar = CalendarKind::Bucket;
         return spec;
     }
     if (name == "hetero-failover") {

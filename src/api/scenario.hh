@@ -27,6 +27,15 @@
  * or axis values and unknown policy names are fatal() errors naming
  * what *would* be valid. serializeScenario() emits the canonical
  * form; parse -> serialize -> parse is the identity.
+ *
+ * Scenario inheritance: a file may start with `include = base.scn`
+ * (the first key, at most once) to inherit every key of the base
+ * scenario; its own keys then *replace* the inherited values
+ * (axes replace whole, they do not append). Includes resolve
+ * relative to the including file's directory, nest arbitrarily and
+ * fatal() on cycles. The merge happens entirely at parse time:
+ * serializeScenario() emits the flattened form, so `include` never
+ * appears in canonical output.
  */
 
 #ifndef DYSTA_API_SCENARIO_HH
@@ -85,11 +94,29 @@ struct ScenarioSpec
     std::string events;
     /** Front-door SLO-aware load shedding. */
     bool admission = false;
-    double admissionMargin = 1.0;
+    /** Admission conservativeness multipliers (axis; >= 1 value). */
+    std::vector<double> admissionMargins = {1.0};
+    /**
+     * Work-stealing imbalance-ratio thresholds (axis; empty keeps
+     * the dispatcher's default — rows then report -1).
+     */
+    std::vector<double> stealRatios;
     /** Admission-estimator spec override ("" = engine default). */
     std::string admissionEstimator;
     /** "restart" or "shed": fate of work displaced by a failure. */
     std::string onFailure = "restart";
+
+    // --- execution model ---------------------------------------------
+    /**
+     * Pull requests lazily from a WorkloadArrivalSource instead of
+     * materializing the workload vector: memory bounded by the
+     * in-flight set, bit-identical schedule for the same seed.
+     */
+    bool streaming = false;
+    /** Streaming metrics accumulation ("exact" | "sketch"). */
+    MetricsKind metricsKind = MetricsKind::Exact;
+    /** Event-calendar implementation ("heap" | "bucket"). */
+    CalendarKind calendar = CalendarKind::Heap;
 
     // --- telemetry ---------------------------------------------------
     /**
@@ -131,7 +158,8 @@ BenchSetup scenarioSetup(const ScenarioSpec& spec);
 
 /**
  * Expand the grid into SweepCells in canonical order: workload,
- * arrival, slo, fleet, dispatcher, scheduler, seeds innermost.
+ * arrival, slo, fleet, dispatcher, admission margin, steal ratio,
+ * scheduler, seeds innermost.
  */
 std::vector<SweepCell> scenarioCells(const ScenarioSpec& spec);
 
@@ -143,6 +171,10 @@ struct ScenarioRow
     double slo = 10.0;
     std::string fleet;      ///< "" for single-accelerator rows
     std::string dispatcher; ///< "" for single-accelerator rows
+    /** Admission margin of this grid point. */
+    double admissionMargin = 1.0;
+    /** Steal-ratio threshold; -1 = dispatcher default (no axis). */
+    double stealRatio = -1.0;
     std::string scheduler;
     /** Field-wise mean over the seed replicas. */
     Metrics metrics;

@@ -9,6 +9,7 @@
 
 #include "api/registry.hh"
 #include "exp/sweep.hh"
+#include "workload/source.hh"
 #include "models/zoo.hh"
 #include "trace/profiler.hh"
 #include "util/logging.hh"
@@ -253,6 +254,8 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     cfg.nodeEvents = cluster.nodeEvents;
     cfg.onFailure = cluster.onFailure;
     cfg.telemetry = cluster.telemetry;
+    cfg.calendar = cluster.calendar;
+    cfg.metricsKind = cluster.metricsKind;
 
     std::unique_ptr<LatencyEstimator> admission_est;
     if (!cluster.admissionEstimator.empty()) {
@@ -261,17 +264,21 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
         cfg.admissionEstimator = admission_est.get();
     }
 
-    std::vector<Request> requests =
-        generateWorkload(workload, ctx.registry);
     auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx,
                                            cluster.stealing);
     ClusterEngine engine(cfg);
-    return engine.run(
-        requests, *dispatcher,
-        [&](const NodeProfile&, int) {
-            return makeSchedulerByName(cluster.nodeScheduler, ctx,
-                                       workload.kind);
-        });
+    PolicyFactory factory = [&](const NodeProfile&, int) {
+        return makeSchedulerByName(cluster.nodeScheduler, ctx,
+                                   workload.kind);
+    };
+
+    if (cluster.streaming) {
+        WorkloadArrivalSource source(workload, ctx.registry);
+        return engine.run(source, *dispatcher, factory);
+    }
+    std::vector<Request> requests =
+        generateWorkload(workload, ctx.registry);
+    return engine.run(requests, *dispatcher, factory);
 }
 
 } // namespace dysta

@@ -143,6 +143,17 @@ struct ClusterRunConfig
     WorkStealingConfig stealing;
     /** Optional telemetry sink (not owned; see SimConfig). */
     Telemetry* telemetry = nullptr;
+    /**
+     * Generate requests lazily through a WorkloadArrivalSource
+     * instead of materializing the whole workload vector: memory
+     * stays bounded by the in-flight set, the schedule stays
+     * bit-identical for the same seed.
+     */
+    bool streaming = false;
+    /** Calendar implementation (see SimConfig::calendar). */
+    CalendarKind calendar = CalendarKind::Heap;
+    /** Streaming-mode metrics accumulation (see SimConfig). */
+    MetricsKind metricsKind = MetricsKind::Exact;
 };
 
 /** Generate one workload and serve it on a simulated cluster. */

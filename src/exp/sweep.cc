@@ -7,6 +7,7 @@
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "workload/source.hh"
 
 namespace dysta {
 
@@ -55,15 +56,17 @@ runSweepCell(const BenchContext& ctx, const SweepCell& cell)
                 "NodeProfiles, not SweepCell::layerBlockSize");
         ClusterRunConfig cluster = cell.cluster;
         cluster.telemetry = sink;
+        cluster.streaming = cell.streaming;
+        cluster.calendar = cell.calendar;
+        cluster.metricsKind = cell.metricsKind;
         ClusterResult r = runCluster(ctx, cell.workload, cluster);
         out.metrics = r.metrics;
         out.decisions = r.decisions;
         out.preemptions = r.preemptions;
+        out.eventsProcessed = r.eventsProcessed;
         return out;
     }
 
-    std::vector<Request> requests =
-        generateWorkload(cell.workload, ctx.registry);
     std::unique_ptr<Scheduler> policy = cell.makePolicy
         ? cell.makePolicy(ctx)
         : makeSchedulerByName(cell.scheduler, ctx, cell.workload.kind);
@@ -73,11 +76,22 @@ runSweepCell(const BenchContext& ctx, const SweepCell& cell)
     EngineConfig ecfg;
     ecfg.layerBlockSize = cell.layerBlockSize;
     ecfg.telemetry = sink;
+    ecfg.calendar = cell.calendar;
+    ecfg.metricsKind = cell.metricsKind;
     SchedulerEngine engine(ecfg);
-    EngineResult r = engine.run(requests, *policy);
+    EngineResult r;
+    if (cell.streaming) {
+        WorkloadArrivalSource source(cell.workload, ctx.registry);
+        r = engine.run(source, *policy);
+    } else {
+        std::vector<Request> requests =
+            generateWorkload(cell.workload, ctx.registry);
+        r = engine.run(requests, *policy);
+    }
     out.metrics = r.metrics;
     out.decisions = r.decisions;
     out.preemptions = r.preemptions;
+    out.eventsProcessed = r.eventsProcessed;
     return out;
 }
 

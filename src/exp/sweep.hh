@@ -58,6 +58,17 @@ struct SweepCell
      * must not share one sink between concurrently-running cells.
      */
     Telemetry* telemetry = nullptr;
+    /**
+     * Pull requests lazily from a WorkloadArrivalSource instead of
+     * materializing the workload vector (bit-identical schedule,
+     * memory bounded by the in-flight set). Applies to both single
+     * and cluster cells.
+     */
+    bool streaming = false;
+    /** Calendar implementation (see SimConfig::calendar). */
+    CalendarKind calendar = CalendarKind::Heap;
+    /** Streaming-mode metrics accumulation (see SimConfig). */
+    MetricsKind metricsKind = MetricsKind::Exact;
 };
 
 /** One cell's outcome. */
@@ -68,6 +79,8 @@ struct SweepCellResult
     size_t decisions = 0;
     /** Preemptions across the run (all nodes). */
     size_t preemptions = 0;
+    /** Calendar events processed (events/sec denominators). */
+    size_t eventsProcessed = 0;
 };
 
 /**

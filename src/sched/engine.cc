@@ -15,12 +15,11 @@ SchedulerEngine::SchedulerEngine(EngineConfig config)
 {
 }
 
-EngineResult
-SchedulerEngine::run(std::vector<Request>& requests,
-                     Scheduler& policy) const
-{
-    policy.reset();
+namespace {
 
+SimConfig
+toSimConfig(const EngineConfig& cfg)
+{
     SimConfig sim;
     NodeProfile profile = referenceNodeProfile("accelerator");
     profile.decisionOverheadSec = cfg.decisionOverheadSec;
@@ -28,23 +27,55 @@ SchedulerEngine::run(std::vector<Request>& requests,
     sim.nodes.push_back(profile);
     sim.recordEvents = cfg.recordEvents;
     sim.telemetry = cfg.telemetry;
+    sim.calendar = cfg.calendar;
+    sim.metricsKind = cfg.metricsKind;
+    return sim;
+}
 
-    SingleNodeDispatcher dispatcher;
-    PolicyFactory factory = [&policy](const NodeProfile&, int) {
-        return std::make_unique<ForwardingScheduler>(policy);
-    };
-
-    SimResult sr = runSimulation(sim, requests, dispatcher, factory);
-
+EngineResult
+toEngineResult(SimResult&& sr)
+{
     EngineResult result;
-    result.metrics = sr.metrics;
+    result.metrics = std::move(sr.metrics);
     result.preemptions = sr.preemptions;
     result.decisions = sr.decisions;
+    result.eventsProcessed = sr.eventsProcessed;
     result.events.reserve(sr.events.size());
     for (const ClusterEvent& ev : sr.events)
         result.events.push_back(
             {ev.requestId, ev.layer, ev.start, ev.end});
     return result;
+}
+
+} // namespace
+
+EngineResult
+SchedulerEngine::run(std::vector<Request>& requests,
+                     Scheduler& policy) const
+{
+    policy.reset();
+
+    SimConfig sim = toSimConfig(cfg);
+    SingleNodeDispatcher dispatcher;
+    PolicyFactory factory = [&policy](const NodeProfile&, int) {
+        return std::make_unique<ForwardingScheduler>(policy);
+    };
+    return toEngineResult(
+        runSimulation(sim, requests, dispatcher, factory));
+}
+
+EngineResult
+SchedulerEngine::run(ArrivalSource& source, Scheduler& policy) const
+{
+    policy.reset();
+
+    SimConfig sim = toSimConfig(cfg);
+    SingleNodeDispatcher dispatcher;
+    PolicyFactory factory = [&policy](const NodeProfile&, int) {
+        return std::make_unique<ForwardingScheduler>(policy);
+    };
+    return toEngineResult(
+        runSimulation(sim, source, dispatcher, factory));
 }
 
 } // namespace dysta

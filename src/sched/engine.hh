@@ -22,6 +22,8 @@
 #include "sched/metrics.hh"
 #include "sched/request.hh"
 #include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/source.hh"
 
 namespace dysta {
 
@@ -59,6 +61,13 @@ struct EngineConfig
      * and SimConfig::telemetry). nullptr disables all emission.
      */
     Telemetry* telemetry = nullptr;
+    /** Calendar implementation (see SimConfig::calendar). */
+    CalendarKind calendar = CalendarKind::Heap;
+    /**
+     * Metrics accumulation of the streaming run overload (see
+     * SimConfig::metricsKind); ignored by the vector overload.
+     */
+    MetricsKind metricsKind = MetricsKind::Exact;
 };
 
 /** Result of one engine run. */
@@ -70,6 +79,8 @@ struct EngineResult
     size_t preemptions = 0;
     /** Number of scheduler invocations. */
     size_t decisions = 0;
+    /** Calendar events processed (events/sec denominators). */
+    size_t eventsProcessed = 0;
 };
 
 /** Single-accelerator, layer-granular scheduling simulator. */
@@ -85,6 +96,14 @@ class SchedulerEngine
      */
     EngineResult run(std::vector<Request>& requests,
                      Scheduler& policy) const;
+
+    /**
+     * Streaming overload: requests are pulled lazily from `source`
+     * and retired back to it on completion, keeping memory bounded
+     * by the in-flight set. Bit-identical schedule to the vector
+     * overload for the same workload seed.
+     */
+    EngineResult run(ArrivalSource& source, Scheduler& policy) const;
 
   private:
     EngineConfig cfg;

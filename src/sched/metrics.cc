@@ -90,6 +90,186 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
 
 } // namespace
 
+std::string
+toString(MetricsKind kind)
+{
+    switch (kind) {
+      case MetricsKind::Exact: return "exact";
+      case MetricsKind::Sketch: return "sketch";
+    }
+    panic("toString: unknown MetricsKind");
+}
+
+MetricsKind
+metricsKindFromName(const std::string& name)
+{
+    if (name == "exact")
+        return MetricsKind::Exact;
+    if (name == "sketch")
+        return MetricsKind::Sketch;
+    fatal("metricsKindFromName: unknown metrics kind '" + name +
+          "'; valid kinds: exact, sketch");
+}
+
+StreamingMetrics::StreamingMetrics(MetricsKind kind)
+    : mode(kind),
+      p50Turn(0.50), p95Turn(0.95), p99Turn(0.99),
+      p50Lat(0.50), p95Lat(0.95), p99Lat(0.99)
+{
+}
+
+void
+StreamingMetrics::recordCompleted(const Request& req)
+{
+    panicIf(req.finishTime < 0.0,
+            "StreamingMetrics: unfinished request retired as "
+            "completed");
+    double nt = req.normalizedTurnaround();
+    if (mode == MetricsKind::Exact) {
+        CompletedRecord rec;
+        rec.id = req.id;
+        rec.arrival = req.arrival;
+        rec.finish = req.finishTime;
+        rec.normalizedTurnaround = nt;
+        rec.violated = req.violated();
+        records.push_back(rec);
+        return;
+    }
+    double latency = req.finishTime - req.arrival;
+    if (completedCount == 0) {
+        firstArrival = req.arrival;
+        lastFinish = req.finishTime;
+    } else {
+        firstArrival = std::min(firstArrival, req.arrival);
+        lastFinish = std::max(lastFinish, req.finishTime);
+    }
+    ++completedCount;
+    if (req.violated())
+        ++violationCount;
+    turnaroundStats.add(nt);
+    speedupStats.add(1.0 / nt);
+    p50Turn.add(nt);
+    p95Turn.add(nt);
+    p99Turn.add(nt);
+    p50Lat.add(latency);
+    p95Lat.add(latency);
+    p99Lat.add(latency);
+}
+
+void
+StreamingMetrics::recordShed(const Request& req)
+{
+    panicIf(!req.shed,
+            "StreamingMetrics: non-shed request retired as shed");
+    ++shedCount;
+}
+
+size_t
+StreamingMetrics::retired() const
+{
+    size_t completed =
+        mode == MetricsKind::Exact ? records.size() : completedCount;
+    return completed + shedCount;
+}
+
+Metrics
+StreamingMetrics::finalizeExact() const
+{
+    // Replay of aggregate() above: records are summed in request-id
+    // order — the materialized requests vector's iteration order —
+    // so every floating-point accumulation happens in the same order
+    // and the result is bit-identical to computeMetricsCompleted().
+    std::vector<const CompletedRecord*> ordered;
+    ordered.reserve(records.size());
+    for (const CompletedRecord& rec : records)
+        ordered.push_back(&rec);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const CompletedRecord* a, const CompletedRecord* b) {
+                  return a->id < b->id;
+              });
+
+    Metrics m;
+    m.shed = shedCount;
+    if (ordered.empty() && shedCount == 0)
+        return m;
+
+    double first_arrival = std::numeric_limits<double>::infinity();
+    double last_finish = 0.0;
+    size_t violations = 0;
+    std::vector<double> turnarounds;
+    std::vector<double> latencies;
+    turnarounds.reserve(ordered.size());
+    latencies.reserve(ordered.size());
+    for (const CompletedRecord* rec : ordered) {
+        first_arrival = std::min(first_arrival, rec->arrival);
+        last_finish = std::max(last_finish, rec->finish);
+        turnarounds.push_back(rec->normalizedTurnaround);
+        latencies.push_back(rec->finish - rec->arrival);
+        m.antt += rec->normalizedTurnaround;
+        m.stp += 1.0 / rec->normalizedTurnaround;
+        if (rec->violated)
+            ++violations;
+    }
+
+    m.completed = turnarounds.size();
+    if (m.completed == 0) {
+        m.sloMissRate = m.shed > 0 ? 1.0 : 0.0;
+        return m;
+    }
+    double n = static_cast<double>(m.completed);
+    m.antt /= n;
+    m.violationRate = static_cast<double>(violations) / n;
+    m.sloMissRate =
+        static_cast<double>(violations + m.shed) /
+        static_cast<double>(m.completed + m.shed);
+    m.makespan = last_finish - first_arrival;
+    m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    std::sort(turnarounds.begin(), turnarounds.end());
+    std::sort(latencies.begin(), latencies.end());
+    m.p50Turnaround = sortedPercentile(turnarounds, 50.0);
+    m.p95Turnaround = sortedPercentile(turnarounds, 95.0);
+    m.p99Turnaround = sortedPercentile(turnarounds, 99.0);
+    m.p50Latency = sortedPercentile(latencies, 50.0);
+    m.p95Latency = sortedPercentile(latencies, 95.0);
+    m.p99Latency = sortedPercentile(latencies, 99.0);
+    return m;
+}
+
+Metrics
+StreamingMetrics::finalizeSketch() const
+{
+    Metrics m;
+    m.shed = shedCount;
+    m.completed = completedCount;
+    if (completedCount == 0) {
+        m.sloMissRate = m.shed > 0 ? 1.0 : 0.0;
+        return m;
+    }
+    double n = static_cast<double>(completedCount);
+    m.antt = turnaroundStats.mean();
+    m.stp = speedupStats.sum();
+    m.violationRate = static_cast<double>(violationCount) / n;
+    m.sloMissRate =
+        static_cast<double>(violationCount + shedCount) /
+        static_cast<double>(completedCount + shedCount);
+    m.makespan = lastFinish - firstArrival;
+    m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.p50Turnaround = p50Turn.value();
+    m.p95Turnaround = p95Turn.value();
+    m.p99Turnaround = p99Turn.value();
+    m.p50Latency = p50Lat.value();
+    m.p95Latency = p95Lat.value();
+    m.p99Latency = p99Lat.value();
+    return m;
+}
+
+Metrics
+StreamingMetrics::finalize() const
+{
+    return mode == MetricsKind::Exact ? finalizeExact()
+                                      : finalizeSketch();
+}
+
 Metrics
 computeMetrics(const std::vector<Request>& requests)
 {

@@ -9,10 +9,12 @@
 #define DYSTA_SCHED_METRICS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "sched/request.hh"
+#include "util/stats.hh"
 
 namespace dysta {
 
@@ -85,6 +87,93 @@ struct Metrics
 
     /** Shed fraction of all offered requests, in [0, 1]. */
     double shedRate() const;
+};
+
+/** How a streaming run accumulates its metrics. */
+enum class MetricsKind : uint8_t
+{
+    /**
+     * Keep one small record per retired request and finalize by
+     * replaying the exact computeMetrics aggregation (same
+     * summation order, same sorted percentiles) — bit-identical to
+     * the materialized path, O(completed) memory. The default, and
+     * the right choice below ~10^6 requests.
+     */
+    Exact = 0,
+    /**
+     * O(1)-memory sketch: Welford accumulators for the means, P²
+     * estimators for the percentiles, exact counters for
+     * violations/sheds/makespan/throughput. Percentiles carry P²
+     * approximation error; every other field is exact up to
+     * floating-point summation order. Required for megascale runs.
+     */
+    Sketch = 1,
+};
+
+std::string toString(MetricsKind kind);
+
+/** Parse "exact" / "sketch". fatal() on anything else. */
+MetricsKind metricsKindFromName(const std::string& name);
+
+/**
+ * Accumulator the streaming simulation core retires requests into,
+ * one at a time, so no completed-request vector has to stay alive.
+ * Exact mode reproduces computeMetricsCompleted() bit for bit (the
+ * per-request records are replayed in request-id order, matching
+ * the materialized vector's iteration order); Sketch mode holds
+ * only O(1) state. `finalize()` may be called once, after the last
+ * retirement.
+ */
+class StreamingMetrics
+{
+  public:
+    explicit StreamingMetrics(MetricsKind kind = MetricsKind::Exact);
+
+    MetricsKind kind() const { return mode; }
+
+    /** Retire one completed request (finishTime set). */
+    void recordCompleted(const Request& req);
+
+    /** Retire one shed request. */
+    void recordShed(const Request& req);
+
+    /** Requests retired so far (completed + shed). */
+    size_t retired() const;
+
+    /** Aggregate everything retired so far into a Metrics. */
+    Metrics finalize() const;
+
+  private:
+    /** Exact-mode retained state: everything aggregate() reads. */
+    struct CompletedRecord
+    {
+        int id = -1;
+        double arrival = 0.0;
+        double finish = 0.0;
+        double normalizedTurnaround = 0.0;
+        bool violated = false;
+    };
+
+    MetricsKind mode;
+    size_t shedCount = 0;
+
+    // --- exact mode ---------------------------------------------------
+    std::vector<CompletedRecord> records;
+
+    // --- sketch mode --------------------------------------------------
+    size_t completedCount = 0;
+    size_t violationCount = 0;
+    double firstArrival = 0.0;
+    double lastFinish = 0.0;
+    /** Normalized-turnaround moments (mean feeds ANTT). */
+    OnlineStats turnaroundStats;
+    /** Per-request speedup (1/nt) moments (sum feeds STP). */
+    OnlineStats speedupStats;
+    P2Quantile p50Turn, p95Turn, p99Turn;
+    P2Quantile p50Lat, p95Lat, p99Lat;
+
+    Metrics finalizeExact() const;
+    Metrics finalizeSketch() const;
 };
 
 /**

@@ -38,10 +38,10 @@ ClusterEngine::ClusterEngine(ClusterConfig config)
             "ClusterEngine: admission margin must be positive");
 }
 
-ClusterResult
-ClusterEngine::run(std::vector<Request>& requests,
-                   Dispatcher& dispatcher,
-                   const PolicyFactory& make_policy) const
+namespace {
+
+SimConfig
+toSimConfig(const ClusterConfig& cfg)
 {
     SimConfig sim;
     sim.nodes = cfg.nodes;
@@ -52,7 +52,28 @@ ClusterEngine::run(std::vector<Request>& requests,
     sim.nodeEvents = cfg.nodeEvents;
     sim.onFailure = cfg.onFailure;
     sim.telemetry = cfg.telemetry;
+    sim.calendar = cfg.calendar;
+    sim.metricsKind = cfg.metricsKind;
+    return sim;
+}
+
+} // namespace
+
+ClusterResult
+ClusterEngine::run(std::vector<Request>& requests,
+                   Dispatcher& dispatcher,
+                   const PolicyFactory& make_policy) const
+{
+    SimConfig sim = toSimConfig(cfg);
     return runSimulation(sim, requests, dispatcher, make_policy);
+}
+
+ClusterResult
+ClusterEngine::run(ArrivalSource& source, Dispatcher& dispatcher,
+                   const PolicyFactory& make_policy) const
+{
+    SimConfig sim = toSimConfig(cfg);
+    return runSimulation(sim, source, dispatcher, make_policy);
 }
 
 } // namespace dysta

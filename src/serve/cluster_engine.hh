@@ -54,6 +54,13 @@ struct ClusterConfig
     RestartPolicy onFailure = RestartPolicy::Restart;
     /** Optional telemetry sink (not owned; see SimConfig). */
     Telemetry* telemetry = nullptr;
+    /** Calendar implementation (see SimConfig::calendar). */
+    CalendarKind calendar = CalendarKind::Heap;
+    /**
+     * Metrics accumulation of the streaming run overload (see
+     * SimConfig::metricsKind); ignored by the vector overload.
+     */
+    MetricsKind metricsKind = MetricsKind::Exact;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */
@@ -80,6 +87,16 @@ class ClusterEngine
      */
     ClusterResult run(std::vector<Request>& requests,
                       Dispatcher& dispatcher,
+                      const PolicyFactory& make_policy) const;
+
+    /**
+     * Streaming overload: requests are pulled lazily from `source`
+     * and retired back to it, keeping memory bounded by the
+     * in-flight set (see the ArrivalSource runSimulation overload).
+     * Bit-identical schedule to the vector overload for the same
+     * workload seed.
+     */
+    ClusterResult run(ArrivalSource& source, Dispatcher& dispatcher,
                       const PolicyFactory& make_policy) const;
 
   private:

@@ -7,9 +7,25 @@
 
 namespace dysta {
 
+namespace {
+
+/**
+ * The event loop shared by both runSimulation overloads. Arrivals
+ * are pumped lazily from `source` — exactly one pending arrival in
+ * the calendar at any time. Because sources emit arrivals in
+ * non-decreasing time order and the Arrival kind wins every
+ * same-time tie, this pops events in the same order as pushing all
+ * arrivals up front, so the materialized path keeps its historical
+ * schedule bit for bit. When `sink` is set, retired requests are
+ * recorded there and handed back to the source; the materialized
+ * caller passes nullptr and computes metrics from its surviving
+ * vector instead.
+ */
 SimResult
-runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
-              Dispatcher& dispatcher, const PolicyFactory& make_policy)
+runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
+                  Dispatcher& dispatcher,
+                  const PolicyFactory& make_policy,
+                  StreamingMetrics* sink)
 {
     fatalIf(cfg.nodes.empty(), "runSimulation: need at least one node");
     fatalIf(cfg.admission.enabled && cfg.lut == nullptr &&
@@ -47,37 +63,21 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         admission_est = owned_estimator.get();
     }
 
-    for (auto& req : requests) {
-        panicIf(req.trace == nullptr || req.trace->layers.empty(),
+    std::unique_ptr<Calendar> calendar = makeCalendar(cfg.calendar);
+
+    // Prime the lazy arrival pump: the first arrival enters the
+    // calendar now, each later one when its predecessor pops.
+    auto pushArrival = [&](Request* req) {
+        panicIf(req->trace == nullptr || req->trace->layers.empty(),
                 "runSimulation: request without a trace");
-        req.nextLayer = 0;
-        req.executedTime = 0.0;
-        req.lastRunEnd = req.arrival;
-        req.finishTime = -1.0;
-        req.shed = false;
-    }
-
-    // Arrival order (stable on ties by id), encoded as calendar
-    // events whose push order is the final tie-break.
-    std::vector<Request*> pending;
-    pending.reserve(requests.size());
-    for (auto& req : requests)
-        pending.push_back(&req);
-    std::stable_sort(pending.begin(), pending.end(),
-                     [](const Request* a, const Request* b) {
-                         if (a->arrival != b->arrival)
-                             return a->arrival < b->arrival;
-                         return a->id < b->id;
-                     });
-
-    EventQueue calendar;
-    for (Request* req : pending) {
         SimEvent ev;
         ev.time = req->arrival;
         ev.kind = SimEventKind::Arrival;
         ev.req = req;
-        calendar.push(ev);
-    }
+        calendar->push(ev);
+    };
+    if (Request* first = source.next())
+        pushArrival(first);
 
     for (const NodeEvent& nev : cfg.nodeEvents) {
         fatalIf(nev.node < 0 ||
@@ -90,7 +90,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         ev.kind = SimEventKind::NodeChange;
         ev.node = nev.node;
         ev.nodeEvent = nev.kind;
-        calendar.push(ev);
+        calendar->push(ev);
     }
 
     // Estimated queued work on a node in node-seconds: a fast node
@@ -109,7 +109,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         ev.kind = SimEventKind::LayerComplete;
         ev.node = node.id();
         ev.epoch = node.epoch();
-        calendar.push(ev);
+        calendar->push(ev);
     };
 
     size_t finished = 0;
@@ -122,7 +122,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         SimEvent decide;
         decide.time = now;
         decide.kind = SimEventKind::Decision;
-        calendar.push(decide);
+        calendar->push(decide);
         decision_pending = true;
     };
 
@@ -140,6 +140,9 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         dispatcher.onShed(*req, now);
         if (tele)
             tele->shed(*req, now);
+        if (sink)
+            sink->recordShed(*req);
+        source.retire(req, now);
     };
 
     // Place one request (fresh arrival or failure re-dispatch):
@@ -222,18 +225,25 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         return !moves.empty();
     };
 
+    const size_t total = source.total();
     double sim_now = 0.0;
 
-    while (finished + shed_count < requests.size()) {
-        panicIf(calendar.empty(),
+    while (finished + shed_count < total) {
+        panicIf(calendar->empty(),
                 "runSimulation: empty calendar with unfinished "
                 "requests");
-        SimEvent ev = calendar.pop();
+        SimEvent ev = calendar->pop();
         double now = ev.time;
         sim_now = now;
+        ++result.eventsProcessed;
 
         switch (ev.kind) {
           case SimEventKind::Arrival: {
+            // Refill the pump before handling this arrival, so a
+            // same-time successor is in the calendar (and wins the
+            // kind tie-break) exactly as if pushed up front.
+            if (Request* next = source.next())
+                pushArrival(next);
             if (tele)
                 tele->arrival(*ev.req, now);
             placeRequest(ev.req, now);
@@ -325,6 +335,12 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
                 // work are started by the pushed decision sweep.
                 if (applyRebalance(now))
                     pushDecision(now);
+                if (sink)
+                    sink->recordCompleted(*done);
+                // All callbacks are past; the source may recycle
+                // the slot (no node holds a reference: completion
+                // cleared running/lastRun and the ready queue).
+                source.retire(done, now);
             }
 
             // Continue the non-preemptible block, or make a fresh
@@ -338,17 +354,54 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         }
     }
 
-    result.metrics = computeMetricsCompleted(requests);
     result.perNodeCompleted.reserve(nodes.size());
     for (const auto& n : nodes) {
         result.perNodeCompleted.push_back(n->completedCount());
         result.preemptions += n->preemptionCount();
         result.decisions += n->decisionCount();
     }
-    if (tele) {
+    if (tele)
         tele->endRun(sim_now);
-        result.metrics.estimators = tele->accuracy();
+    return result;
+}
+
+} // namespace
+
+SimResult
+runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
+              Dispatcher& dispatcher, const PolicyFactory& make_policy)
+{
+    for (auto& req : requests) {
+        panicIf(req.trace == nullptr || req.trace->layers.empty(),
+                "runSimulation: request without a trace");
+        req.nextLayer = 0;
+        req.executedTime = 0.0;
+        req.lastRunEnd = req.arrival;
+        req.finishTime = -1.0;
+        req.shed = false;
     }
+
+    MaterializedSource source(requests);
+    SimResult result = runSimulationLoop(cfg, source, dispatcher,
+                                         make_policy, nullptr);
+    // The vector survives the run, so metrics come from the same
+    // full-vector aggregation as always (bit-identical to the seed).
+    result.metrics = computeMetricsCompleted(requests);
+    if (cfg.telemetry)
+        result.metrics.estimators = cfg.telemetry->accuracy();
+    return result;
+}
+
+SimResult
+runSimulation(const SimConfig& cfg, ArrivalSource& source,
+              Dispatcher& dispatcher, const PolicyFactory& make_policy)
+{
+    StreamingMetrics sink(cfg.metricsKind);
+    SimResult result = runSimulationLoop(cfg, source, dispatcher,
+                                         make_policy, &sink);
+    result.metrics = sink.finalize();
+    if (cfg.telemetry)
+        result.metrics.estimators = cfg.telemetry->accuracy();
     return result;
 }
 

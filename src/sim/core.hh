@@ -31,6 +31,7 @@
 #include "sim/dispatcher.hh"
 #include "sim/event_queue.hh"
 #include "sim/node.hh"
+#include "sim/source.hh"
 
 namespace dysta {
 
@@ -122,6 +123,22 @@ struct SimConfig
      * bit-identical to one without the subsystem.
      */
     Telemetry* telemetry = nullptr;
+    /**
+     * Calendar implementation. Both honour the same deterministic
+     * tie-break contract, so the schedule is identical; Bucket
+     * trades the heap's O(log n) operations for near-O(1) under
+     * large steady-state event populations (bench/micro_calendar.cc
+     * measures the crossover).
+     */
+    CalendarKind calendar = CalendarKind::Heap;
+    /**
+     * Metrics accumulation of the streaming (ArrivalSource)
+     * overload: Exact is bit-identical to the materialized path,
+     * Sketch is O(1) memory for megascale runs. Ignored by the
+     * vector overload, which computes metrics from the surviving
+     * request vector as before.
+     */
+    MetricsKind metricsKind = MetricsKind::Exact;
 };
 
 /** Result of one simulation run. */
@@ -136,6 +153,8 @@ struct SimResult
     /** Completed-request count per node (load balance view). */
     std::vector<size_t> perNodeCompleted;
     std::vector<ClusterEvent> events;
+    /** Calendar events processed (events/sec denominators). */
+    size_t eventsProcessed = 0;
 };
 
 /**
@@ -210,6 +229,20 @@ class ForwardingScheduler : public Scheduler
  */
 SimResult runSimulation(const SimConfig& cfg,
                         std::vector<Request>& requests,
+                        Dispatcher& dispatcher,
+                        const PolicyFactory& make_policy);
+
+/**
+ * Streaming overload: requests come from `source` one at a time
+ * (exactly one pending arrival lives in the calendar) and are
+ * retired back to it on completion or shed, so memory stays bounded
+ * by the in-flight set. Metrics accumulate through StreamingMetrics
+ * per cfg.metricsKind. For the same workload seed this produces the
+ * bit-identical schedule — and, with MetricsKind::Exact, the
+ * bit-identical Metrics — as the materialized overload.
+ * @pre the source emits arrivals in non-decreasing time order
+ */
+SimResult runSimulation(const SimConfig& cfg, ArrivalSource& source,
                         Dispatcher& dispatcher,
                         const PolicyFactory& make_policy);
 

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hh"
 
@@ -61,6 +62,233 @@ EventQueue::pop()
     SimEvent ev = heap.back();
     heap.pop_back();
     return ev;
+}
+
+// --- BucketCalendar --------------------------------------------------------
+
+namespace {
+
+/** Initial (and minimum) bucket-array size. */
+constexpr size_t kMinBuckets = 8;
+
+} // namespace
+
+BucketCalendar::BucketCalendar()
+{
+    buckets.resize(kMinBuckets);
+}
+
+void
+BucketCalendar::clear()
+{
+    buckets.assign(kMinBuckets, {});
+    count = 0;
+    nextSeq = 0;
+    width = 1.0;
+    currentWindow = 0;
+}
+
+uint64_t
+BucketCalendar::windowOf(double time) const
+{
+    double window = time / width;
+    // Defensive clamp against uint64 overflow for absurd time/width
+    // ratios: clamped events all land in the last window, where the
+    // full comparator still orders them correctly.
+    if (window >= 1.8e19)
+        return static_cast<uint64_t>(1.8e19);
+    return static_cast<uint64_t>(window);
+}
+
+void
+BucketCalendar::insert(const SimEvent& ev)
+{
+    uint64_t window = windowOf(ev.time);
+    std::vector<SimEvent>& bucket = buckets[window % buckets.size()];
+    // Each bucket is a min-heap under the full event order, so its
+    // front is the bucket's earliest event. windowOf is monotone in
+    // time, so the front also belongs to the earliest "year" the
+    // bucket holds — which is what lets pop test a whole bucket
+    // against the current window in O(1).
+    bucket.push_back(ev);
+    std::push_heap(bucket.begin(), bucket.end(), EventAfter{});
+    // An event behind the cursor (e.g. pushed at the current sim
+    // time after the cursor advanced past sparse windows) moves the
+    // cursor back so the scan lower bound stays valid.
+    if (window < currentWindow)
+        currentWindow = window;
+}
+
+void
+BucketCalendar::push(SimEvent ev)
+{
+    panicIf(ev.time < 0.0,
+            "BucketCalendar: event before time zero");
+    ev.seq = nextSeq++;
+    insert(ev);
+    ++count;
+    maybeGrow();
+}
+
+SimEvent
+BucketCalendar::pop()
+{
+    panicIf(count == 0, "BucketCalendar: pop of empty calendar");
+
+    // Scan forward one time window at a time: every event in window
+    // w is strictly earlier than every event in window w+1, and
+    // same-time ties always share a window, so the first non-empty
+    // window holds the global minimum and the full (time, kind,
+    // node, seq) order picks it within the window. Each bucket is a
+    // min-heap, so one front probe settles a whole bucket: a front
+    // from a later "year" means the bucket holds nothing for this
+    // window (windowOf is monotone in time), and a front from this
+    // window is both the bucket's and therefore the window's
+    // minimum. A front from an earlier year is impossible — the
+    // cursor never passes a pending event (insert moves it back).
+    std::vector<SimEvent>* bucket = nullptr;
+    for (size_t step = 0; step < buckets.size(); ++step) {
+        uint64_t window = currentWindow + step;
+        std::vector<SimEvent>& cand =
+            buckets[window % buckets.size()];
+        if (!cand.empty() &&
+            windowOf(cand.front().time) == window) {
+            currentWindow = window;
+            bucket = &cand;
+            break;
+        }
+    }
+
+    if (bucket == nullptr) {
+        // Sparse tail: no event within a full bucket-array sweep of
+        // windows. Fall back to comparing every bucket's front for
+        // the global minimum and jump the cursor to its window.
+        for (std::vector<SimEvent>& cand : buckets) {
+            if (cand.empty())
+                continue;
+            if (bucket == nullptr ||
+                cand.front() < bucket->front())
+                bucket = &cand;
+        }
+        panicIf(bucket == nullptr, "BucketCalendar: lost events");
+        currentWindow = windowOf(bucket->front().time);
+    }
+
+    std::pop_heap(bucket->begin(), bucket->end(), EventAfter{});
+    SimEvent ev = bucket->back();
+    bucket->pop_back();
+    --count;
+    maybeShrink();
+    return ev;
+}
+
+void
+BucketCalendar::resize(size_t new_bucket_count)
+{
+    std::vector<SimEvent> all;
+    all.reserve(count);
+    double lo = 0.0;
+    double hi = 0.0;
+    for (std::vector<SimEvent>& bucket : buckets) {
+        for (const SimEvent& ev : bucket) {
+            if (all.empty()) {
+                lo = hi = ev.time;
+            } else {
+                lo = std::min(lo, ev.time);
+                hi = std::max(hi, ev.time);
+            }
+            all.push_back(ev);
+        }
+        bucket.clear();
+    }
+    buckets.assign(new_bucket_count, {});
+
+    // Retune the bucket width toward a few pending events per window
+    // (Brown's calendar-queue heuristic). The width must match the
+    // typical gap between successive *pops*, which is set by the
+    // event density at the head of the queue — not by the global
+    // span: a sparse far-future tail (think node changes scheduled
+    // hundreds of seconds out among millisecond-scale completions)
+    // would inflate span/count by orders of magnitude and pile
+    // hundreds of near-term events into every window, degrading pop
+    // to a linear scan. So sample the gap between *distinct* times
+    // among the m earliest events — simultaneous ties (same-instant
+    // arrival bursts are common) share a window whatever the width,
+    // so they must not drag the density estimate. A tieless sample
+    // (distinct == 0) or a zero global span keeps the previous
+    // width: no width can separate exact ties, and they are correct
+    // within one window anyway.
+    if (!all.empty() && hi > lo) {
+        size_t m = std::min<size_t>(all.size(), 1024);
+        std::vector<double> times(all.size());
+        for (size_t i = 0; i < all.size(); ++i)
+            times[i] = all[i].time;
+        std::partial_sort(times.begin(), times.begin() + m,
+                          times.end());
+        size_t distinct = 0;
+        for (size_t i = 1; i < m; ++i)
+            if (times[i] > times[i - 1])
+                ++distinct;
+        if (distinct > 0) {
+            double tuned = (times[m - 1] - times[0]) /
+                           static_cast<double>(distinct) * 3.0;
+            if (tuned > 0.0 && std::isfinite(tuned))
+                width = tuned;
+        }
+    }
+
+    currentWindow = all.empty() ? 0 : windowOf(lo);
+    for (const SimEvent& ev : all)
+        insert(ev); // seq survives: insert never reassigns it
+}
+
+void
+BucketCalendar::maybeGrow()
+{
+    if (count > 2 * buckets.size())
+        resize(buckets.size() * 2);
+}
+
+void
+BucketCalendar::maybeShrink()
+{
+    if (buckets.size() > kMinBuckets && count < buckets.size() / 4)
+        resize(buckets.size() / 2);
+}
+
+// --- factory ---------------------------------------------------------------
+
+std::string
+toString(CalendarKind kind)
+{
+    switch (kind) {
+      case CalendarKind::Heap: return "heap";
+      case CalendarKind::Bucket: return "bucket";
+    }
+    panic("toString: unknown CalendarKind");
+}
+
+CalendarKind
+calendarKindFromName(const std::string& name)
+{
+    if (name == "heap")
+        return CalendarKind::Heap;
+    if (name == "bucket")
+        return CalendarKind::Bucket;
+    fatal("calendarKindFromName: unknown calendar '" + name +
+          "'; valid calendars: heap, bucket");
+}
+
+std::unique_ptr<Calendar>
+makeCalendar(CalendarKind kind)
+{
+    switch (kind) {
+      case CalendarKind::Heap:
+        return std::make_unique<EventQueue>();
+      case CalendarKind::Bucket:
+        return std::make_unique<BucketCalendar>();
+    }
+    panic("makeCalendar: unknown CalendarKind");
 }
 
 } // namespace dysta

@@ -1,0 +1,36 @@
+#include "sim/request_arena.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+Request*
+RequestArena::acquire()
+{
+    Request* slot;
+    if (!freeList.empty()) {
+        slot = freeList.back();
+        freeList.pop_back();
+        ++reuseCount;
+    } else {
+        slots.emplace_back();
+        slot = &slots.back();
+    }
+    ++liveCount;
+    peakLiveCount = std::max(peakLiveCount, liveCount);
+    return slot;
+}
+
+void
+RequestArena::release(Request* req)
+{
+    panicIf(req == nullptr, "RequestArena: release of null request");
+    panicIf(liveCount == 0,
+            "RequestArena: release without a live request");
+    --liveCount;
+    freeList.push_back(req);
+}
+
+} // namespace dysta

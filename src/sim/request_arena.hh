@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Free-list pool of Request objects for streaming simulation runs.
+ *
+ * The materialized path keeps every Request of a run alive in one
+ * vector, so memory grows linearly with offered load. A streaming
+ * run only ever has a bounded number of requests in flight (queued,
+ * executing, or the single pending arrival), so retired requests can
+ * be recycled: the arena hands out slots from a free list, falling
+ * back to a fresh slot only when every previously-created one is
+ * live. Peak memory is then proportional to the peak *live* set, not
+ * the total request count — the flat-RSS property the megascale
+ * bench asserts.
+ *
+ * Slots live in a std::deque, so acquired pointers stay stable for
+ * the lifetime of the arena (the simulation core and schedulers hold
+ * raw Request*). Releasing a slot only returns it to the free list;
+ * the next acquire re-assigns the full Request value, which also
+ * reuses the model-name string's capacity.
+ */
+
+#ifndef DYSTA_SIM_REQUEST_ARENA_HH
+#define DYSTA_SIM_REQUEST_ARENA_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sched/request.hh"
+
+namespace dysta {
+
+/** Recycling pool of Request slots with stable addresses. */
+class RequestArena
+{
+  public:
+    /**
+     * A slot to build the next request in: recycled when available,
+     * freshly created otherwise. Contents are unspecified — the
+     * caller assigns the full Request value.
+     */
+    Request* acquire();
+
+    /**
+     * Return a retired request's slot to the free list. The caller
+     * must not touch `req` afterwards until acquire() hands it out
+     * again. @pre `req` came from acquire() and is not already free.
+     */
+    void release(Request* req);
+
+    /** Slots ever created (the arena's high-water memory footprint). */
+    size_t allocated() const { return slots.size(); }
+
+    /** Slots currently handed out. */
+    size_t live() const { return liveCount; }
+
+    /** Largest live() ever observed. */
+    size_t peakLive() const { return peakLiveCount; }
+
+    /** acquire() calls served from the free list. */
+    size_t reuses() const { return reuseCount; }
+
+  private:
+    std::deque<Request> slots;
+    std::vector<Request*> freeList;
+    size_t liveCount = 0;
+    size_t peakLiveCount = 0;
+    size_t reuseCount = 0;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_SIM_REQUEST_ARENA_HH

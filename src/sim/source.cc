@@ -1,0 +1,30 @@
+#include "sim/source.hh"
+
+#include <algorithm>
+
+namespace dysta {
+
+MaterializedSource::MaterializedSource(std::vector<Request>& requests)
+{
+    ordered.reserve(requests.size());
+    for (Request& req : requests)
+        ordered.push_back(&req);
+    // Stable on ties by id, matching the order the materialized core
+    // used to push its arrival events in.
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Request* a, const Request* b) {
+                         if (a->arrival != b->arrival)
+                             return a->arrival < b->arrival;
+                         return a->id < b->id;
+                     });
+}
+
+Request*
+MaterializedSource::next()
+{
+    if (cursor >= ordered.size())
+        return nullptr;
+    return ordered[cursor++];
+}
+
+} // namespace dysta

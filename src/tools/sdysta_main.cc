@@ -78,8 +78,8 @@ main(int argc, char** argv)
                        "scenario file path, or a built-in name "
                        "(fig12, fig14, fig15, tab05, "
                        "cluster-scaling, hetero-cluster, "
-                       "hetero-failover); first report file with "
-                       "--diff",
+                       "hetero-failover, megascale); first report "
+                       "file with --diff",
                        /*required=*/false);
     args.addPositional("report_b",
                        "second report file (--diff only)",
@@ -90,6 +90,13 @@ main(int argc, char** argv)
                 "override the scenario's seed replicas (0 = keep)");
     args.addInt("--samples", 0,
                 "override the Phase-1 samples per model (0 = keep)");
+    args.addString("--streaming", "",
+                   "override the scenario's execution mode: 'on' "
+                   "pulls requests lazily (flat RSS), 'off' "
+                   "materializes the workload ('' = keep)");
+    args.addString("--calendar", "",
+                   "override the event-calendar implementation: "
+                   "'heap' or 'bucket' ('' = keep)");
     args.addJobs();
     args.addTraceCache();
     args.addString("--out", "",
@@ -163,6 +170,20 @@ main(int argc, char** argv)
         spec.seeds = args.getInt("--seeds");
     if (args.getInt("--samples") > 0)
         spec.samples = args.getInt("--samples");
+    const std::string streaming = args.getString("--streaming");
+    if (!streaming.empty()) {
+        bool on = false;
+        fatalIf(!tryParseBool(streaming == "on" ? "1"
+                              : streaming == "off" ? "0"
+                                                   : streaming,
+                              on),
+                "sdysta: --streaming expects on/off, got '" +
+                    streaming + "'");
+        spec.streaming = on;
+    }
+    if (!args.getString("--calendar").empty())
+        spec.calendar =
+            calendarKindFromName(args.getString("--calendar"));
 
     if (args.getBool("--print-spec")) {
         std::printf("%s", serializeScenario(spec).c_str());

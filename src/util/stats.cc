@@ -78,6 +78,95 @@ OnlineStats::relativeRange() const
     return (hi - lo) / mu;
 }
 
+P2Quantile::P2Quantile(double q)
+    : q(q)
+{
+    fatalIf(!(q > 0.0) || !(q < 1.0),
+            "P2Quantile: quantile must be in (0, 1)");
+    inc[1] = q / 2.0;
+    inc[2] = q;
+    inc[3] = (1.0 + q) / 2.0;
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n < 5) {
+        // Warm-up: buffer the first five observations in the height
+        // slots, keeping them sorted.
+        height[n++] = x;
+        std::sort(height, height + n);
+        if (n == 5) {
+            want[1] = 1.0 + 2.0 * q;
+            want[2] = 1.0 + 4.0 * q;
+            want[3] = 3.0 + 2.0 * q;
+        }
+        return;
+    }
+
+    // Locate the marker cell containing x, extending the extremes.
+    size_t cell;
+    if (x < height[0]) {
+        height[0] = x;
+        cell = 0;
+    } else if (x >= height[4]) {
+        height[4] = x;
+        cell = 3;
+    } else {
+        cell = 0;
+        while (cell < 3 && x >= height[cell + 1])
+            ++cell;
+    }
+
+    ++n;
+    for (size_t i = cell + 1; i < 5; ++i)
+        pos[i] += 1.0;
+    for (size_t i = 0; i < 5; ++i)
+        want[i] += inc[i];
+
+    // Nudge the three interior markers toward their desired
+    // positions by piecewise-parabolic (P²) interpolation, falling
+    // back to linear when the parabola would break monotonicity.
+    for (size_t i = 1; i <= 3; ++i) {
+        double d = want[i] - pos[i];
+        if ((d >= 1.0 && pos[i + 1] - pos[i] > 1.0) ||
+            (d <= -1.0 && pos[i - 1] - pos[i] < -1.0)) {
+            double s = d < 0.0 ? -1.0 : 1.0;
+            double below = pos[i] - pos[i - 1];
+            double above = pos[i + 1] - pos[i];
+            double parabolic =
+                height[i] +
+                s / (pos[i + 1] - pos[i - 1]) *
+                    ((below + s) * (height[i + 1] - height[i]) /
+                         above +
+                     (above - s) * (height[i] - height[i - 1]) /
+                         below);
+            if (height[i - 1] < parabolic &&
+                parabolic < height[i + 1]) {
+                height[i] = parabolic;
+            } else {
+                size_t j = s > 0.0 ? i + 1 : i - 1;
+                height[i] += s * (height[j] - height[i]) /
+                             (pos[j] - pos[i]);
+            }
+            pos[i] += s;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (n == 0)
+        return 0.0;
+    if (n < 5) {
+        // Exact while warming up: the buffered prefix is sorted.
+        std::vector<double> sorted(height, height + n);
+        return sortedPercentile(sorted, q * 100.0);
+    }
+    return height[2];
+}
+
 double
 mean(const std::vector<double>& v)
 {

@@ -48,6 +48,48 @@ class OnlineStats
     double hi = 0.0;
 };
 
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P² algorithm):
+ * five markers tracking the q-quantile of a stream in O(1) memory
+ * and O(1) per observation. Exact for the first five observations;
+ * afterwards the markers are adjusted by piecewise-parabolic
+ * interpolation, typically within a fraction of a percent of the
+ * exact order statistic for smooth distributions. The streaming
+ * metrics sketch (sched/metrics.hh) uses one instance per reported
+ * percentile so megascale runs never materialize a latency vector.
+ */
+class P2Quantile
+{
+  public:
+    /** @param q target quantile in (0, 1), e.g. 0.99 */
+    explicit P2Quantile(double q);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /**
+     * Current estimate of the q-quantile: the exact linear-
+     * interpolated order statistic while fewer than five
+     * observations were added, the middle P² marker afterwards.
+     * 0 for an empty stream.
+     */
+    double value() const;
+
+    size_t count() const { return n; }
+
+  private:
+    double q;
+    size_t n = 0;
+    /** Marker heights (ascending). */
+    double height[5] = {0, 0, 0, 0, 0};
+    /** Actual marker positions, 1-based. */
+    double pos[5] = {1, 2, 3, 4, 5};
+    /** Desired marker positions. */
+    double want[5] = {1, 2, 3, 4, 5};
+    /** Per-observation desired-position increments. */
+    double inc[5] = {0, 0, 0, 0, 1};
+};
+
 /** Arithmetic mean of a vector; 0 for empty input. */
 double mean(const std::vector<double>& v);
 

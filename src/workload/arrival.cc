@@ -13,6 +13,7 @@ toString(ArrivalKind kind)
       case ArrivalKind::Poisson: return "poisson";
       case ArrivalKind::Mmpp: return "mmpp";
       case ArrivalKind::Diurnal: return "diurnal";
+      case ArrivalKind::Custom: return "custom";
     }
     panic("toString: unknown ArrivalKind");
 }
@@ -128,6 +129,17 @@ makeArrivalProcess(const ArrivalConfig& config, double rate)
       case ArrivalKind::Diurnal:
         return std::make_unique<DiurnalArrivals>(
             rate, config.amplitude, config.period);
+      case ArrivalKind::Custom: {
+        fatalIf(!config.customFactory,
+                "makeArrivalProcess: custom arrival config without a "
+                "factory (construct it through "
+                "PolicyRegistry::makeArrival)");
+        auto process = config.customFactory(rate);
+        fatalIf(process == nullptr,
+                "makeArrivalProcess: custom arrival factory '" +
+                    config.customName + "' returned null");
+        return process;
+      }
     }
     panic("makeArrivalProcess: unknown ArrivalKind");
 }

@@ -20,6 +20,7 @@
 #ifndef DYSTA_WORKLOAD_ARRIVAL_HH
 #define DYSTA_WORKLOAD_ARRIVAL_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -27,12 +28,15 @@
 
 namespace dysta {
 
+class ArrivalProcess;
+
 /** Arrival-process families selectable in a WorkloadConfig. */
 enum class ArrivalKind
 {
     Poisson, ///< homogeneous Poisson (the paper's server scenario)
     Mmpp,    ///< two-state on/off burst process
     Diurnal, ///< sinusoidal rate curve (time-of-day swing)
+    Custom,  ///< user process registered on PolicyRegistry::global()
 };
 
 std::string toString(ArrivalKind kind);
@@ -55,6 +59,18 @@ struct ArrivalConfig
     double amplitude = 0.8;
     /** Seconds per full day-curve cycle. */
     double period = 120.0;
+
+    // --- Custom (kind == Custom) ---
+    /** Registered name of the user process (diagnostics only). */
+    std::string customName;
+    /**
+     * Deferred constructor bound by PolicyRegistry::makeArrival from
+     * a registerArrivalProcess() factory and the spec's parameters.
+     * Invoked (possibly repeatedly — once per generated workload)
+     * with the workload's base rate.
+     */
+    std::function<std::unique_ptr<ArrivalProcess>(double rate)>
+        customFactory;
 };
 
 /**

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "api/registry.hh"
@@ -231,6 +232,51 @@ TEST(PolicyRegistry, CustomRegistrationIsSpecConstructible)
                     }),
                 ::testing::ExitedWithCode(1),
                 "duplicate scheduler 'TEST-FCFS'");
+}
+
+TEST(PolicyRegistry, CustomArrivalProcessIsSpecConstructible)
+{
+    PolicyRegistry registry; // private registry; global() untouched
+
+    // A deterministic drum-beat process: one arrival every 1/rate
+    // seconds, optionally scaled by a `slow` parameter.
+    class DrumArrivals : public ArrivalProcess
+    {
+      public:
+        explicit DrumArrivals(double gap) : gap(gap) {}
+        std::string name() const override { return "drum"; }
+        double
+        nextArrival(double now, Rng&) override
+        {
+            return now + gap;
+        }
+
+      private:
+        double gap;
+    };
+
+    registry.registerArrivalProcess(
+        "drum", "slow", "deterministic fixed-gap arrivals",
+        [](double rate, PolicyParams& params) {
+            double slow = params.getDouble("slow", 1.0);
+            return std::make_unique<DrumArrivals>(slow / rate);
+        });
+
+    ArrivalConfig cfg = registry.makeArrival("drum:slow=2");
+    EXPECT_EQ(cfg.kind, ArrivalKind::Custom);
+    EXPECT_EQ(cfg.customName, "drum");
+    ASSERT_TRUE(static_cast<bool>(cfg.customFactory));
+
+    // The deferred factory rebuilds the process per workload with
+    // that workload's base rate.
+    auto process = makeArrivalProcess(cfg, 4.0);
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(process->nextArrival(0.0, rng), 0.5);
+    EXPECT_DOUBLE_EQ(process->nextArrival(0.5, rng), 1.0);
+
+    // Parameters are validated eagerly, at spec-parse time.
+    EXPECT_EXIT(registry.makeArrival("drum:slw=2"),
+                ::testing::ExitedWithCode(1), "unknown parameter");
 }
 
 // --- scenario parsing ------------------------------------------------
@@ -453,6 +499,188 @@ TEST(Scenario, ShippedFilesMatchTheBuiltins)
             continue;
         validateScenario(parseScenarioFile(entry.path().string()));
     }
+}
+
+// --- sweep axes: admission margin and steal ratio --------------------
+
+TEST(Scenario, MarginAndStealAxesParseAndExpand)
+{
+    ScenarioSpec spec = parseScenario(
+        "name = axes\n"
+        "workload = attnn@30\n"
+        "fleet = sanger:2\n"
+        "dispatcher = work-stealing\n"
+        "scheduler = FCFS\n"
+        "admission = 1\n"
+        "admission_margin = 1 | 1.5\n"
+        "steal_ratio = 2 | 4\n"
+        "requests = 10\n");
+    ASSERT_EQ(spec.admissionMargins.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.admissionMargins[1], 1.5);
+    ASSERT_EQ(spec.stealRatios.size(), 2u);
+    EXPECT_DOUBLE_EQ(spec.stealRatios[0], 2.0);
+    validateScenario(spec);
+
+    // 2 margins x 2 steal ratios; steal is the inner axis.
+    std::vector<SweepCell> cells = scenarioCells(spec);
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_DOUBLE_EQ(cells[0].cluster.admission.margin, 1.0);
+    EXPECT_DOUBLE_EQ(cells[0].cluster.stealing.imbalanceRatio, 2.0);
+    EXPECT_DOUBLE_EQ(cells[1].cluster.stealing.imbalanceRatio, 4.0);
+    EXPECT_DOUBLE_EQ(cells[2].cluster.admission.margin, 1.5);
+    EXPECT_DOUBLE_EQ(cells[2].cluster.stealing.imbalanceRatio, 2.0);
+
+    // Round trip keeps both axes.
+    ScenarioSpec again = parseScenario(serializeScenario(spec));
+    EXPECT_EQ(serializeScenario(again), serializeScenario(spec));
+}
+
+TEST(Scenario, AbsentStealAxisKeepsTheDispatcherDefault)
+{
+    ScenarioSpec spec = parseScenario("name = nosteal\n"
+                                      "workload = attnn@30\n"
+                                      "fleet = sanger:2\n"
+                                      "dispatcher = work-stealing\n"
+                                      "scheduler = FCFS\n");
+    EXPECT_TRUE(spec.stealRatios.empty());
+    std::vector<SweepCell> cells = scenarioCells(spec);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_DOUBLE_EQ(cells[0].cluster.stealing.imbalanceRatio,
+                     WorkStealingConfig{}.imbalanceRatio);
+}
+
+TEST(Scenario, MarginAndStealAxesAreValidated)
+{
+    ScenarioSpec spec;
+    spec.name = "bad-axes";
+    spec.workloads = {workloadPanelFromSpec("attnn@30")};
+    spec.schedulers = {"FCFS"};
+    spec.fleets = {"sanger:2"};
+    spec.dispatchers = {"work-stealing"};
+
+    ScenarioSpec bad = spec;
+    bad.admissionMargins = {1.0, -0.5};
+    EXPECT_EXIT(validateScenario(bad), ::testing::ExitedWithCode(1),
+                "admission margins must be positive");
+
+    bad = spec;
+    bad.stealRatios = {0.5};
+    EXPECT_EXIT(validateScenario(bad), ::testing::ExitedWithCode(1),
+                "steal ratios must be > 1");
+
+    // Single-accelerator scenarios have no dispatcher to steal for
+    // and no admission front door to sweep.
+    bad = spec;
+    bad.fleets.clear();
+    bad.dispatchers.clear();
+    bad.stealRatios = {2.0};
+    EXPECT_EXIT(validateScenario(bad), ::testing::ExitedWithCode(1),
+                "'steal_ratio' requires a 'fleet'");
+    bad.stealRatios.clear();
+    bad.admissionMargins = {1.0, 1.5};
+    EXPECT_EXIT(validateScenario(bad), ::testing::ExitedWithCode(1),
+                "requires a 'fleet'");
+}
+
+// --- scenario inheritance (include =) --------------------------------
+
+namespace {
+
+/** Write `text` under the include-test scratch dir. */
+std::string
+writeScn(const std::string& dir, const std::string& name,
+         const std::string& text)
+{
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/" + name;
+    std::ofstream out(path);
+    out << text;
+    return path;
+}
+
+} // namespace
+
+TEST(Scenario, IncludeInheritsAndOverrides)
+{
+    const std::string dir = "/tmp/dysta_scn_include";
+    writeScn(dir, "base.scn",
+             "name = base\n"
+             "workload = attnn@30\n"
+             "fleet = sanger:2\n"
+             "scheduler = FCFS | SJF\n"
+             "requests = 77\n"
+             "seeds = 3\n");
+    std::string child_path =
+        writeScn(dir, "child.scn",
+                 "include = base.scn\n"
+                 "name = child\n"
+                 "requests = 11\n"
+                 "streaming = 1\n"
+                 "calendar = bucket\n");
+
+    ScenarioSpec child = parseScenarioFile(child_path);
+    // Overridden by the child...
+    EXPECT_EQ(child.name, "child");
+    EXPECT_EQ(child.requests, 11);
+    EXPECT_TRUE(child.streaming);
+    EXPECT_EQ(child.calendar, CalendarKind::Bucket);
+    // ...inherited from the base.
+    EXPECT_EQ(child.seeds, 3);
+    ASSERT_EQ(child.fleets.size(), 1u);
+    EXPECT_EQ(child.fleets[0], "sanger:2");
+    ASSERT_EQ(child.schedulers.size(), 2u);
+
+    // Serialization is the flattened form: no include key survives,
+    // and re-parsing it without the base file reproduces the spec.
+    std::string canonical = serializeScenario(child);
+    EXPECT_EQ(canonical.find("include"), std::string::npos);
+    EXPECT_EQ(serializeScenario(parseScenario(canonical)),
+              canonical);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Scenario, IncludeChainsAndDetectsCycles)
+{
+    const std::string dir = "/tmp/dysta_scn_cycle";
+    // a -> b -> c is fine; values merge across the chain.
+    writeScn(dir, "c.scn", "workload = attnn@30\nscheduler = FCFS\n"
+                           "requests = 5\n");
+    writeScn(dir, "b.scn", "include = c.scn\nseeds = 4\n");
+    std::string a_path =
+        writeScn(dir, "a.scn", "include = b.scn\nname = chained\n");
+    ScenarioSpec spec = parseScenarioFile(a_path);
+    EXPECT_EQ(spec.name, "chained");
+    EXPECT_EQ(spec.requests, 5);
+    EXPECT_EQ(spec.seeds, 4);
+
+    // x -> y -> x must die with a cycle error, not recurse forever.
+    writeScn(dir, "x.scn", "include = y.scn\n");
+    std::string y_path =
+        writeScn(dir, "y.scn", "include = x.scn\n");
+    EXPECT_EXIT(parseScenarioFile(y_path),
+                ::testing::ExitedWithCode(1), "include cycle");
+    // A file including itself is the shortest cycle.
+    std::string self_path =
+        writeScn(dir, "self.scn", "include = self.scn\n");
+    EXPECT_EXIT(parseScenarioFile(self_path),
+                ::testing::ExitedWithCode(1), "include cycle");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Scenario, IncludeMustComeFirstAndExist)
+{
+    const std::string dir = "/tmp/dysta_scn_order";
+    std::string late_path = writeScn(
+        dir, "late.scn", "name = late\ninclude = base.scn\n");
+    EXPECT_EXIT(parseScenarioFile(late_path),
+                ::testing::ExitedWithCode(1),
+                "'include' must be the first key");
+    std::string missing_path = writeScn(
+        dir, "missing.scn", "include = does-not-exist.scn\n");
+    EXPECT_EXIT(parseScenarioFile(missing_path),
+                ::testing::ExitedWithCode(1),
+                "cannot open include");
+    std::filesystem::remove_all(dir);
 }
 
 // --- reporter --------------------------------------------------------
