@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "chaos/chaos.hh"
+#include "chaos/failure.hh"
 #include "core/dysta.hh"
 #include "core/estimator.hh"
 #include "exp/experiments.hh"
@@ -226,10 +228,10 @@ requireEntry(const std::vector<Entry>& entries, const std::string& kind,
     std::vector<std::string> names;
     for (const Entry& entry : entries)
         names.push_back(entry.name);
-    // "arrival process" pluralizes as "processes", the rest with "s".
-    std::string plural = kind == "arrival process"
-        ? "arrival processes"
-        : kind + "s";
+    // "... process" pluralizes as "processes", the rest with "s".
+    bool is_process = kind.size() >= 7 &&
+                      kind.compare(kind.size() - 7, 7, "process") == 0;
+    std::string plural = is_process ? kind + "es" : kind + "s";
     fatal("PolicyRegistry: unknown " + kind + " '" + name +
           "'; valid " + plural + ": " + joinComma(names));
 }
@@ -320,6 +322,16 @@ PolicyRegistry::registerArrival(const std::string& name,
                                 ArrivalFactory factory)
 {
     addEntry(arrivals, "arrival process", name, params, description,
+             std::move(factory));
+}
+
+void
+PolicyRegistry::registerFailureProcess(const std::string& name,
+                                       const std::string& params,
+                                       const std::string& description,
+                                       FailureFactory factory)
+{
+    addEntry(failures, "failure process", name, params, description,
              std::move(factory));
 }
 
@@ -430,6 +442,21 @@ PolicyRegistry::makeArrival(const std::string& spec) const
     return cfg;
 }
 
+std::unique_ptr<FailureProcess>
+PolicyRegistry::makeFailureProcess(const std::string& spec) const
+{
+    PolicySpec parsed = parsePolicySpec(spec);
+    const auto& entry = requireEntry(failures, "failure process",
+                                     parsed.name);
+    PolicyParams params(parsed);
+    std::unique_ptr<FailureProcess> process = entry.factory(params);
+    fatalIf(process == nullptr,
+            "PolicyRegistry: failure-process factory '" + entry.name +
+                "' returned null");
+    rejectUnconsumed("failure process", entry.name, params);
+    return process;
+}
+
 bool
 PolicyRegistry::hasScheduler(const std::string& name) const
 {
@@ -462,6 +489,13 @@ PolicyRegistry::requireEstimator(const std::string& spec) const
     requireEntry(estimators, "estimator", parsePolicySpec(spec).name);
 }
 
+void
+PolicyRegistry::requireFailureProcess(const std::string& spec) const
+{
+    requireEntry(failures, "failure process",
+                 parsePolicySpec(spec).name);
+}
+
 std::vector<std::string>
 PolicyRegistry::schedulerNames() const
 {
@@ -486,6 +520,12 @@ PolicyRegistry::arrivalNames() const
     return entryNames(arrivals);
 }
 
+std::vector<std::string>
+PolicyRegistry::failureProcessNames() const
+{
+    return entryNames(failures);
+}
+
 std::vector<PolicyInfo>
 PolicyRegistry::schedulerTable() const
 {
@@ -508,6 +548,12 @@ std::vector<PolicyInfo>
 PolicyRegistry::arrivalTable() const
 {
     return entryTable(arrivals);
+}
+
+std::vector<PolicyInfo>
+PolicyRegistry::failureProcessTable() const
+{
+    return entryTable(failures);
 }
 
 namespace {
@@ -715,6 +761,28 @@ PolicyRegistry::registerBuiltins()
                                              cfg.amplitude);
             cfg.period = params.getDouble("period", cfg.period);
             return cfg;
+        });
+
+    // --- failure processes (chaos engine) ----------------------------
+    registerFailureProcess(
+        "mtbf", "up, down, scope, start",
+        "alternating-renewal fault injection: each unit cycles "
+        "up-dwell -> fail -> down-dwell -> recover; dwells are "
+        "exp@M | weibull@S:K | fixed@M, scope is node | domain",
+        [](PolicyParams& params) {
+            MtbfFailureProcess::Config cfg;
+            cfg.up = chaosDistFromSpec(
+                params.getString("up", cfg.up.str()));
+            cfg.down = chaosDistFromSpec(
+                params.getString("down", cfg.down.str()));
+            std::string scope = params.getString("scope", "node");
+            fatalIf(scope != "node" && scope != "domain",
+                    "mtbf: scope must be 'node' or 'domain', got '" +
+                        scope + "'");
+            cfg.byDomain = scope == "domain";
+            cfg.start = params.getDouble("start", cfg.start);
+            fatalIf(cfg.start < 0.0, "mtbf: start must be >= 0");
+            return std::make_unique<MtbfFailureProcess>(cfg);
         });
 }
 

@@ -41,6 +41,7 @@ struct BenchContext;
 class Scheduler;
 class Dispatcher;
 class LatencyEstimator;
+class FailureProcess;
 struct WorkStealingConfig;
 
 /** Parsed "name:key=val,..." spec. */
@@ -135,6 +136,14 @@ using ArrivalFactory = std::function<ArrivalConfig(PolicyParams&)>;
 using ArrivalProcessFactory =
     std::function<std::unique_ptr<ArrivalProcess>(double rate,
                                                   PolicyParams&)>;
+/**
+ * Failure-process factory (chaos engine): pure construction from
+ * spec parameters — the process is armed per run via reset(), so one
+ * spec can serve many sweep cells (each cell constructs its own
+ * instance; construction must be thread-safe).
+ */
+using FailureFactory =
+    std::function<std::unique_ptr<FailureProcess>(PolicyParams&)>;
 
 /** One registry row (for --list-policies and the README table). */
 struct PolicyInfo
@@ -193,6 +202,10 @@ class PolicyRegistry
                                 const std::string& params,
                                 const std::string& description,
                                 ArrivalProcessFactory factory);
+    void registerFailureProcess(const std::string& name,
+                                const std::string& params,
+                                const std::string& description,
+                                FailureFactory factory);
 
     // --- construction ------------------------------------------------
     /**
@@ -224,6 +237,10 @@ class PolicyRegistry
     /** Parse an arrival spec ("poisson", "mmpp:burst=8", ...). */
     ArrivalConfig makeArrival(const std::string& spec) const;
 
+    /** Construct a fault injector ("mtbf:up=exp@3600,down=exp@60"). */
+    std::unique_ptr<FailureProcess>
+    makeFailureProcess(const std::string& spec) const;
+
     // --- introspection -----------------------------------------------
     bool hasScheduler(const std::string& name) const;
     bool hasDispatcher(const std::string& name) const;
@@ -237,18 +254,21 @@ class PolicyRegistry
     void requireScheduler(const std::string& spec) const;
     void requireDispatcher(const std::string& spec) const;
     void requireEstimator(const std::string& spec) const;
+    void requireFailureProcess(const std::string& spec) const;
 
     /** Canonical names, registration order. */
     std::vector<std::string> schedulerNames() const;
     std::vector<std::string> dispatcherNames() const;
     std::vector<std::string> estimatorNames() const;
     std::vector<std::string> arrivalNames() const;
+    std::vector<std::string> failureProcessNames() const;
 
     /** Rows for --list-policies, grouped kind by kind. */
     std::vector<PolicyInfo> schedulerTable() const;
     std::vector<PolicyInfo> dispatcherTable() const;
     std::vector<PolicyInfo> estimatorTable() const;
     std::vector<PolicyInfo> arrivalTable() const;
+    std::vector<PolicyInfo> failureProcessTable() const;
 
   private:
     template <typename Factory> struct Entry
@@ -263,6 +283,7 @@ class PolicyRegistry
     std::vector<Entry<DispatcherFactory>> dispatchers;
     std::vector<Entry<EstimatorFactory>> estimators;
     std::vector<Entry<ArrivalFactory>> arrivals;
+    std::vector<Entry<FailureFactory>> failures;
 
     void registerBuiltins();
 };

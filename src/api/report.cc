@@ -95,6 +95,10 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
     json.field("dispatcher", row.dispatcher);
     json.field("admission_margin", row.admissionMargin);
     json.field("steal_ratio", row.stealRatio);
+    // Emitted only when the grid has a chaos axis, so reports from
+    // chaos-free scenarios stay byte-identical to older runs.
+    if (!row.chaos.empty())
+        json.field("chaos", row.chaos);
     json.field("scheduler", row.scheduler);
     const Metrics& m = row.metrics;
     json.field("antt", m.antt);
@@ -127,6 +131,35 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
             json.endObject();
         }
         json.endArray();
+    }
+    // Resilience block only when a chaos-engine mechanism ran
+    // (fault injection, retries, hedging, brown-out or tiers).
+    if (m.resilience.active) {
+        const ResilienceStats& res = m.resilience;
+        json.beginObject("resilience");
+        json.field("availability", res.availability);
+        json.field("mttr", res.mttr);
+        json.field("failures", res.failures);
+        json.field("timeouts", res.timeouts);
+        json.field("retries", res.retries);
+        json.field("retry_amplification", res.retryAmplification);
+        json.field("hedges", res.hedges);
+        json.field("hedge_wins", res.hedgeWins);
+        json.field("hedge_win_rate", res.hedgeWinRate);
+        json.field("brownout_sheds", res.brownoutSheds);
+        if (!res.tiers.empty()) {
+            json.beginArray("tiers");
+            for (const TierStats& tier : res.tiers) {
+                json.beginObject();
+                json.field("completed", tier.completed);
+                json.field("violations", tier.violations);
+                json.field("shed", tier.shed);
+                json.field("goodput", tier.goodput);
+                json.endObject();
+            }
+            json.endArray();
+        }
+        json.endObject();
     }
     json.endObject();
 }
@@ -219,6 +252,14 @@ Reporter::writeCsv(const std::string& path) const
         }
     }
 
+    // Resilience columns appear only when some row ran a chaos
+    // mechanism, keeping chaos-free CSVs byte-identical.
+    bool any_resilience = false;
+    for (const ScenarioResult& run : runs)
+        for (const ScenarioRow& row : run.rows)
+            any_resilience =
+                any_resilience || row.metrics.resilience.active;
+
     CsvWriter csv(path);
     std::vector<std::string> header = {
         "scenario",       "workload",       "arrival",
@@ -231,6 +272,14 @@ Reporter::writeCsv(const std::string& path) const
         "completed",      "shed",           "makespan",
         "decisions",      "preemptions",
     };
+    if (any_resilience) {
+        header.insert(header.begin() + 8, "chaos");
+        header.insert(header.end(),
+                      {"availability", "mttr", "failures",
+                       "timeouts", "retries", "retry_amplification",
+                       "hedges", "hedge_wins", "hedge_win_rate",
+                       "brownout_sheds"});
+    }
     for (const std::string& name : probes) {
         header.push_back("est_" + name + "_bias");
         header.push_back("est_" + name + "_rmse");
@@ -251,6 +300,10 @@ Reporter::writeCsv(const std::string& path) const
                 jsonNumber(row.stealRatio),
                 row.scheduler,
                 jsonNumber(m.antt),
+            };
+            if (any_resilience)
+                cells.insert(cells.begin() + 8, row.chaos);
+            std::vector<std::string> tail = {
                 jsonNumber(m.violationRate),
                 jsonNumber(m.sloMissRate),
                 jsonNumber(m.throughput),
@@ -267,6 +320,27 @@ Reporter::writeCsv(const std::string& path) const
                 jsonNumber(row.decisions),
                 jsonNumber(row.preemptions),
             };
+            cells.insert(cells.end(), tail.begin(), tail.end());
+            if (any_resilience) {
+                const ResilienceStats& res = m.resilience;
+                // Rows of a chaos-free scenario sharing the file
+                // leave the resilience columns empty.
+                std::vector<std::string> extra(10, "");
+                if (res.active) {
+                    extra = {jsonNumber(res.availability),
+                             jsonNumber(res.mttr),
+                             jsonNumber(res.failures),
+                             jsonNumber(res.timeouts),
+                             jsonNumber(res.retries),
+                             jsonNumber(res.retryAmplification),
+                             jsonNumber(res.hedges),
+                             jsonNumber(res.hedgeWins),
+                             jsonNumber(res.hedgeWinRate),
+                             jsonNumber(res.brownoutSheds)};
+                }
+                cells.insert(cells.end(), extra.begin(),
+                             extra.end());
+            }
             for (const std::string& name : probes) {
                 const EstimatorAccuracy* found = nullptr;
                 for (const EstimatorAccuracy& est : m.estimators)
@@ -331,9 +405,15 @@ printScenarioTable(const ScenarioResult& result)
         [](const ScenarioRow& r) { return r.admissionMargin; });
     bool show_steal = multiValued(
         rows, [](const ScenarioRow& r) { return r.stealRatio; });
+    bool show_chaos = multiValued(
+        rows, [](const ScenarioRow& r) { return r.chaos; });
     bool any_shed = false;
-    for (const ScenarioRow& row : rows)
+    bool any_resilience = false;
+    for (const ScenarioRow& row : rows) {
         any_shed = any_shed || row.metrics.shed > 0;
+        any_resilience =
+            any_resilience || row.metrics.resilience.active;
+    }
 
     std::string title = "scenario '" + spec.name + "' (" +
                         std::to_string(spec.requests) + " requests x " +
@@ -347,6 +427,8 @@ printScenarioTable(const ScenarioResult& result)
         title += ", M_slo=" + shortestDouble(rows.front().slo) + "x";
     if (spec.cluster() && !show_fleet)
         title += ", fleet " + rows.front().fleet;
+    if (!show_chaos && !rows.front().chaos.empty())
+        title += ", chaos " + rows.front().chaos;
     title += ")";
 
     AsciiTable table(title);
@@ -365,12 +447,17 @@ printScenarioTable(const ScenarioResult& result)
         header.push_back("margin");
     if (show_steal)
         header.push_back("steal");
+    if (show_chaos)
+        header.push_back("chaos");
     header.push_back("scheduler");
     header.insert(header.end(),
                   {"ANTT", "violation [%]", "slo miss [%]",
                    "throughput", "p99 lat [ms]"});
     if (any_shed)
         header.push_back("shed");
+    if (any_resilience)
+        header.insert(header.end(), {"avail [%]", "retries",
+                                     "hedge win [%]"});
     // Estimator accuracy probes, when the scenario ran any.
     const std::vector<EstimatorAccuracy>& probes =
         rows.front().metrics.estimators;
@@ -396,6 +483,8 @@ printScenarioTable(const ScenarioResult& result)
             cells.push_back(row.stealRatio < 0.0
                                 ? "default"
                                 : shortestDouble(row.stealRatio));
+        if (show_chaos)
+            cells.push_back(row.chaos.empty() ? "none" : row.chaos);
         cells.push_back(row.scheduler);
         const Metrics& m = row.metrics;
         cells.push_back(AsciiTable::num(m.antt, 2));
@@ -405,6 +494,18 @@ printScenarioTable(const ScenarioResult& result)
         cells.push_back(AsciiTable::num(m.p99Latency * 1e3, 2));
         if (any_shed)
             cells.push_back(std::to_string(m.shed));
+        if (any_resilience) {
+            const ResilienceStats& res = m.resilience;
+            if (res.active) {
+                cells.push_back(
+                    AsciiTable::num(res.availability * 100.0, 2));
+                cells.push_back(AsciiTable::num(res.retries, 0));
+                cells.push_back(
+                    AsciiTable::num(res.hedgeWinRate * 100.0, 1));
+            } else {
+                cells.insert(cells.end(), {"-", "-", "-"});
+            }
+        }
         for (const EstimatorAccuracy& probe : probes) {
             const EstimatorAccuracy* found = nullptr;
             for (const EstimatorAccuracy& est : m.estimators)
@@ -437,6 +538,15 @@ printTelemetrySummary(const Telemetry& telemetry,
                 "(failures)\n",
                 telemetry.execStarts(), telemetry.layerCompletions(),
                 telemetry.abandonedLayers());
+    if (telemetry.timeouts() + telemetry.retries() +
+            telemetry.hedges() + telemetry.brownouts() >
+        0) {
+        std::printf("chaos: %zu timeouts, %zu retries, %zu hedges "
+                    "(%zu cancels), %zu brownout sheds\n",
+                    telemetry.timeouts(), telemetry.retries(),
+                    telemetry.hedges(), telemetry.hedgeCancels(),
+                    telemetry.brownouts());
+    }
 
     const std::vector<NodeTelemetry>& nodes = telemetry.nodes();
     if (!nodes.empty()) {

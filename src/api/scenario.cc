@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "api/registry.hh"
+#include "chaos/chaos.hh"
+#include "chaos/failure.hh"
 #include "obs/phase_timer.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -115,6 +117,8 @@ const char* const kScenarioKeys[] = {
     "seeds",      "seed",            "events",
     "admission",  "admission_margin", "steal_ratio",
     "admission_estimator", "on_failure",
+    "chaos",      "retry",           "hedge",
+    "brownout",   "tiers",
     "probes",     "samples",         "profile_seed",
     "cnn_sparsity", "streaming",     "metrics",
     "calendar",
@@ -178,6 +182,16 @@ applyKey(ScenarioSpec& spec, const std::string& key,
         spec.admissionEstimator = value;
     } else if (key == "on_failure") {
         spec.onFailure = value;
+    } else if (key == "chaos") {
+        spec.chaos = splitAxis(key, value);
+    } else if (key == "retry") {
+        spec.retry = value;
+    } else if (key == "hedge") {
+        spec.hedge = value;
+    } else if (key == "brownout") {
+        spec.brownout = value;
+    } else if (key == "tiers") {
+        spec.tiers = value;
     } else if (key == "probes") {
         spec.probes = splitAxis(key, value);
     } else if (key == "samples") {
@@ -392,6 +406,11 @@ serializeScenario(const ScenarioSpec& spec)
                 [](double v) { return shortestDouble(v); }));
     kv("admission_estimator", spec.admissionEstimator);
     kv("on_failure", spec.onFailure);
+    kv("chaos", joinAxis(spec.chaos, identity));
+    kv("retry", spec.retry);
+    kv("hedge", spec.hedge);
+    kv("brownout", spec.brownout);
+    kv("tiers", spec.tiers);
     kv("probes", joinAxis(spec.probes, identity));
     kv("samples", std::to_string(spec.samples));
     kv("profile_seed", std::to_string(spec.profileSeed));
@@ -441,6 +460,15 @@ validateScenario(const ScenarioSpec& spec)
     for (const std::string& probe : spec.probes)
         registry.requireEstimator(probe);
 
+    // Resilience specs parse strictly whether or not they end up
+    // used; the parsers fatal() naming the malformed parameter.
+    BrownoutConfig brownout = brownoutConfigFromSpec(spec.brownout);
+    retryConfigFromSpec(spec.retry);
+    hedgeConfigFromSpec(spec.hedge);
+    tierWeightsFromSpec(spec.tiers);
+    fatalIf(brownout.enabled && !spec.admission,
+            where + "'brownout' requires 'admission = 1'");
+
     if (!spec.cluster()) {
         fatalIf(!spec.dispatchers.empty(),
                 where + "'dispatcher' requires a 'fleet' (single-"
@@ -456,6 +484,12 @@ validateScenario(const ScenarioSpec& spec)
                         "'fleet'");
         fatalIf(!spec.stealRatios.empty(),
                 where + "'steal_ratio' requires a 'fleet'");
+        fatalIf(!spec.chaos.empty(),
+                where + "'chaos' requires a 'fleet'");
+        fatalIf(!spec.retry.empty() || !spec.hedge.empty() ||
+                    !spec.brownout.empty() || !spec.tiers.empty(),
+                where + "'retry'/'hedge'/'brownout'/'tiers' require "
+                        "a 'fleet'");
         return;
     }
 
@@ -469,6 +503,9 @@ validateScenario(const ScenarioSpec& spec)
         fleetFromSpec(fleet); // validates classes and counts
     if (!spec.events.empty())
         nodeEventsFromSpec(spec.events);
+    for (const std::string& chaos : spec.chaos)
+        if (chaos != "none")
+            registry.makeFailureProcess(chaos); // validates params
 }
 
 BenchSetup
@@ -494,12 +531,13 @@ namespace {
 /**
  * Enumerate the grid points of a scenario in canonical order —
  * workload, arrival, slo, fleet, dispatcher, admission margin,
- * steal ratio, scheduler (seeds are expanded by the caller). Both
- * the cell expansion and the result regrouping iterate through this
- * ONE function, so row labels can never drift out of step with cell
- * results. Cluster axes collapse to a single empty slot on
+ * steal ratio, chaos, scheduler (seeds are expanded by the caller).
+ * Both the cell expansion and the result regrouping iterate through
+ * this ONE function, so row labels can never drift out of step with
+ * cell results. Cluster axes collapse to a single empty slot on
  * single-accelerator grids; an absent steal_ratio axis collapses to
- * the -1 sentinel (dispatcher default).
+ * the -1 sentinel (dispatcher default); an absent chaos axis
+ * collapses to the empty spec (no fault injection).
  */
 template <typename Fn>
 void
@@ -513,6 +551,8 @@ forEachGridPoint(const ScenarioSpec& spec, Fn&& fn)
         spec.cluster() ? spec.dispatchers : none;
     const std::vector<double>& steals =
         spec.stealRatios.empty() ? default_steal : spec.stealRatios;
+    const std::vector<std::string>& chaoses =
+        spec.chaos.empty() ? none : spec.chaos;
 
     for (const WorkloadPanel& panel : spec.workloads)
         for (const std::string& arrival : spec.arrivals)
@@ -521,10 +561,13 @@ forEachGridPoint(const ScenarioSpec& spec, Fn&& fn)
                     for (const std::string& disp : dispatchers)
                         for (double margin : spec.admissionMargins)
                             for (double steal : steals)
-                                for (const std::string& sched :
-                                     spec.schedulers)
-                                    fn(panel, arrival, slo, fleet,
-                                       disp, margin, steal, sched);
+                                for (const std::string& chaos :
+                                     chaoses)
+                                    for (const std::string& sched :
+                                         spec.schedulers)
+                                        fn(panel, arrival, slo,
+                                           fleet, disp, margin,
+                                           steal, chaos, sched);
 }
 
 } // namespace
@@ -538,7 +581,7 @@ scenarioCells(const ScenarioSpec& spec)
                                const std::string& arrival, double slo,
                                const std::string& fleet,
                                const std::string& disp, double margin,
-                               double steal,
+                               double steal, const std::string& chaos,
                                const std::string& sched) {
         SweepCell cell;
         cell.workload.kind = panel.kind;
@@ -567,6 +610,14 @@ scenarioCells(const ScenarioSpec& spec)
             cell.cluster.onFailure = spec.onFailure == "shed"
                 ? RestartPolicy::Shed
                 : RestartPolicy::Restart;
+            // "none" is the chaos axis' off slice; the engine takes
+            // the empty spec as disabled.
+            if (chaos != "none")
+                cell.cluster.chaos = chaos;
+            cell.cluster.retry = spec.retry;
+            cell.cluster.hedge = spec.hedge;
+            cell.cluster.brownout = spec.brownout;
+            cell.cluster.tiers = spec.tiers;
         } else {
             cell.scheduler = sched;
         }
@@ -612,7 +663,7 @@ runScenario(const ScenarioSpec& spec,
                                const std::string& arrival, double slo,
                                const std::string& fleet,
                                const std::string& disp, double margin,
-                               double steal,
+                               double steal, const std::string& chaos,
                                const std::string& sched) {
         ScenarioRow row;
         row.workload = panel.label();
@@ -622,6 +673,7 @@ runScenario(const ScenarioSpec& spec,
         row.dispatcher = disp;
         row.admissionMargin = margin;
         row.stealRatio = steal;
+        row.chaos = chaos;
         row.scheduler = sched;
         for (int s = 0; s < spec.seeds; ++s) {
             const SweepCellResult& r = results[index++];
@@ -644,7 +696,7 @@ builtinScenarioNames()
 {
     return {"fig12",           "fig14",          "fig15",
             "tab05",           "cluster-scaling", "hetero-cluster",
-            "hetero-failover", "megascale"};
+            "hetero-failover", "megascale",      "chaos"};
 }
 
 ScenarioSpec
@@ -763,6 +815,32 @@ builtinScenario(const std::string& name)
         spec.streaming = true;
         spec.metricsKind = MetricsKind::Sketch;
         spec.calendar = CalendarKind::Bucket;
+        return spec;
+    }
+    if (name == "chaos") {
+        // Stochastic fault injection with the full resilience stack:
+        // the chaos axis compares a healthy fleet against MTBF
+        // node-level faults and correlated domain-level faults, all
+        // under deadline retries, hedged dispatch and tiered
+        // brown-out shedding (bench_chaos asserts the resilient
+        // configuration beats no-retry on SLO-attained goodput).
+        ScenarioSpec spec;
+        spec.name = "chaos";
+        spec.workloads = panels({"attnn@80"});
+        spec.arrivals = {"mmpp"};
+        spec.fleets = {"sanger:2@rack0,sanger:2@rack1"};
+        spec.dispatchers = {"least-outstanding"};
+        spec.schedulers = {"Dysta"};
+        spec.chaos = {"none", "mtbf:up=exp@20,down=exp@2",
+                      "mtbf:up=exp@30,down=exp@3,scope=domain"};
+        spec.retry = "retry:max=2,backoff=2,timeout=1,budget=0.5";
+        spec.hedge = "hedge:quantile=0.95,factor=1,min_samples=32";
+        spec.brownout = "brownout:step=0.5";
+        spec.tiers = "0.5,0.3,0.2";
+        spec.admission = true;
+        spec.admissionMargins = {1.5};
+        spec.requests = 400;
+        spec.seeds = 2;
         return spec;
     }
     if (name == "hetero-failover") {

@@ -81,6 +81,12 @@ struct ScenarioSpec
     std::vector<std::string> dispatchers;
     /** Node-scheduler specs (axis; at least one). */
     std::vector<std::string> schedulers;
+    /**
+     * Failure-process specs (axis; cluster scenarios only), e.g.
+     * "mtbf:up=exp@100,down=exp@5"; the literal "none" keeps fault
+     * injection off for that grid slice. Empty = no chaos axis.
+     */
+    std::vector<std::string> chaos;
 
     // --- per-cell workload knobs -------------------------------------
     int requests = 1000;
@@ -105,6 +111,14 @@ struct ScenarioSpec
     std::string admissionEstimator;
     /** "restart" or "shed": fate of work displaced by a failure. */
     std::string onFailure = "restart";
+    /** Retry-policy spec, e.g. "retry:max=3,backoff=2" ("" = off). */
+    std::string retry;
+    /** Hedged-dispatch spec, e.g. "hedge:quantile=0.95" ("" = off). */
+    std::string hedge;
+    /** Brown-out spec, e.g. "brownout:step=0.5" ("" = off). */
+    std::string brownout;
+    /** Priority-tier weights, e.g. "0.6,0.3,0.1" ("" = one tier). */
+    std::string tiers;
 
     // --- execution model ---------------------------------------------
     /**
@@ -159,7 +173,7 @@ BenchSetup scenarioSetup(const ScenarioSpec& spec);
 /**
  * Expand the grid into SweepCells in canonical order: workload,
  * arrival, slo, fleet, dispatcher, admission margin, steal ratio,
- * scheduler, seeds innermost.
+ * chaos, scheduler, seeds innermost.
  */
 std::vector<SweepCell> scenarioCells(const ScenarioSpec& spec);
 
@@ -175,6 +189,8 @@ struct ScenarioRow
     double admissionMargin = 1.0;
     /** Steal-ratio threshold; -1 = dispatcher default (no axis). */
     double stealRatio = -1.0;
+    /** Failure-process spec; "" when the grid has no chaos axis. */
+    std::string chaos;
     std::string scheduler;
     /** Field-wise mean over the seed replicas. */
     Metrics metrics;

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Resilience policy knobs of the chaos engine: dwell-time
+ * distributions for fault injection, and the spec grammars for the
+ * request-level resilience mechanisms the simulation core applies —
+ * deadline timeouts with budget-capped retries, hedged dispatch, and
+ * tiered brown-out degradation.
+ *
+ * Everything here is pure configuration: no simulation state, no sim
+ * includes, so the core (src/sim/core.hh) can embed these structs
+ * without layering cycles. Construction is from compact spec strings
+ * (the scenario-file / CLI convention of api/registry.hh):
+ *
+ *     dist     exp@3600 | weibull@3600:1.5 | fixed@60   (seconds;
+ *              a trailing 's' is accepted: exp@3600s)
+ *     retry    retry:max=3,backoff=2,timeout=0.5,budget=0.5
+ *     hedge    hedge:quantile=0.95,factor=1,min_samples=32
+ *     brownout brownout:step=0.5
+ *     tiers    0.6,0.3,0.1   (admission weights, highest tier first)
+ *
+ * An empty spec string disables the mechanism — the core then runs
+ * bit-identically to a build without the chaos engine.
+ */
+
+#ifndef DYSTA_CHAOS_CHAOS_HH
+#define DYSTA_CHAOS_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dysta {
+
+/**
+ * A positive dwell-time distribution for failure processes: how long
+ * a unit stays up (time to failure) or down (time to repair).
+ */
+struct ChaosDist
+{
+    enum class Kind : uint8_t
+    {
+        Exp = 0,     ///< memoryless, `scale` = mean
+        Weibull = 1, ///< wear-out (shape > 1) or infant mortality
+        Fixed = 2,   ///< deterministic dwell of `scale` seconds
+    };
+
+    Kind kind = Kind::Exp;
+    /** Mean (exp/fixed) or Weibull scale parameter, in seconds. */
+    double scale = 3600.0;
+    /** Weibull shape parameter k (ignored otherwise). */
+    double shape = 1.0;
+
+    /** Draw one dwell time (>= 0) from `rng`. */
+    double sample(Rng& rng) const;
+
+    /** Canonical spec form ("exp@3600", "weibull@3600:1.5"). */
+    std::string str() const;
+};
+
+/**
+ * Parse "exp@M" / "weibull@S:K" / "fixed@M" (seconds, optional
+ * trailing 's'). fatal() on malformed specs or non-positive
+ * parameters.
+ */
+ChaosDist chaosDistFromSpec(const std::string& spec);
+
+/**
+ * Deadline-timeout + retry policy. When enabled, every dispatched
+ * request gets a Timeout calendar event at
+ *     arrival + timeoutFactor * (deadline - arrival)
+ * for its first attempt; a fired timeout cancels the attempt
+ * wherever it sits (queued or mid-block) and re-dispatches with the
+ * per-attempt allowance scaled by `backoff` per retry, until either
+ * `maxRetries` attempts were consumed or the fleet-wide retry budget
+ * (`budget` * offered requests) is exhausted — then the request is
+ * shed (a client-visible SLO loss).
+ */
+struct RetryConfig
+{
+    bool enabled = false;
+    /** Retries per request after the initial attempt. */
+    int maxRetries = 3;
+    /** Per-retry multiplier on the attempt's time allowance. */
+    double backoff = 2.0;
+    /** First attempt's allowance as a fraction of the SLO window. */
+    double timeoutFactor = 0.5;
+    /**
+     * Fleet-wide retry budget as a fraction of offered requests
+     * (the SRE "retry budget" guard against retry storms).
+     */
+    double budget = 0.5;
+};
+
+/** Parse "retry:max=,backoff=,timeout=,budget="; "" disables. */
+RetryConfig retryConfigFromSpec(const std::string& spec);
+
+/**
+ * Hedged dispatch: once `minSamples` completions seeded the online
+ * latency quantile, every primary still unfinished
+ * `factor * q(quantile)` seconds after its dispatch is duplicated
+ * onto the least-outstanding other available node. First completion
+ * wins; the losing copy is cancelled at its next layer boundary.
+ */
+struct HedgeConfig
+{
+    bool enabled = false;
+    /** Tail quantile of completed latencies deriving the delay. */
+    double quantile = 0.95;
+    /** Multiplier on the quantile for the hedge delay. */
+    double factor = 1.0;
+    /** Completions required before hedging arms. */
+    int minSamples = 32;
+};
+
+/** Parse "hedge:quantile=,factor=,min_samples="; "" disables. */
+HedgeConfig hedgeConfigFromSpec(const std::string& spec);
+
+/**
+ * Tiered brown-out degradation: the admission margin of a tier-t
+ * request is scaled by (1 + step * t), so lower-priority tiers
+ * (higher t) are shed first as estimated delay rises — graceful
+ * degradation instead of all-or-nothing shedding. Requires admission
+ * control to be enabled.
+ */
+struct BrownoutConfig
+{
+    bool enabled = false;
+    /** Per-tier margin escalation step (>= 0). */
+    double step = 0.5;
+};
+
+/** Parse "brownout:step="; "" disables. */
+BrownoutConfig brownoutConfigFromSpec(const std::string& spec);
+
+/**
+ * Parse a tier-weight list ("0.6,0.3,0.1", highest priority first)
+ * into normalized admission weights. "" yields an empty vector
+ * (single implicit tier 0). fatal() on non-positive weights.
+ */
+std::vector<double> tierWeightsFromSpec(const std::string& spec);
+
+/**
+ * Deterministic tier assignment: hashes (request id, seed) through
+ * splitmix64 and walks the cumulative weights — no workload RNG
+ * stream is consumed, so runs without tiers stay bit-identical.
+ * @return tier index in [0, weights.size()); 0 when weights is empty
+ */
+int tierOfRequest(int request_id, const std::vector<double>& weights,
+                  uint64_t seed);
+
+} // namespace dysta
+
+#endif // DYSTA_CHAOS_CHAOS_HH

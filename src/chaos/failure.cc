@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MTBF/MTTR alternating-renewal fault injection (see failure.hh).
+ */
+
+#include "chaos/failure.hh"
+
+#include "util/logging.hh"
+
+namespace dysta {
+
+void
+MtbfFailureProcess::reset(const std::vector<NodeProfile>& nodes,
+                          uint64_t seed)
+{
+    // A dedicated stream: mixed away from the workload seeds (which
+    // use seed * golden + small constants) so chaos never correlates
+    // with arrival or sparsity draws.
+    rng = Rng(seed * 0xD1342543DE82EF95ULL + 0x9E6C63D0876A9A47ULL);
+    units.clear();
+    pending.clear();
+
+    if (cfg.byDomain) {
+        // Group by NodeProfile::domain, first-appearance order.
+        // Nodes without a domain never group: each gets a singleton
+        // unit (the "" entries below are placeholders that are never
+        // matched against).
+        std::vector<std::string> domains;
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            const std::string& domain = nodes[i].domain;
+            size_t unit = units.size();
+            if (!domain.empty()) {
+                for (size_t d = 0; d < domains.size(); ++d)
+                    if (domains[d] == domain)
+                        unit = d;
+            }
+            if (unit == units.size()) {
+                domains.push_back(domain);
+                units.push_back(Unit{});
+            }
+            units[unit].members.push_back(static_cast<int>(i));
+        }
+    } else {
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            Unit unit;
+            unit.members.push_back(static_cast<int>(i));
+            units.push_back(unit);
+        }
+    }
+
+    // First time-to-failure per unit, drawn in unit order.
+    for (Unit& unit : units)
+        unit.at = cfg.start + cfg.up.sample(rng);
+}
+
+bool
+MtbfFailureProcess::next(NodeEvent& out)
+{
+    if (pending.empty()) {
+        if (units.empty())
+            return false;
+        // Earliest unit; ties by lowest unit index.
+        size_t best = 0;
+        for (size_t u = 1; u < units.size(); ++u)
+            if (units[u].at < units[best].at)
+                best = u;
+        Unit& unit = units[best];
+        double t = unit.at;
+        unit.up = !unit.up;
+        NodeEventKind kind =
+            unit.up ? NodeEventKind::Recover : NodeEventKind::Fail;
+        for (int member : unit.members)
+            pending.push_back({t, member, kind});
+        // Dwell in the new state decides the next transition.
+        unit.at =
+            t + (unit.up ? cfg.up : cfg.down).sample(rng);
+    }
+    out = pending.front();
+    pending.pop_front();
+    return true;
+}
+
+} // namespace dysta

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Stochastic fault injection for the cluster simulation: lazy
+ * generators of NodeChange events.
+ *
+ * PR 4's node lifecycle replays a *pre-scripted* drain/fail/recover
+ * trace (SimConfig::nodeEvents) — good for regression replay,
+ * useless for asking what availability a policy delivers under an
+ * MTBF/MTTR regime. A `FailureProcess` closes that gap: it is armed
+ * once per run over the fleet's node profiles and then emits
+ * fail/recover transitions one at a time, in non-decreasing time
+ * order, through the same one-pending-event contract the streaming
+ * `ArrivalSource` uses — the core keeps exactly one chaos event in
+ * the calendar and refills on pop, so the horizon is unbounded
+ * without ever materializing an event trace.
+ *
+ * Determinism: the process draws from its own Rng stream derived
+ * from the run seed — never from the workload streams — so a run
+ * with chaos disabled is bit-identical to one on a build without
+ * the subsystem, and same-seed chaos runs replay exactly.
+ *
+ * Construction is by spec string through the policy registry
+ * (api/registry.hh), e.g.
+ *
+ *     mtbf:up=exp@3600s,down=exp@60s
+ *     mtbf:up=weibull@5400:2,down=fixed@30,scope=domain
+ *
+ * `scope=domain` groups nodes by the fault domain of their fleet
+ * spec ("sanger:4@rack0"): every member of a domain fails and
+ * recovers together — the correlated-failure case (top-of-rack
+ * switch, PDU) that independent per-node injection cannot model.
+ */
+
+#ifndef DYSTA_CHAOS_FAILURE_HH
+#define DYSTA_CHAOS_FAILURE_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hh"
+#include "sim/core.hh"
+#include "sim/node.hh"
+
+namespace dysta {
+
+/**
+ * Lazy generator of availability transitions. Implementations must
+ * emit events with non-decreasing times; the core validates node
+ * indices against the fleet.
+ */
+class FailureProcess
+{
+  public:
+    virtual ~FailureProcess() = default;
+
+    /** Process name as shown in tables and reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Arm the process for one run over `nodes`, deriving its RNG
+     * stream from `seed`. Called by the core before the event loop;
+     * a process instance is reusable across runs (reset re-seeds).
+     */
+    virtual void reset(const std::vector<NodeProfile>& nodes,
+                       uint64_t seed) = 0;
+
+    /**
+     * Produce the next transition. Returns false when the process
+     * has nothing further to inject (the core stops refilling).
+     */
+    virtual bool next(NodeEvent& out) = 0;
+};
+
+/**
+ * Alternating-renewal fault injector: each unit (a node, or a fault
+ * domain with `scope=domain`) cycles
+ *     up-dwell ~ up  ->  Fail  ->  down-dwell ~ down  ->  Recover
+ * forever, with all dwell times drawn from one shared chaos stream
+ * in deterministic (time, unit index) order. A domain transition
+ * fans out one NodeEvent per member node (ascending node id) at the
+ * same instant — the calendar's same-time tie-breaks keep the
+ * displacement order deterministic.
+ */
+class MtbfFailureProcess final : public FailureProcess
+{
+  public:
+    struct Config
+    {
+        /** Time-to-failure distribution (mean time between fails). */
+        ChaosDist up{ChaosDist::Kind::Exp, 3600.0, 1.0};
+        /** Time-to-repair distribution (MTTR). */
+        ChaosDist down{ChaosDist::Kind::Exp, 60.0, 1.0};
+        /** Group nodes by NodeProfile::domain instead of per-node. */
+        bool byDomain = false;
+        /** Injection starts this long after t=0 (warm-up grace). */
+        double start = 0.0;
+    };
+
+    explicit MtbfFailureProcess(Config cfg) : cfg(cfg) {}
+
+    std::string name() const override { return "mtbf"; }
+
+    void reset(const std::vector<NodeProfile>& nodes,
+               uint64_t seed) override;
+
+    bool next(NodeEvent& out) override;
+
+  private:
+    /** One alternating-renewal chain. */
+    struct Unit
+    {
+        /** Member node ids (ascending; one entry per-node scope). */
+        std::vector<int> members;
+        bool up = true;
+        /** Time of this unit's next transition. */
+        double at = 0.0;
+    };
+
+    Config cfg;
+    Rng rng{1};
+    std::vector<Unit> units;
+    /** Fan-out buffer: events already timed, not yet handed over. */
+    std::deque<NodeEvent> pending;
+};
+
+} // namespace dysta
+
+#endif // DYSTA_CHAOS_FAILURE_HH

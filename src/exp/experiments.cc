@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "api/registry.hh"
+#include "chaos/failure.hh"
 #include "exp/sweep.hh"
 #include "workload/source.hh"
 #include "models/zoo.hh"
@@ -256,6 +257,22 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     cfg.telemetry = cluster.telemetry;
     cfg.calendar = cluster.calendar;
     cfg.metricsKind = cluster.metricsKind;
+
+    // Chaos knobs: the failure process is constructed per run and
+    // must outlive engine.run(); the sim core seeds its RNG stream
+    // from the workload seed, so seed replicas see different fault
+    // timelines but reruns are bit-identical.
+    std::unique_ptr<FailureProcess> chaos_proc;
+    if (!cluster.chaos.empty()) {
+        chaos_proc =
+            PolicyRegistry::global().makeFailureProcess(cluster.chaos);
+        cfg.chaos = chaos_proc.get();
+    }
+    cfg.chaosSeed = workload.seed;
+    cfg.retry = retryConfigFromSpec(cluster.retry);
+    cfg.hedge = hedgeConfigFromSpec(cluster.hedge);
+    cfg.brownout = brownoutConfigFromSpec(cluster.brownout);
+    cfg.tierWeights = tierWeightsFromSpec(cluster.tiers);
 
     std::unique_ptr<LatencyEstimator> admission_est;
     if (!cluster.admissionEstimator.empty()) {

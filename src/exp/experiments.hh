@@ -154,6 +154,24 @@ struct ClusterRunConfig
     CalendarKind calendar = CalendarKind::Heap;
     /** Streaming-mode metrics accumulation (see SimConfig). */
     MetricsKind metricsKind = MetricsKind::Exact;
+
+    // --- chaos engine (src/chaos/) -----------------------------------
+    /**
+     * Failure-process spec, e.g. "mtbf:up=exp@100,down=exp@5" or
+     * "mtbf:up=weibull@200:1.5,down=fixed@10,scope=domain"
+     * (PolicyRegistry); "" disables fault injection. The process is
+     * constructed per run and seeded from the workload seed, so
+     * chaos-off runs stay bit-identical to a build without it.
+     */
+    std::string chaos;
+    /** Retry-policy spec, e.g. "retry:max=3,backoff=2"; "" = off. */
+    std::string retry;
+    /** Hedging spec, e.g. "hedge:quantile=0.95"; "" = off. */
+    std::string hedge;
+    /** Brown-out spec, e.g. "brownout:step=0.5"; "" = off. */
+    std::string brownout;
+    /** Tier weights, e.g. "0.6,0.3,0.1"; "" = single tier. */
+    std::string tiers;
 };
 
 /** Generate one workload and serve it on a simulated cluster. */

@@ -128,7 +128,10 @@ renderTelemetryGantt(const Telemetry& telemetry,
             "recording");
     panicIf(config.columns == 0, "renderTelemetryGantt: zero columns");
 
-    const std::vector<TelemetryEvent>& events = telemetry.events();
+    // Chronological view: undoes the ring rotation when a retention
+    // cap bounded the event log.
+    const std::vector<TelemetryEvent> events =
+        telemetry.orderedEvents();
     if (events.empty())
         return "(no telemetry events recorded)\n";
 

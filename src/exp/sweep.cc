@@ -186,6 +186,56 @@ averageMetrics(const std::vector<Metrics>& runs)
                 std::sqrt(acc.isolatedRmse / acc.isolatedSamples);
         }
     }
+
+    // Pool resilience stats field-wise (counts are doubles for
+    // exactly this). A grid point's replicas share one config, so
+    // either every run is active or none is.
+    if (runs[0].resilience.active) {
+        ResilienceStats& res = avg.resilience;
+        res.active = true;
+        res.availability = res.mttr = 0.0;
+        res.retryAmplification = res.hedgeWinRate = 0.0;
+        res.tiers.assign(runs[0].resilience.tiers.size(),
+                         TierStats{});
+        for (const Metrics& m : runs) {
+            const ResilienceStats& r = m.resilience;
+            panicIf(!r.active || r.tiers.size() != res.tiers.size(),
+                    "averageMetrics: runs carry different "
+                    "resilience configs");
+            res.availability += r.availability;
+            res.mttr += r.mttr;
+            res.failures += r.failures;
+            res.timeouts += r.timeouts;
+            res.retries += r.retries;
+            res.retryAmplification += r.retryAmplification;
+            res.hedges += r.hedges;
+            res.hedgeWins += r.hedgeWins;
+            res.hedgeWinRate += r.hedgeWinRate;
+            res.brownoutSheds += r.brownoutSheds;
+            for (size_t t = 0; t < res.tiers.size(); ++t) {
+                res.tiers[t].completed += r.tiers[t].completed;
+                res.tiers[t].violations += r.tiers[t].violations;
+                res.tiers[t].shed += r.tiers[t].shed;
+                res.tiers[t].goodput += r.tiers[t].goodput;
+            }
+        }
+        res.availability /= n;
+        res.mttr /= n;
+        res.failures /= n;
+        res.timeouts /= n;
+        res.retries /= n;
+        res.retryAmplification /= n;
+        res.hedges /= n;
+        res.hedgeWins /= n;
+        res.hedgeWinRate /= n;
+        res.brownoutSheds /= n;
+        for (TierStats& tier : res.tiers) {
+            tier.completed /= n;
+            tier.violations /= n;
+            tier.shed /= n;
+            tier.goodput /= n;
+        }
+    }
     return avg;
 }
 

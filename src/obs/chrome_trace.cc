@@ -105,6 +105,8 @@ chromeTraceJson(const Telemetry& telemetry,
 
     // One pass over the deterministic event log: merge per-layer
     // executions into slices, everything else becomes instants.
+    // orderedEvents() undoes the ring rotation when a retention cap
+    // was active (--chrome-trace on megascale runs).
     std::vector<OpenSegment> open(num_nodes);
     auto closeSegment = [&](int node) {
         OpenSegment& seg = open[static_cast<size_t>(node)];
@@ -113,7 +115,7 @@ chromeTraceJson(const Telemetry& telemetry,
         seg = OpenSegment{};
     };
 
-    for (const TelemetryEvent& ev : telemetry.events()) {
+    for (const TelemetryEvent& ev : telemetry.orderedEvents()) {
         switch (ev.kind) {
           case TeleKind::ExecStart: {
             OpenSegment& seg = open[static_cast<size_t>(ev.node)];
@@ -167,6 +169,25 @@ chromeTraceJson(const Telemetry& telemetry,
           case TeleKind::NodeRecover:
             emitInstant(json, "recover", ev.time, ev.node, false, -1);
             break;
+          case TeleKind::Timeout:
+            emitInstant(json, "timeout", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::Retry:
+            emitInstant(json, "retry", ev.time, 0, true, ev.request);
+            break;
+          case TeleKind::Hedge:
+            emitInstant(json, "hedge", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::HedgeCancel:
+            emitInstant(json, "hedge_cancel", ev.time, ev.node,
+                        false, ev.request);
+            break;
+          case TeleKind::Brownout:
+            emitInstant(json, "brownout", ev.time, 0, true,
+                        ev.request);
+            break;
           case TeleKind::Arrival:
           case TeleKind::Dispatch:
             break;
@@ -182,7 +203,7 @@ chromeTraceJson(const Telemetry& telemetry,
                 "queue " + nodeName(node_names,
                                     static_cast<int>(node));
             for (const NodeSample& s :
-                 telemetry.nodes()[node].samples) {
+                 telemetry.orderedSamples(node)) {
                 json.beginObject();
                 json.field("name", track);
                 json.field("ph", "C");

@@ -29,6 +29,11 @@ toString(TeleKind kind)
       case TeleKind::NodeDrain:     return "node_drain";
       case TeleKind::NodeFail:      return "node_fail";
       case TeleKind::NodeRecover:   return "node_recover";
+      case TeleKind::Timeout:       return "timeout";
+      case TeleKind::Retry:         return "retry";
+      case TeleKind::Hedge:         return "hedge";
+      case TeleKind::HedgeCancel:   return "hedge_cancel";
+      case TeleKind::Brownout:      return "brownout";
     }
     panic("toString: unhandled TeleKind");
 }
@@ -66,6 +71,10 @@ Telemetry::beginRun(size_t num_nodes)
     numMigrations = numRestarts = numCompletions = 0;
     numPreemptions = numExecStarts = numLayerCompletions = 0;
     numAbandoned = 0;
+    numTimeouts = numRetries = numHedges = 0;
+    numHedgeCancels = numBrownouts = 0;
+    ringHead = 0;
+    numDroppedEvents = 0;
     for (Probe& probe : probes) {
         probe.est->reset();
         probe.n = 0;
@@ -92,8 +101,16 @@ Telemetry::nodeRef(int node)
 void
 Telemetry::record(const TelemetryEvent& ev)
 {
-    if (cfg.recordEvents)
+    if (!cfg.recordEvents)
+        return;
+    if (cfg.maxEvents == 0 || log.size() < cfg.maxEvents) {
         log.push_back(ev);
+        return;
+    }
+    // Ring: overwrite the oldest retained event.
+    log[ringHead] = ev;
+    ringHead = (ringHead + 1) % cfg.maxEvents;
+    ++numDroppedEvents;
 }
 
 void
@@ -102,7 +119,42 @@ Telemetry::sample(int node, double now)
     if (!cfg.recordSeries)
         return;
     NodeTelemetry& nt = nodeRef(node);
-    nt.samples.push_back({now, nt.depth, nt.running});
+    NodeSample s{now, nt.depth, nt.running};
+    if (cfg.maxEvents == 0 || nt.samples.size() < cfg.maxEvents) {
+        nt.samples.push_back(s);
+        return;
+    }
+    nt.samples[nt.sampleHead] = s;
+    nt.sampleHead = (nt.sampleHead + 1) % cfg.maxEvents;
+    ++nt.samplesDropped;
+}
+
+std::vector<TelemetryEvent>
+Telemetry::orderedEvents() const
+{
+    std::vector<TelemetryEvent> out;
+    out.reserve(log.size());
+    out.insert(out.end(), log.begin() + static_cast<long>(ringHead),
+               log.end());
+    out.insert(out.end(), log.begin(),
+               log.begin() + static_cast<long>(ringHead));
+    return out;
+}
+
+std::vector<NodeSample>
+Telemetry::orderedSamples(size_t node) const
+{
+    panicIf(node >= perNode.size(),
+            "Telemetry::orderedSamples: node index out of range");
+    const NodeTelemetry& nt = perNode[node];
+    std::vector<NodeSample> out;
+    out.reserve(nt.samples.size());
+    out.insert(out.end(),
+               nt.samples.begin() + static_cast<long>(nt.sampleHead),
+               nt.samples.end());
+    out.insert(out.end(), nt.samples.begin(),
+               nt.samples.begin() + static_cast<long>(nt.sampleHead));
+    return out;
 }
 
 void
@@ -168,6 +220,11 @@ Telemetry::layerComplete(const Request& req, int node, size_t layer,
     record({end, TeleKind::LayerComplete, node, req.id,
             static_cast<int>(layer), start, sparsity, -1});
     sample(node, end);
+    // A hedge clone shares its primary's id: feeding its execution
+    // into the probes would corrupt the primary's prediction state,
+    // so clones only count in the node-level channels above.
+    if (req.isHedgeClone)
+        return;
     for (Probe& probe : probes) {
         probe.est->observe(req, sparsity);
         if (req.done())
@@ -217,6 +274,52 @@ Telemetry::restartFromFailure(const Request& req, int node, double now)
     // probe state so its re-admission starts a fresh prediction.
     for (Probe& probe : probes)
         probe.est->release(req);
+}
+
+void
+Telemetry::timeout(const Request& req, int node, int attempt,
+                   double now)
+{
+    ++numTimeouts;
+    record({now, TeleKind::Timeout, node, req.id, -1, 0.0,
+            static_cast<double>(attempt), -1});
+    // The attempt is void; a retry re-admits through dispatch(), so
+    // probe state must restart fresh (mirrors restartFromFailure).
+    for (Probe& probe : probes)
+        probe.est->release(req);
+}
+
+void
+Telemetry::retry(const Request& req, int attempt, double now)
+{
+    ++numRetries;
+    record({now, TeleKind::Retry, -1, req.id, -1, 0.0,
+            static_cast<double>(attempt), -1});
+}
+
+void
+Telemetry::hedge(const Request& req, int node, double now)
+{
+    ++numHedges;
+    record({now, TeleKind::Hedge, node, req.id, -1, 0.0, 0.0, -1});
+}
+
+void
+Telemetry::hedgeCancel(const Request& req, int node, double now)
+{
+    ++numHedgeCancels;
+    // No probe release: the copies share an id, and the winning
+    // copy's complete()/the primary's lifecycle owns that state.
+    record({now, TeleKind::HedgeCancel, node, req.id, -1, 0.0, 0.0,
+            -1});
+}
+
+void
+Telemetry::brownout(const Request& req, double now)
+{
+    ++numBrownouts;
+    record({now, TeleKind::Brownout, -1, req.id, -1, 0.0,
+            static_cast<double>(req.tier), -1});
 }
 
 void
@@ -298,9 +401,9 @@ writeTimeSeriesCsv(const Telemetry& telemetry,
     CsvWriter csv(path);
     csv.writeRow(std::vector<std::string>{"time", "node",
                                           "queue_depth", "running"});
-    const std::vector<NodeTelemetry>& nodes = telemetry.nodes();
-    for (size_t node = 0; node < nodes.size(); ++node)
-        for (const NodeSample& s : nodes[node].samples)
+    size_t num_nodes = telemetry.nodes().size();
+    for (size_t node = 0; node < num_nodes; ++node)
+        for (const NodeSample& s : telemetry.orderedSamples(node))
             csv.writeRow(std::vector<double>{
                 s.time, static_cast<double>(node),
                 static_cast<double>(s.queueDepth),

@@ -63,6 +63,11 @@ enum class TeleKind : uint8_t
     NodeDrain = 9,     ///< node stops accepting new work
     NodeFail = 10,     ///< node went down; queue displaced
     NodeRecover = 11,  ///< node back in service
+    Timeout = 12,      ///< an attempt's deadline allowance expired
+    Retry = 13,        ///< request re-dispatched after a timeout
+    Hedge = 14,        ///< duplicate copy issued to a second node
+    HedgeCancel = 15,  ///< losing copy of a hedge pulled back
+    Brownout = 16,     ///< admission shed under brown-out escalation
 };
 
 std::string toString(TeleKind kind);
@@ -96,6 +101,17 @@ struct TelemetryConfig
     bool recordEvents = true;
     /** Keep per-node queue-depth/busy time series samples. */
     bool recordSeries = true;
+    /**
+     * Retention cap per channel (the event log, and each node's
+     * sample series); 0 = unbounded. When set, each channel becomes
+     * a ring buffer keeping the most recent entries, so
+     * --chrome-trace on a megascale run stays O(maxEvents) memory
+     * instead of O(requests). Counters and probes are unaffected —
+     * only the replayable logs are capped. Exporters read the
+     * chronologically-ordered views (`orderedEvents`,
+     * `orderedSamples`) which undo the ring rotation.
+     */
+    size_t maxEvents = 0;
 };
 
 /** One (time, queue depth, running) sample of a node series. */
@@ -131,6 +147,10 @@ struct NodeTelemetry
     // --- live state (maintained by the hooks) ------------------------
     int depth = 0;
     bool running = false;
+    /** Ring rotation point of `samples` when the cap is active. */
+    size_t sampleHead = 0;
+    /** Samples overwritten by the ring (0 = series is complete). */
+    size_t samplesDropped = 0;
 };
 
 /**
@@ -182,13 +202,43 @@ class Telemetry
     void restartFromFailure(const Request& req, int node, double now);
     void nodeChange(int node, NodeEventKind kind, double now);
 
+    // --- chaos-engine hooks (src/chaos/) -----------------------------
+    /** `req`'s attempt number `attempt` timed out on `node`. */
+    void timeout(const Request& req, int node, int attempt,
+                 double now);
+    /** `req` re-enters the front door as attempt `attempt`. */
+    void retry(const Request& req, int attempt, double now);
+    /** A duplicate of `req` was issued to `node`. */
+    void hedge(const Request& req, int node, double now);
+    /** The losing copy of a hedge was pulled back from `node`. */
+    void hedgeCancel(const Request& req, int node, double now);
+    /** `req` was shed by brown-out-escalated admission control. */
+    void brownout(const Request& req, double now);
+
     // --- results ------------------------------------------------------
     const TelemetryConfig& config() const { return cfg; }
+    /**
+     * Raw event storage. With an active `maxEvents` cap this is the
+     * ring in rotation order — exporters must use `orderedEvents()`.
+     */
     const std::vector<TelemetryEvent>& events() const { return log; }
     const std::vector<NodeTelemetry>& nodes() const
     {
         return perNode;
     }
+
+    /**
+     * The retained event log in chronological order (undoing the
+     * ring rotation when `maxEvents` capped it). With no cap this is
+     * simply a copy of `events()`.
+     */
+    std::vector<TelemetryEvent> orderedEvents() const;
+
+    /** One node's retained samples in chronological order. */
+    std::vector<NodeSample> orderedSamples(size_t node) const;
+
+    /** Events overwritten by the ring (0 = the log is complete). */
+    size_t eventsDropped() const { return numDroppedEvents; }
 
     /** Accuracy snapshot of every probe (see EstimatorAccuracy). */
     std::vector<EstimatorAccuracy> accuracy() const;
@@ -207,6 +257,11 @@ class Telemetry
     size_t execStarts() const { return numExecStarts; }
     size_t layerCompletions() const { return numLayerCompletions; }
     size_t abandonedLayers() const { return numAbandoned; }
+    size_t timeouts() const { return numTimeouts; }
+    size_t retries() const { return numRetries; }
+    size_t hedges() const { return numHedges; }
+    size_t hedgeCancels() const { return numHedgeCancels; }
+    size_t brownouts() const { return numBrownouts; }
 
   private:
     struct Probe
@@ -239,6 +294,14 @@ class Telemetry
     size_t numExecStarts = 0;
     size_t numLayerCompletions = 0;
     size_t numAbandoned = 0;
+    size_t numTimeouts = 0;
+    size_t numRetries = 0;
+    size_t numHedges = 0;
+    size_t numHedgeCancels = 0;
+    size_t numBrownouts = 0;
+    /** Ring rotation point of `log` when the cap is active. */
+    size_t ringHead = 0;
+    size_t numDroppedEvents = 0;
 
     NodeTelemetry& nodeRef(int node);
     void record(const TelemetryEvent& ev);

@@ -42,6 +42,53 @@ struct EstimatorAccuracy
     double isolatedRmse = 0.0;
 };
 
+/** Per-priority-tier outcome counts of a chaos-engine run. */
+struct TierStats
+{
+    double completed = 0.0;
+    /** Completions past their deadline. */
+    double violations = 0.0;
+    double shed = 0.0;
+    /** SLO-attained completions per second of makespan. */
+    double goodput = 0.0;
+};
+
+/**
+ * Resilience metrics of the chaos engine (src/chaos/). `active` is
+ * set only when a resilience mechanism (fault injection, retries,
+ * hedging, brown-out, tiers) was configured: inactive stats are
+ * never reported, so chaos-off reports stay bit-identical to builds
+ * without the subsystem. Counts are doubles so seed replicas average
+ * the same way as every other metric.
+ */
+struct ResilienceStats
+{
+    bool active = false;
+    /** 1 - (node-down time / (nodes * makespan)). */
+    double availability = 1.0;
+    /** Mean observed repair time over closed down-spells, seconds. */
+    double mttr = 0.0;
+    /** Node-down transitions observed (fault-domain fan-out counted
+     * per node). */
+    double failures = 0.0;
+    /** Per-attempt deadline timeouts fired. */
+    double timeouts = 0.0;
+    /** Re-dispatches after a timeout. */
+    double retries = 0.0;
+    /** Dispatch attempts per offered request (>= 1). */
+    double retryAmplification = 1.0;
+    /** Hedged duplicates issued. */
+    double hedges = 0.0;
+    /** Hedges whose clone finished first. */
+    double hedgeWins = 0.0;
+    /** hedgeWins / hedges (0 when no hedges). */
+    double hedgeWinRate = 0.0;
+    /** Admission sheds attributed to brown-out margin escalation. */
+    double brownoutSheds = 0.0;
+    /** Per-tier outcomes; empty unless tiers were configured. */
+    std::vector<TierStats> tiers;
+};
+
 /** Aggregate results of one scheduling run. */
 struct Metrics
 {
@@ -84,6 +131,8 @@ struct Metrics
      * empty when the run carried no probes.
      */
     std::vector<EstimatorAccuracy> estimators;
+    /** Chaos-engine resilience metrics (inactive unless configured). */
+    ResilienceStats resilience;
 
     /** Shed fraction of all offered requests, in [0, 1]. */
     double shedRate() const;

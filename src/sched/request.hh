@@ -51,6 +51,34 @@ struct Request
      */
     bool shed = false;
 
+    // --- chaos-engine state (inert defaults when chaos is off) ---
+    /** Priority tier (0 = highest); brown-out sheds high tiers first. */
+    int tier = 0;
+    /** Dispatch attempts consumed beyond the first (retry count). */
+    int attempts = 0;
+    /** Current attempt's timeout instant; negative when untimed. */
+    double timeoutAt = -1.0;
+    /**
+     * Bumped whenever the in-flight attempt is invalidated (retry,
+     * completion, shed): pending Timeout/Hedge calendar events carry
+     * the epoch they were armed under and go stale on mismatch.
+     */
+    uint64_t cancelEpoch = 0;
+    /**
+     * The other copy of a hedged request (primary <-> clone link);
+     * nullptr while unhedged. First completion wins, the loser is
+     * cancelled, and only the primary is ever recorded/retired.
+     */
+    Request* hedgePeer = nullptr;
+    /** True for the duplicate copy issued by hedged dispatch. */
+    bool isHedgeClone = false;
+    /**
+     * Node whose ready queue currently holds this copy; -1 while
+     * unplaced. Maintained by SimNode enqueue/cancel/fail/complete —
+     * how the chaos engine finds a copy to pull back.
+     */
+    int lastNode = -1;
+
     size_t layerCount() const { return trace->layers.size(); }
     bool done() const { return nextLayer >= layerCount(); }
 

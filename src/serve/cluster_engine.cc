@@ -54,6 +54,12 @@ toSimConfig(const ClusterConfig& cfg)
     sim.telemetry = cfg.telemetry;
     sim.calendar = cfg.calendar;
     sim.metricsKind = cfg.metricsKind;
+    sim.chaos = cfg.chaos;
+    sim.chaosSeed = cfg.chaosSeed;
+    sim.retry = cfg.retry;
+    sim.hedge = cfg.hedge;
+    sim.brownout = cfg.brownout;
+    sim.tierWeights = cfg.tierWeights;
     return sim;
 }
 

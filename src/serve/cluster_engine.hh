@@ -61,6 +61,20 @@ struct ClusterConfig
      * SimConfig::metricsKind); ignored by the vector overload.
      */
     MetricsKind metricsKind = MetricsKind::Exact;
+
+    // --- chaos engine (src/chaos/) -----------------------------------
+    /** Stochastic fault injector (not owned; see SimConfig::chaos). */
+    FailureProcess* chaos = nullptr;
+    /** Seed of the chaos RNG stream (see SimConfig::chaosSeed). */
+    uint64_t chaosSeed = 1;
+    /** Deadline-timeout retry policy. */
+    RetryConfig retry;
+    /** Tail-latency hedged dispatch. */
+    HedgeConfig hedge;
+    /** Brown-out admission escalation (requires admission). */
+    BrownoutConfig brownout;
+    /** Priority-tier weights (empty = single tier 0). */
+    std::vector<double> tierWeights;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */

@@ -90,6 +90,16 @@ EstimatorDispatcher::onShed(const Request& req, double now)
     est->release(req);
 }
 
+void
+EstimatorDispatcher::onCancel(const Request& req, double now)
+{
+    // The cancelled attempt's refinement state is void; a retry
+    // re-admits through selectNode (admit/release are idempotent by
+    // request id, so the lifecycle stays balanced).
+    (void)now;
+    est->release(req);
+}
+
 LeastBacklogDispatcher::LeastBacklogDispatcher(
     const ModelInfoLut& lut, PredictorConfig predictor_cfg,
     bool sparsity_aware)

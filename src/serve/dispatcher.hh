@@ -103,6 +103,8 @@ class EstimatorDispatcher : public Dispatcher
 
     void onShed(const Request& req, double now) override;
 
+    void onCancel(const Request& req, double now) override;
+
     /** The estimator all placement decisions flow through. */
     const LatencyEstimator& estimator() const { return *est; }
 

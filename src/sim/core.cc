@@ -1,9 +1,13 @@
 #include "sim/core.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
 
+#include "chaos/failure.hh"
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
+#include "util/stats.hh"
 
 namespace dysta {
 
@@ -33,6 +37,28 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             "runSimulation: admission control requires a ModelInfoLut");
     fatalIf(cfg.admission.enabled && cfg.admission.margin <= 0.0,
             "runSimulation: admission margin must be positive");
+    fatalIf(cfg.brownout.enabled && !cfg.admission.enabled,
+            "runSimulation: brown-out degradation requires admission "
+            "control");
+    fatalIf(cfg.retry.enabled &&
+                (cfg.retry.maxRetries < 0 ||
+                 cfg.retry.timeoutFactor <= 0.0 ||
+                 cfg.retry.backoff < 1.0 || cfg.retry.budget < 0.0),
+            "runSimulation: malformed retry config");
+    fatalIf(cfg.hedge.enabled &&
+                (cfg.hedge.factor <= 0.0 || cfg.hedge.minSamples < 1),
+            "runSimulation: malformed hedge config");
+    for (double w : cfg.tierWeights)
+        fatalIf(w <= 0.0,
+                "runSimulation: tier weights must be positive");
+
+    // Whether any resilience mechanism is configured. Scripted
+    // nodeEvents alone do NOT activate resilience reporting — their
+    // reports must stay byte-identical to pre-chaos builds.
+    const bool resilience_on =
+        cfg.chaos != nullptr || cfg.retry.enabled ||
+        cfg.hedge.enabled || cfg.brownout.enabled ||
+        !cfg.tierWeights.empty();
 
     SimResult result;
     dispatcher.reset();
@@ -93,6 +119,40 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         calendar->push(ev);
     }
 
+    // The stochastic fault pump: exactly one chaos NodeChange lives
+    // in the calendar (the ArrivalSource contract), refilled when it
+    // pops. Drawing from its own RNG stream keeps every workload
+    // stream untouched — chaos off is bit-identical to the seed.
+    bool chaos_dry = cfg.chaos == nullptr;
+    double chaos_last = 0.0;
+    auto pushChaos = [&]() {
+        if (chaos_dry)
+            return;
+        NodeEvent nev;
+        if (!cfg.chaos->next(nev)) {
+            chaos_dry = true;
+            return;
+        }
+        fatalIf(nev.node < 0 ||
+                    static_cast<size_t>(nev.node) >= nodes.size(),
+                "runSimulation: chaos event for an unknown node");
+        fatalIf(nev.time < chaos_last,
+                "runSimulation: chaos events must be emitted in "
+                "non-decreasing time order");
+        chaos_last = nev.time;
+        SimEvent ev;
+        ev.time = nev.time;
+        ev.kind = SimEventKind::NodeChange;
+        ev.node = nev.node;
+        ev.nodeEvent = nev.kind;
+        ev.chaos = true;
+        calendar->push(ev);
+    };
+    if (cfg.chaos != nullptr) {
+        cfg.chaos->reset(cfg.nodes, cfg.chaosSeed);
+        pushChaos();
+    }
+
     // Estimated queued work on a node in node-seconds: a fast node
     // absorbs the same queue sooner.
     auto delayOn = [&](const SimNode& node, const Request& req) {
@@ -134,9 +194,84 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         return false;
     };
 
+    // --- chaos-engine run state --------------------------------------
+    // Availability bookkeeping (cheap; reported only when a
+    // resilience mechanism is on).
+    std::vector<double> down_since(nodes.size(), -1.0);
+    double down_sec = 0.0;
+    double repair_sec = 0.0;
+    size_t repair_count = 0;
+    size_t fail_count = 0;
+    size_t timeout_count = 0;
+    size_t retries_total = 0;
+    size_t hedge_count = 0;
+    size_t hedge_wins = 0;
+    size_t brownout_sheds = 0;
+    const size_t n_tiers = cfg.tierWeights.size();
+    std::vector<double> tier_completed(n_tiers, 0.0);
+    std::vector<double> tier_violations(n_tiers, 0.0);
+    std::vector<double> tier_shed(n_tiers, 0.0);
+
+    // Online tail-latency quantile seeding the hedge delay.
+    P2Quantile hedge_lat(cfg.hedge.enabled ? cfg.hedge.quantile : 0.5);
+
+    // Hedge clones never come from the arrival source: they live in
+    // a loop-owned pool (deque for pointer stability) and recycle
+    // through a free list when their hedge resolves.
+    std::deque<Request> clone_pool;
+    std::vector<Request*> free_clones;
+    auto allocClone = [&]() -> Request* {
+        if (!free_clones.empty()) {
+            Request* c = free_clones.back();
+            free_clones.pop_back();
+            return c;
+        }
+        clone_pool.emplace_back();
+        return &clone_pool.back();
+    };
+    auto dropClone = [&](Request* clone) {
+        clone->hedgePeer = nullptr;
+        free_clones.push_back(clone);
+    };
+
+    // Pull one copy of a request back from wherever it sits. A
+    // running cancel bumps the node's epoch (pending layer-complete
+    // goes stale), so the node needs a decision sweep to pick up
+    // other work.
+    auto cancelCopy = [&](Request* req, double now) {
+        if (req->lastNode < 0)
+            return;
+        if (nodes[req->lastNode]->cancel(req, now) ==
+            SimNode::CancelOutcome::Running)
+            pushDecision(now);
+    };
+
+    auto accountCompleted = [&](const Request& req) {
+        if (cfg.hedge.enabled)
+            hedge_lat.add(req.finishTime - req.arrival);
+        if (req.tier >= 0 && static_cast<size_t>(req.tier) < n_tiers) {
+            tier_completed[req.tier] += 1.0;
+            if (req.violated())
+                tier_violations[req.tier] += 1.0;
+        }
+    };
+
     auto shedRequest = [&](Request* req, double now) {
+        panicIf(req->isHedgeClone,
+                "runSimulation: tried to shed a hedge clone");
+        if (req->hedgePeer != nullptr) {
+            Request* clone = req->hedgePeer;
+            if (tele)
+                tele->hedgeCancel(*clone, clone->lastNode, now);
+            cancelCopy(clone, now);
+            dropClone(clone);
+            req->hedgePeer = nullptr;
+        }
+        ++req->cancelEpoch;
         req->shed = true;
         ++shed_count;
+        if (req->tier >= 0 && static_cast<size_t>(req->tier) < n_tiers)
+            tier_shed[req->tier] += 1.0;
         dispatcher.onShed(*req, now);
         if (tele)
             tele->shed(*req, now);
@@ -145,14 +280,18 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         source.retire(req, now);
     };
 
-    // Place one request (fresh arrival or failure re-dispatch):
-    // dispatcher choice, then admission, then enqueue + decision.
-    auto placeRequest = [&](Request* req, double now) {
+    // Place one request (fresh arrival, failure re-dispatch or
+    // retry): dispatcher choice, then admission, then enqueue +
+    // decision. Returns false when the request was shed instead.
+    // Hedge clones never come through here — they are enqueued
+    // directly by the Hedge handler, bypassing placement, admission
+    // and dispatch telemetry.
+    auto placeRequest = [&](Request* req, double now) -> bool {
         if (!anyAvailable()) {
             // The whole fleet is draining or down; nobody can take
             // new work, so the front door must drop it.
             shedRequest(req, now);
-            return;
+            return false;
         }
         size_t pick = dispatcher.selectNode(*req, nodes, now);
         panicIf(pick >= nodes.size(),
@@ -162,7 +301,12 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 "unavailable node");
 
         if (cfg.admission.enabled) {
-            if (now + cfg.admission.margin * delayOn(*nodes[pick], *req) >
+            // Brown-out: escalate the margin with the request's tier
+            // so low-priority work sheds first as delay rises.
+            double margin = cfg.admission.margin;
+            if (cfg.brownout.enabled)
+                margin *= 1.0 + cfg.brownout.step * req->tier;
+            if (now + margin * delayOn(*nodes[pick], *req) >
                 req->deadline) {
                 // The chosen node cannot make the deadline: fall
                 // back to the least-loaded available node before
@@ -180,10 +324,14 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                         best_delay = delay;
                     }
                 }
-                if (now + cfg.admission.margin * best_delay >
-                    req->deadline) {
+                if (now + margin * best_delay > req->deadline) {
+                    if (cfg.brownout.enabled) {
+                        ++brownout_sheds;
+                        if (tele)
+                            tele->brownout(*req, now);
+                    }
                     shedRequest(req, now);
-                    return;
+                    return false;
                 }
                 pick = best;
             }
@@ -193,10 +341,39 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         if (tele)
             tele->dispatch(*req, static_cast<int>(pick),
                            nodes[pick]->outstanding(), now);
+        // Arm hedged dispatch once the latency quantile is seeded:
+        // if the request is still unfinished after the tail delay, a
+        // duplicate goes to a second node. Stale events are filtered
+        // by (rid, cancelEpoch).
+        if (cfg.hedge.enabled && req->hedgePeer == nullptr &&
+            hedge_lat.count() >=
+                static_cast<size_t>(cfg.hedge.minSamples)) {
+            SimEvent hev;
+            hev.time = now + cfg.hedge.factor * hedge_lat.value();
+            hev.kind = SimEventKind::Hedge;
+            hev.req = req;
+            hev.rid = req->id;
+            hev.epoch = req->cancelEpoch;
+            calendar->push(hev);
+        }
         // Dispatch after every arrival of this instant has been
         // placed (admit-then-select): the Decision kind sorts
         // after all same-time arrivals and completions.
         pushDecision(now);
+        return true;
+    };
+
+    // Per-attempt deadline allowance: retries re-arm with the
+    // allowance scaled by backoff^attempts.
+    auto pushTimeout = [&](Request* req, double at) {
+        req->timeoutAt = at;
+        SimEvent ev;
+        ev.time = at;
+        ev.kind = SimEventKind::Timeout;
+        ev.req = req;
+        ev.rid = req->id;
+        ev.epoch = req->cancelEpoch;
+        calendar->push(ev);
     };
 
     // Validate and apply the moves of a rebalancing dispatcher. The
@@ -244,13 +421,41 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             // kind tie-break) exactly as if pushed up front.
             if (Request* next = source.next())
                 pushArrival(next);
+            Request* req = ev.req;
+            if (resilience_on) {
+                // Chaos state must be pristine whatever the source's
+                // recycling did (cancelEpoch stays monotonic per
+                // slot: any stale event from a prior tenant also
+                // fails the rid check).
+                req->tier = n_tiers == 0
+                                ? 0
+                                : tierOfRequest(req->id,
+                                                cfg.tierWeights,
+                                                cfg.chaosSeed);
+                req->attempts = 0;
+                req->timeoutAt = -1.0;
+                req->hedgePeer = nullptr;
+                req->isHedgeClone = false;
+            }
             if (tele)
-                tele->arrival(*ev.req, now);
-            placeRequest(ev.req, now);
+                tele->arrival(*req, now);
+            bool placed = placeRequest(req, now);
+            if (placed && cfg.retry.enabled) {
+                double window = req->deadline - req->arrival;
+                if (window > 0.0)
+                    pushTimeout(req,
+                                req->arrival +
+                                    cfg.retry.timeoutFactor * window);
+            }
             break;
           }
 
           case SimEventKind::NodeChange: {
+            // Refill the fault pump before handling, mirroring the
+            // arrival pump: a same-time successor is in the calendar
+            // exactly as if pushed up front.
+            if (ev.chaos)
+                pushChaos();
             SimNode& node = *nodes[ev.node];
             // Emitted before the displaced work is re-placed, so the
             // fail instant precedes its restarts/dispatches in the
@@ -262,9 +467,44 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 node.drain();
                 break;
               case NodeEventKind::Fail: {
+                // A fail on an already-Down node (chaos composing
+                // with scripted events) is a no-op: no new down
+                // spell, no displaced work.
+                bool was_down = node.state() == NodeState::Down;
                 const Request* inflight = node.current();
                 std::vector<Request*> displaced = node.fail(now);
+                if (!was_down) {
+                    ++fail_count;
+                    down_since[ev.node] = now;
+                }
+                // Hedge clones dissolve in place: the primary (on
+                // another node, or co-displaced below) is the
+                // logical request and simply loses its duplicate.
                 for (Request* req : displaced) {
+                    if (!req->isHedgeClone)
+                        continue;
+                    if (req->hedgePeer != nullptr)
+                        req->hedgePeer->hedgePeer = nullptr;
+                    if (tele)
+                        tele->hedgeCancel(*req, ev.node, now);
+                    dropClone(req);
+                }
+                for (Request* req : displaced) {
+                    if (req->isHedgeClone)
+                        continue;
+                    if (req->hedgePeer != nullptr) {
+                        // Displaced primary with a live clone
+                        // elsewhere: dissolve the hedge before the
+                        // primary goes through the normal
+                        // restart/shed path.
+                        Request* clone = req->hedgePeer;
+                        if (tele)
+                            tele->hedgeCancel(*clone, clone->lastNode,
+                                              now);
+                        cancelCopy(clone, now);
+                        dropClone(clone);
+                        req->hedgePeer = nullptr;
+                    }
                     bool started =
                         req == inflight || req->nextLayer > 0;
                     if (started &&
@@ -286,6 +526,15 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 break;
               }
               case NodeEventKind::Recover:
+                // Close the down spell (a recover of a never-failed
+                // or merely draining node has none to close).
+                if (down_since[ev.node] >= 0.0) {
+                    double spell = now - down_since[ev.node];
+                    down_sec += spell;
+                    repair_sec += spell;
+                    ++repair_count;
+                    down_since[ev.node] = -1.0;
+                }
                 node.recover();
                 // Give rebalancing dispatchers (and any queued work
                 // the recovery logically unblocks) a same-instant
@@ -328,7 +577,44 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             dispatcher.onLayerComplete(node, *req, now,
                                        node.lastMonitoredSparsity());
             if (done != nullptr) {
-                dispatcher.onComplete(node, *done, now);
+                // First completion of a hedged pair wins; the loser
+                // is pulled back and only the primary is ever
+                // recorded/retired as the logical request.
+                Request* logical = done;
+                if (done->isHedgeClone) {
+                    Request* prim = done->hedgePeer;
+                    panicIf(prim == nullptr,
+                            "runSimulation: orphan hedge clone "
+                            "completed");
+                    ++hedge_wins;
+                    if (tele)
+                        tele->hedgeCancel(*prim, prim->lastNode, now);
+                    cancelCopy(prim, now);
+                    // The estimator layer keys per-request state by
+                    // id (shared by both copies), so completing the
+                    // clone retires the primary's entry too.
+                    dispatcher.onComplete(node, *done, now);
+                    prim->finishTime = done->finishTime;
+                    prim->executedTime = done->executedTime;
+                    prim->nextLayer = prim->layerCount();
+                    ++prim->cancelEpoch;
+                    prim->hedgePeer = nullptr;
+                    dropClone(done);
+                    logical = prim;
+                } else {
+                    if (done->hedgePeer != nullptr) {
+                        Request* clone = done->hedgePeer;
+                        if (tele)
+                            tele->hedgeCancel(*clone, clone->lastNode,
+                                              now);
+                        cancelCopy(clone, now);
+                        dropClone(clone);
+                        done->hedgePeer = nullptr;
+                    }
+                    ++done->cancelEpoch;
+                    dispatcher.onComplete(node, *done, now);
+                }
+                accountCompleted(*logical);
                 ++finished;
                 // A completion is a load-balance change worth a
                 // migration look; idle nodes that receive stolen
@@ -336,11 +622,11 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 if (applyRebalance(now))
                     pushDecision(now);
                 if (sink)
-                    sink->recordCompleted(*done);
+                    sink->recordCompleted(*logical);
                 // All callbacks are past; the source may recycle
                 // the slot (no node holds a reference: completion
                 // cleared running/lastRun and the ready queue).
-                source.retire(done, now);
+                source.retire(logical, now);
             }
 
             // Continue the non-preemptible block, or make a fresh
@@ -349,6 +635,88 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 pushLayerEnd(node, node.continueBlock(now));
             else if (node.outstanding() > 0)
                 pushLayerEnd(node, node.beginBlock(now));
+            break;
+          }
+
+          case SimEventKind::Timeout: {
+            Request* req = ev.req;
+            // Stale when the attempt it was armed for is gone:
+            // completed, shed, already retried — or the arena slot
+            // was recycled entirely (rid mismatch).
+            if (ev.rid != req->id || ev.epoch != req->cancelEpoch)
+                break;
+            ++timeout_count;
+            if (tele)
+                tele->timeout(*req, req->lastNode, req->attempts,
+                              now);
+            // The attempt overran its allowance: pull back both
+            // copies (a timeout dissolves any hedge) and retry from
+            // scratch while per-request attempts and the fleet-wide
+            // retry budget allow, else shed.
+            if (req->hedgePeer != nullptr) {
+                Request* clone = req->hedgePeer;
+                if (tele)
+                    tele->hedgeCancel(*clone, clone->lastNode, now);
+                cancelCopy(clone, now);
+                dropClone(clone);
+                req->hedgePeer = nullptr;
+            }
+            cancelCopy(req, now);
+            dispatcher.onCancel(*req, now);
+            ++req->cancelEpoch;
+            bool budget_ok =
+                static_cast<double>(retries_total) <
+                cfg.retry.budget * static_cast<double>(total);
+            if (req->attempts < cfg.retry.maxRetries && budget_ok) {
+                ++req->attempts;
+                ++retries_total;
+                if (tele)
+                    tele->retry(*req, req->attempts, now);
+                if (placeRequest(req, now)) {
+                    double window = req->deadline - req->arrival;
+                    double allowance =
+                        cfg.retry.timeoutFactor * window *
+                        std::pow(cfg.retry.backoff, req->attempts);
+                    pushTimeout(req, now + allowance);
+                }
+            } else {
+                shedRequest(req, now);
+            }
+            break;
+          }
+
+          case SimEventKind::Hedge: {
+            Request* req = ev.req;
+            if (ev.rid != req->id || ev.epoch != req->cancelEpoch)
+                break;
+            if (req->hedgePeer != nullptr || req->lastNode < 0)
+                break; // already hedged / not currently placed
+            // Duplicate onto the least-outstanding available node
+            // other than the primary's (ties to the lowest id); no
+            // such node means no hedge this round.
+            size_t best = nodes.size();
+            for (size_t i = 0; i < nodes.size(); ++i) {
+                if (!nodes[i]->available() ||
+                    static_cast<int>(i) == req->lastNode)
+                    continue;
+                if (best == nodes.size() ||
+                    nodes[i]->outstanding() <
+                        nodes[best]->outstanding())
+                    best = i;
+            }
+            if (best == nodes.size())
+                break;
+            Request* clone = allocClone();
+            *clone = *req;
+            clone->isHedgeClone = true;
+            clone->hedgePeer = req;
+            clone->lastNode = -1;
+            req->hedgePeer = clone;
+            ++hedge_count;
+            nodes[best]->enqueue(clone, now);
+            if (tele)
+                tele->hedge(*req, static_cast<int>(best), now);
+            pushDecision(now);
             break;
           }
         }
@@ -360,9 +728,70 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         result.preemptions += n->preemptionCount();
         result.decisions += n->decisionCount();
     }
+
+    if (resilience_on) {
+        ResilienceStats& rs = result.resilience;
+        rs.active = true;
+        // Down spells still open when the last request retired count
+        // against availability but not as closed repairs.
+        for (size_t i = 0; i < nodes.size(); ++i) {
+            if (down_since[i] >= 0.0)
+                down_sec += sim_now - down_since[i];
+        }
+        double horizon =
+            static_cast<double>(nodes.size()) * sim_now;
+        rs.availability =
+            horizon > 0.0 ? 1.0 - down_sec / horizon : 1.0;
+        rs.mttr = repair_count > 0
+                      ? repair_sec / static_cast<double>(repair_count)
+                      : 0.0;
+        rs.failures = static_cast<double>(fail_count);
+        rs.timeouts = static_cast<double>(timeout_count);
+        rs.retries = static_cast<double>(retries_total);
+        rs.retryAmplification =
+            total > 0 ? (static_cast<double>(total) +
+                         static_cast<double>(retries_total)) /
+                            static_cast<double>(total)
+                      : 1.0;
+        rs.hedges = static_cast<double>(hedge_count);
+        rs.hedgeWins = static_cast<double>(hedge_wins);
+        rs.hedgeWinRate =
+            hedge_count > 0 ? static_cast<double>(hedge_wins) /
+                                  static_cast<double>(hedge_count)
+                            : 0.0;
+        rs.brownoutSheds = static_cast<double>(brownout_sheds);
+        rs.tiers.resize(n_tiers);
+        for (size_t t = 0; t < n_tiers; ++t) {
+            rs.tiers[t].completed = tier_completed[t];
+            rs.tiers[t].violations = tier_violations[t];
+            rs.tiers[t].shed = tier_shed[t];
+            // goodput needs the makespan: the overloads fill it in
+            // after their metrics aggregation.
+        }
+    }
+
     if (tele)
         tele->endRun(sim_now);
     return result;
+}
+
+/**
+ * Mirror the loop's resilience stats into the freshly-computed
+ * metrics (which the overloads overwrite wholesale) and derive the
+ * makespan-dependent per-tier goodput.
+ */
+void
+finalizeResilience(SimResult& result)
+{
+    if (!result.resilience.active)
+        return;
+    double makespan = result.metrics.makespan;
+    for (TierStats& t : result.resilience.tiers) {
+        t.goodput = makespan > 0.0
+                        ? (t.completed - t.violations) / makespan
+                        : 0.0;
+    }
+    result.metrics.resilience = result.resilience;
 }
 
 } // namespace
@@ -379,6 +808,13 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         req.lastRunEnd = req.arrival;
         req.finishTime = -1.0;
         req.shed = false;
+        req.tier = 0;
+        req.attempts = 0;
+        req.timeoutAt = -1.0;
+        req.cancelEpoch = 0;
+        req.hedgePeer = nullptr;
+        req.isHedgeClone = false;
+        req.lastNode = -1;
     }
 
     MaterializedSource source(requests);
@@ -389,6 +825,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
     result.metrics = computeMetricsCompleted(requests);
     if (cfg.telemetry)
         result.metrics.estimators = cfg.telemetry->accuracy();
+    finalizeResilience(result);
     return result;
 }
 
@@ -402,6 +839,7 @@ runSimulation(const SimConfig& cfg, ArrivalSource& source,
     result.metrics = sink.finalize();
     if (cfg.telemetry)
         result.metrics.estimators = cfg.telemetry->accuracy();
+    finalizeResilience(result);
     return result;
 }
 

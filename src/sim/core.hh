@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "chaos/chaos.hh"
 #include "core/estimator.hh"
 #include "core/model_info.hh"
 #include "sched/metrics.hh"
@@ -36,6 +37,7 @@
 namespace dysta {
 
 class Telemetry;
+class FailureProcess;
 
 /** One scheduled availability change of one node. */
 struct NodeEvent
@@ -139,6 +141,37 @@ struct SimConfig
      * request vector as before.
      */
     MetricsKind metricsKind = MetricsKind::Exact;
+
+    // --- chaos engine (src/chaos/) -----------------------------------
+    /**
+     * Stochastic fault injector (not owned; nullptr = none). Armed
+     * via reset(nodes, chaosSeed) before the event loop, then pumped
+     * through the same one-pending-event contract as arrivals. Its
+     * fail/recover transitions compose with the scripted
+     * `nodeEvents` above.
+     */
+    FailureProcess* chaos = nullptr;
+    /**
+     * Seed deriving the chaos RNG stream and the deterministic tier
+     * assignment — independent of the workload streams, so chaos-off
+     * runs are bit-identical to builds without the subsystem.
+     */
+    uint64_t chaosSeed = 1;
+    /** Deadline timeouts + budget-capped retries (disabled default). */
+    RetryConfig retry;
+    /** Tail-latency hedged dispatch (disabled default). */
+    HedgeConfig hedge;
+    /**
+     * Tiered brown-out degradation (disabled default; requires
+     * admission control).
+     */
+    BrownoutConfig brownout;
+    /**
+     * Priority-tier admission weights, highest priority first; empty
+     * = every request in tier 0. Assignment is a deterministic hash
+     * of (request id, chaosSeed) — no workload RNG is consumed.
+     */
+    std::vector<double> tierWeights;
 };
 
 /** Result of one simulation run. */
@@ -155,6 +188,12 @@ struct SimResult
     std::vector<ClusterEvent> events;
     /** Calendar events processed (events/sec denominators). */
     size_t eventsProcessed = 0;
+    /**
+     * Chaos-engine resilience metrics (also mirrored into
+     * `metrics.resilience`); inactive unless a resilience mechanism
+     * was configured.
+     */
+    ResilienceStats resilience;
 };
 
 /**

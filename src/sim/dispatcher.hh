@@ -122,6 +122,21 @@ class Dispatcher
         (void)req;
         (void)now;
     }
+
+    /**
+     * The chaos engine pulled `req`'s current attempt back (deadline
+     * timeout before a retry or shed). The request may be
+     * re-dispatched through selectNode afterwards; stateful policies
+     * must release any per-request bookkeeping of the cancelled
+     * attempt. Not called on hedge resolution — the winning copy's
+     * onComplete already retires the request's state.
+     */
+    virtual void
+    onCancel(const Request& req, double now)
+    {
+        (void)req;
+        (void)now;
+    }
 };
 
 /** Degenerate placement for single-accelerator runs: node 0. */

@@ -16,7 +16,15 @@
  *  - Decision: a coalesced sweep that starts blocks on idle nodes
  *    after the arrivals of one instant have all been placed —
  *    preserving the admit-then-select ordering for simultaneous
- *    arrivals.
+ *    arrivals;
+ *  - Timeout: a request's per-attempt deadline allowance expired
+ *    (chaos engine; retried or shed by the core);
+ *  - Hedge: the hedged-dispatch delay of a request elapsed — the
+ *    core duplicates it onto a second node if still unfinished.
+ *
+ * The chaos kinds sort *after* every seed kind at the same instant,
+ * so runs that never push them keep the exact pre-chaos pop order —
+ * the chaos-off bit-identity guarantee.
  *
  * Ties are broken deterministically by (time, kind, node, push
  * order): arrivals before completions before node changes before
@@ -44,6 +52,8 @@ enum class SimEventKind : uint8_t
     LayerComplete = 1,
     NodeChange = 2,
     Decision = 3,
+    Timeout = 4,
+    Hedge = 5,
 };
 
 /** Availability transitions a NodeChange event can carry. */
@@ -66,11 +76,25 @@ struct SimEvent
     /** Availability transition (NodeChange events only). */
     NodeEventKind nodeEvent = NodeEventKind::Drain;
     /**
-     * Node fail-epoch at push time (LayerComplete events only): a
-     * mismatch against the node's current epoch marks the event as
-     * stale — its layer was abandoned by an intervening failure.
+     * Staleness stamp at push time. LayerComplete: the node's
+     * fail-epoch — a mismatch against the node's current epoch marks
+     * the layer as abandoned by an intervening failure. Timeout /
+     * Hedge: the request's cancel-epoch — a mismatch means the
+     * attempt the event was armed for is gone (retried, completed or
+     * shed).
      */
     uint64_t epoch = 0;
+    /**
+     * Request id at push time (Timeout/Hedge only): together with
+     * `epoch` it detects a recycled request-arena slot, so a stale
+     * chaos event can never act on the slot's new tenant.
+     */
+    int rid = -1;
+    /**
+     * Emitted by the run's FailureProcess (NodeChange only): the
+     * core refills the one-pending chaos event when this pops.
+     */
+    bool chaos = false;
     /** Push order, assigned by the queue (final tie-break). */
     uint64_t seq = 0;
 };

@@ -108,8 +108,10 @@ SimNode::fail(double now)
     // caller decides their fate (re-dispatch, restart or shed).
     std::vector<Request*> displaced = std::move(ready);
     ready.clear();
-    for (Request* req : displaced)
+    for (Request* req : displaced) {
         sched->onDequeue(*req, now);
+        req->lastNode = -1;
+    }
 
     running = nullptr;
     blockOwner = nullptr;
@@ -143,6 +145,7 @@ SimNode::enqueue(Request* req, double now)
     req->executedTime = 0.0;
     req->lastRunEnd = req->arrival;
     req->finishTime = -1.0;
+    req->lastNode = nodeId;
     ready.push_back(req);
     sched->onArrival(*req, now);
 }
@@ -160,6 +163,39 @@ SimNode::removeQueued(Request* req, double now)
             "SimNode::removeQueued: request not queued here");
     ready.erase(it);
     sched->onDequeue(*req, now);
+    req->lastNode = -1;
+}
+
+SimNode::CancelOutcome
+SimNode::cancel(Request* req, double now)
+{
+    panicIf(req == nullptr, "SimNode::cancel: null request");
+    auto it = std::find(ready.begin(), ready.end(), req);
+    if (it == ready.end())
+        return CancelOutcome::NotHere;
+    ready.erase(it);
+    sched->onDequeue(*req, now);
+    req->lastNode = -1;
+
+    if (req == running) {
+        // Its layer is in flight: abandon it. The epoch bump stales
+        // the pending layer-complete event, exactly like fail().
+        running = nullptr;
+        blockOwner = nullptr;
+        blockExecuted = 0;
+        lastRun = nullptr;
+        ++failEpoch;
+        return CancelOutcome::Running;
+    }
+    if (req == blockOwner) {
+        // Between layers of its block (the caller cancels at layer
+        // boundaries): release the block without touching the epoch.
+        blockOwner = nullptr;
+        blockExecuted = 0;
+    }
+    if (lastRun == req)
+        lastRun = nullptr;
+    return CancelOutcome::Queued;
 }
 
 double
@@ -228,6 +264,7 @@ SimNode::completeLayer()
         req->finishTime = layerEnd;
         sched->onComplete(*req, layerEnd);
         ready.erase(std::find(ready.begin(), ready.end(), req));
+        req->lastNode = -1;
         ++numCompleted;
         blockOwner = nullptr;
         lastRun = nullptr;

@@ -101,6 +101,13 @@ struct NodeProfile
     double decisionOverheadSec = 0.0;
     /** Layers per non-preemptible block (see EngineConfig). */
     size_t layerBlockSize = 1;
+    /**
+     * Correlated fault domain ("rack0"): a domain-scoped
+     * FailureProcess takes every member down together. Empty = no
+     * domain (the node fails independently). From the fleet-spec
+     * suffix "sanger:4@rack0" (src/workload/cluster_spec.hh).
+     */
+    std::string domain;
 };
 
 /** Full-size node replaying traces at profiled speed. */
@@ -208,6 +215,24 @@ class SimNode
      * queued here, has executed no layer, and is not in flight.
      */
     void removeQueued(Request* req, double now);
+
+    /** What SimNode::cancel found and removed. */
+    enum class CancelOutcome : uint8_t
+    {
+        NotHere = 0, ///< request was not on this node
+        Queued = 1,  ///< removed from the ready queue (not in flight)
+        Running = 2, ///< its layer was in flight; epoch bumped
+    };
+
+    /**
+     * Pull a request back wherever it sits (chaos engine: timeouts
+     * and hedge cancellation). Unlike `removeQueued` the request may
+     * have started: partial progress is simply abandoned, and when
+     * its layer is in flight the fail-epoch is bumped so the pending
+     * layer-complete event goes stale — the caller must then push a
+     * decision sweep so this node picks up other work.
+     */
+    CancelOutcome cancel(Request* req, double now);
 
     /**
      * Invoke the policy and start the first layer of a new

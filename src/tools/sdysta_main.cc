@@ -15,11 +15,14 @@
  *   sdysta scenarios/hetero-failover.scn --gantt --cell 1
  *   sdysta --diff a.json b.json
  *   sdysta --list-policies
+ *   sdysta --list-scenarios
  *   sdysta scenarios/tab05.scn --print-spec
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "api/diff.hh"
 #include "api/registry.hh"
@@ -51,6 +54,85 @@ printPolicyGroup(const std::string& title,
     table.print();
 }
 
+/** One-line summaries of the built-in scenarios. */
+std::string
+builtinScenarioDescription(const std::string& name)
+{
+    if (name == "fig12")
+        return "ANTT / SLO-violation trade-off plane";
+    if (name == "fig14")
+        return "robustness across latency SLOs";
+    if (name == "fig15")
+        return "robustness across arrival rates";
+    if (name == "tab05")
+        return "end-to-end ANTT and violation rates";
+    if (name == "cluster-scaling")
+        return "fleet size x dispatcher x arrival process";
+    if (name == "hetero-cluster")
+        return "homogeneous vs mixed fleets under bursty traffic";
+    if (name == "hetero-failover")
+        return "scripted fail/recover on a mixed fleet";
+    if (name == "megascale")
+        return "streaming 10M-request endurance run";
+    if (name == "chaos")
+        return "stochastic faults + retry/hedging/brown-out stack";
+    return "";
+}
+
+/** First '#' comment line of a scenario file, as its description. */
+std::string
+scenarioFileSummary(const std::filesystem::path& path)
+{
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t hash = line.find('#');
+        if (hash == std::string::npos) {
+            // Past the leading comment block: no summary.
+            size_t body = line.find_first_not_of(" \t\r");
+            if (body != std::string::npos)
+                break;
+            continue;
+        }
+        size_t begin = line.find_first_not_of(" \t", hash + 1);
+        if (begin != std::string::npos) {
+            size_t end = line.find_last_not_of(" \t\r");
+            return line.substr(begin, end - begin + 1);
+        }
+    }
+    return "";
+}
+
+void
+listScenarios()
+{
+    AsciiTable builtins("Built-in scenarios (runnable by name)");
+    builtins.setHeader({"name", "description"});
+    for (const std::string& name : builtinScenarioNames())
+        builtins.addRow({name, builtinScenarioDescription(name)});
+    builtins.print();
+
+    std::error_code ec;
+    std::filesystem::directory_iterator dir("scenarios", ec);
+    if (ec) {
+        std::printf("(no scenarios/ directory here)\n");
+        return;
+    }
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : dir) {
+        if (entry.path().extension() == ".scn")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty())
+        return;
+    AsciiTable table("Scenario files (scenarios/*.scn)");
+    table.setHeader({"file", "description"});
+    for (const std::filesystem::path& path : files)
+        table.addRow({path.string(), scenarioFileSummary(path)});
+    table.print();
+}
+
 /** Display names of the nodes a cell serves on. */
 std::vector<std::string>
 cellNodeNames(const SweepCell& cell)
@@ -76,9 +158,7 @@ main(int argc, char** argv)
                    "driver only executes it and reports.");
     args.addPositional("scenario",
                        "scenario file path, or a built-in name "
-                       "(fig12, fig14, fig15, tab05, "
-                       "cluster-scaling, hetero-cluster, "
-                       "hetero-failover, megascale); first report "
+                       "(see --list-scenarios); first report "
                        "file with --diff",
                        /*required=*/false);
     args.addPositional("report_b",
@@ -114,11 +194,19 @@ main(int argc, char** argv)
     args.addInt("--cell", 0,
                 "grid cell index (seed replicas included) to trace "
                 "for --chrome-trace/--gantt/--series-csv");
+    args.addInt("--trace-events", 0,
+                "cap the traced cell's telemetry to the most recent "
+                "N events per channel (ring buffer; 0 = unbounded), "
+                "so --chrome-trace works on megascale runs");
     args.addSwitch("--diff",
                    "compare two report JSON files modulo their "
                    "'meta' sections and exit (1 when they differ)");
     args.addSwitch("--list-policies",
                    "print the policy registry tables and exit");
+    args.addSwitch("--list-scenarios",
+                   "list the built-in scenarios and any "
+                   "scenarios/*.scn files, with descriptions, and "
+                   "exit");
     args.addSwitch("--print-spec",
                    "print the canonical scenario form and exit");
     args.parse(argc, argv);
@@ -132,6 +220,13 @@ main(int argc, char** argv)
         printPolicyGroup("Estimators", registry.estimatorTable());
         printPolicyGroup("Arrival processes",
                          registry.arrivalTable());
+        printPolicyGroup("Failure processes (chaos engine)",
+                         registry.failureProcessTable());
+        return 0;
+    }
+
+    if (args.getBool("--list-scenarios")) {
+        listScenarios();
         return 0;
     }
 
@@ -231,7 +326,12 @@ main(int argc, char** argv)
                     " out of range (scenario has " +
                     std::to_string(cells.size()) + " cells)");
 
-        Telemetry telemetry;
+        TelemetryConfig tele_cfg;
+        int trace_events = args.getInt("--trace-events");
+        fatalIf(trace_events < 0,
+                "sdysta: --trace-events must be >= 0");
+        tele_cfg.maxEvents = static_cast<size_t>(trace_events);
+        Telemetry telemetry(tele_cfg);
         const PolicyRegistry& registry = PolicyRegistry::global();
         for (const std::string& probe : spec.probes)
             telemetry.addProbe(probe,

@@ -80,18 +80,33 @@ fleetFromSpec(const std::string& spec)
     // several segments still yields unique node names.
     std::unordered_map<std::string, size_t> next_index;
     for (const std::string& part : splitList(spec, ',')) {
-        size_t colon = part.find(':');
-        std::string cls = part.substr(0, colon);
+        // Optional correlated-fault-domain suffix: "sanger:2@rack0"
+        // puts both nodes in domain "rack0" (see NodeProfile::domain).
+        std::string body = part;
+        std::string domain;
+        size_t at = part.find('@');
+        if (at != std::string::npos) {
+            domain = part.substr(at + 1);
+            fatalIf(domain.empty(),
+                    "fleetFromSpec: empty domain in '" + part + "'");
+            body = part.substr(0, at);
+        }
+        size_t colon = body.find(':');
+        std::string cls = body.substr(0, colon);
         long count = 1;
         if (colon != std::string::npos) {
             char* end = nullptr;
-            count = std::strtol(part.c_str() + colon + 1, &end, 10);
+            count = std::strtol(body.c_str() + colon + 1, &end, 10);
             fatalIf(end == nullptr || *end != '\0' || count <= 0,
                     "fleetFromSpec: malformed count in '" + part +
                         "'");
         }
-        for (long i = 0; i < count; ++i)
-            fleet.push_back(nodeOfClass(cls, next_index[cls]++));
+        for (long i = 0; i < count; ++i) {
+            NodeProfile profile =
+                nodeOfClass(cls, next_index[cls]++);
+            profile.domain = domain;
+            fleet.push_back(std::move(profile));
+        }
     }
     fatalIf(fleet.empty(),
             "fleetFromSpec: empty fleet spec '" + spec + "'");

@@ -48,10 +48,13 @@ NodeHw hwClassByName(const std::string& cls);
 NodeProfile nodeOfClass(const std::string& cls, size_t index);
 
 /**
- * Parse a fleet spec "cls:count[,cls:count...]" into node profiles,
- * in spec order ("sanger:2,eyeriss-xl:1" yields sanger0, sanger1,
- * eyeriss-xl0). A bare class name means count 1. fatal() on
- * malformed specs, unknown classes or zero total nodes.
+ * Parse a fleet spec "cls[:count][@domain][,...]" into node
+ * profiles, in spec order ("sanger:2,eyeriss-xl:1" yields sanger0,
+ * sanger1, eyeriss-xl0). A bare class name means count 1. The
+ * optional "@domain" suffix assigns every node of the segment to a
+ * correlated fault domain ("sanger:2@rack0,sanger:2@rack1"): a
+ * domain-scoped FailureProcess takes all members down together.
+ * fatal() on malformed specs, unknown classes or zero total nodes.
  */
 std::vector<NodeProfile> fleetFromSpec(const std::string& spec);
 

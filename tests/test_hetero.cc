@@ -323,6 +323,84 @@ TEST(NodeEvents, RecoveredNodeServesAgain)
     EXPECT_EQ(r.perNodeCompleted[1], 1u);
 }
 
+TEST(NodeEvents, FailWhileDrainingDisplacesTheHeldRequest)
+{
+    // Node 1 drains at 0.25 holding r1, then fails at 0.5 before the
+    // drain empties: the in-flight request is displaced like any
+    // other failure victim and restarts on node 0, and the
+    // drained-then-failed node never serves again.
+    ClusterConfig cfg = homogeneousCluster(2);
+    cfg.nodeEvents = {{0.25, 1, NodeEventKind::Drain},
+                      {0.5, 1, NodeEventKind::Fail}};
+    std::vector<Request> reqs = requestsAt({0.0, 0.0});
+    LeastOutstandingDispatcher disp;
+    ClusterEngine engine(cfg);
+    ClusterResult r = engine.run(reqs, disp, fcfsNodes());
+    EXPECT_EQ(r.metrics.completed, 2u);
+    EXPECT_EQ(r.metrics.shed, 0u);
+    // r1 restarted from layer 0 behind r0 on node 0.
+    EXPECT_DOUBLE_EQ(reqs[1].finishTime, 4.0);
+    EXPECT_EQ(r.perNodeCompleted[0], 2u);
+    EXPECT_EQ(r.perNodeCompleted[1], 0u);
+}
+
+TEST(NodeEvents, RecoverOnHealthyNodeIsANoOp)
+{
+    // A recover with no preceding fail (and one on a merely draining
+    // node) must not perturb the schedule or invent repair spells.
+    auto run = [&](std::vector<NodeEvent> events) {
+        ClusterConfig cfg = homogeneousCluster(2);
+        cfg.nodeEvents = std::move(events);
+        std::vector<Request> reqs =
+            requestsAt({0.0, 0.0, 0.3, 0.4});
+        LeastOutstandingDispatcher disp;
+        ClusterEngine engine(cfg);
+        return engine.run(reqs, disp, fcfsNodes());
+    };
+    ClusterResult base = run({});
+    ClusterResult up = run({{0.5, 1, NodeEventKind::Recover}});
+    EXPECT_TRUE(sameMetrics(base.metrics, up.metrics));
+    EXPECT_EQ(base.perNodeCompleted, up.perNodeCompleted);
+    // Recovering a draining node un-drains it: node 1 takes the
+    // r3 arrival it would have refused while draining (r2 broke the
+    // tie to node 0, so node 0 is deeper when r3 arrives).
+    ClusterResult drained =
+        run({{0.1, 1, NodeEventKind::Drain},
+             {0.2, 1, NodeEventKind::Recover}});
+    EXPECT_EQ(drained.metrics.completed, 4u);
+    EXPECT_EQ(drained.perNodeCompleted[1], 2u);
+}
+
+TEST(NodeEvents, BackToBackFailsActLikeASingleFailure)
+{
+    // A second fail on an already-down node (chaos composing with a
+    // scripted event) opens no new down spell and displaces nothing:
+    // metrics match the single-failure run exactly.
+    auto run = [&](std::vector<NodeEvent> events) {
+        ClusterConfig cfg = homogeneousCluster(2);
+        cfg.nodeEvents = std::move(events);
+        // A tier activates resilience accounting so the fail/repair
+        // counters are observable; the schedule is untouched.
+        cfg.tierWeights = {1.0};
+        std::vector<Request> reqs = requestsAt({0.0, 0.0});
+        LeastOutstandingDispatcher disp;
+        ClusterEngine engine(cfg);
+        return engine.run(reqs, disp, fcfsNodes());
+    };
+    ClusterResult once = run({{0.5, 1, NodeEventKind::Fail},
+                              {1.5, 1, NodeEventKind::Recover}});
+    ClusterResult twice = run({{0.5, 1, NodeEventKind::Fail},
+                               {0.7, 1, NodeEventKind::Fail},
+                               {1.5, 1, NodeEventKind::Recover}});
+    EXPECT_TRUE(sameMetrics(once.metrics, twice.metrics));
+    EXPECT_EQ(once.perNodeCompleted, twice.perNodeCompleted);
+    EXPECT_DOUBLE_EQ(once.metrics.resilience.failures, 1.0);
+    EXPECT_DOUBLE_EQ(twice.metrics.resilience.failures, 1.0);
+    EXPECT_DOUBLE_EQ(twice.metrics.resilience.mttr, 1.0);
+    EXPECT_DOUBLE_EQ(once.metrics.resilience.availability,
+                     twice.metrics.resilience.availability);
+}
+
 // --- work stealing ----------------------------------------------------------
 
 TEST(WorkStealing, MigratesQueuedWorkToRecoveredNode)
