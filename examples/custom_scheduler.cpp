@@ -73,8 +73,8 @@ class LasScheduler : public Scheduler
 class BatchedArrivals : public ArrivalProcess
 {
   public:
-    BatchedArrivals(double rate, int size)
-        : batchRate(rate / size), size(size)
+    BatchedArrivals(double rate, int batch_size)
+        : batchRate(rate / batch_size), size(batch_size)
     {
     }
 

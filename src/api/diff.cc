@@ -143,16 +143,19 @@ runReportDiff(const std::string& path_a, const std::string& path_b)
     JsonValue b = parseJsonFile(path_b);
     ReportDiff diff = diffReports(a, b);
     if (diff.identical()) {
+        // detlint-allow(stdout-print): the --diff verdict is the
+        // sdysta CLI's primary output for this subcommand
         std::printf("reports identical modulo metadata (%s, %s)\n",
                     path_a.c_str(), path_b.c_str());
         return 0;
     }
+    // detlint-allow(stdout-print): --diff verdict, see above
     std::printf("%zu difference%s between %s and %s:\n",
                 diff.differences.size(),
                 diff.differences.size() == 1 ? "" : "s",
                 path_a.c_str(), path_b.c_str());
     for (const std::string& line : diff.differences)
-        std::printf("  %s\n", line.c_str());
+        std::printf("  %s\n", line.c_str()); // detlint-allow(stdout-print): --diff verdict, see above
     return 1;
 }
 

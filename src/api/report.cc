@@ -11,7 +11,7 @@
 
 namespace dysta {
 
-Reporter::Reporter(std::string tool) : tool(std::move(tool)) {}
+Reporter::Reporter(std::string tool_name) : tool(std::move(tool_name)) {}
 
 void
 Reporter::meta(const std::string& key, const std::string& value)
@@ -230,6 +230,8 @@ Reporter::writeJson(const std::string& path) const
         std::fputc('\n', out) != EOF;
     ok = std::fclose(out) == 0 && ok;
     fatalIf(!ok, "Reporter: short write to '" + path + "'");
+    // detlint-allow(stdout-print): Reporter is the CLI presentation
+    // layer; the wrote-file note is user-facing progress output
     std::printf("Wrote %s\n", path.c_str());
 }
 
@@ -353,6 +355,7 @@ Reporter::writeCsv(const std::string& path) const
         }
     }
     csv.close();
+    // detlint-allow(stdout-print): Reporter presentation layer, as above
     std::printf("Wrote %s\n", path.c_str());
 }
 
@@ -382,6 +385,8 @@ void
 printScenarioTable(const ScenarioResult& result)
 {
     if (result.rows.empty()) {
+        // detlint-allow(stdout-print): result tables are the CLI's
+        // primary output; this is the empty-table stand-in
         std::printf("scenario '%s': no result rows\n",
                     result.spec.name.c_str());
         return;
@@ -527,6 +532,8 @@ printTelemetrySummary(const Telemetry& telemetry,
     if (makespan <= 0.0)
         makespan = telemetry.runEnd();
 
+    // detlint-allow(stdout-print): telemetry summary is user-facing
+    // CLI output requested via --gantt/--cell
     std::printf("telemetry: %zu arrivals, %zu dispatches, %zu shed, "
                 "%zu completed; %zu migrations, %zu restarts, "
                 "%zu preemptions\n",
@@ -534,6 +541,7 @@ printTelemetrySummary(const Telemetry& telemetry,
                 telemetry.sheds(), telemetry.completions(),
                 telemetry.migrations(), telemetry.restarts(),
                 telemetry.preemptionEvents());
+    // detlint-allow(stdout-print): telemetry summary, see above
     std::printf("layers: %zu started = %zu completed + %zu abandoned "
                 "(failures)\n",
                 telemetry.execStarts(), telemetry.layerCompletions(),
@@ -541,6 +549,7 @@ printTelemetrySummary(const Telemetry& telemetry,
     if (telemetry.timeouts() + telemetry.retries() +
             telemetry.hedges() + telemetry.brownouts() >
         0) {
+        // detlint-allow(stdout-print): telemetry summary, see above
         std::printf("chaos: %zu timeouts, %zu retries, %zu hedges "
                     "(%zu cancels), %zu brownout sheds\n",
                     telemetry.timeouts(), telemetry.retries(),

@@ -264,6 +264,11 @@ resolveInclude(const std::string& name, const std::string& base_dir,
 {
     fatalIf(name.empty(), "parseScenario: 'include' needs a file "
                           "name");
+    // Cycles are caught below, but an acyclic chain can still be
+    // arbitrarily deep; cap it so a pathological scenario tree fails
+    // fast instead of exhausting the stack.
+    fatalIf(include_stack.size() >= 16,
+            "parseScenario: include chain deeper than 16 files");
     std::filesystem::path path(name);
     if (path.is_relative() && !base_dir.empty())
         path = std::filesystem::path(base_dir) / path;
@@ -275,6 +280,17 @@ resolveInclude(const std::string& name, const std::string& base_dir,
     for (const std::string& open : include_stack)
         fatalIf(open == id, "parseScenario: include cycle through '" +
                                 id + "'");
+
+    // Refuse directories and device nodes (`include = /dev/zero`
+    // would otherwise read forever). A missing file falls through to
+    // the cannot-open error below.
+    std::error_code reg_ec;
+    std::filesystem::file_status st =
+        std::filesystem::status(path, reg_ec);
+    fatalIf(std::filesystem::exists(st) &&
+                !std::filesystem::is_regular_file(st),
+            "parseScenario: include '" + path.string() +
+                "' is not a regular file");
 
     std::ifstream in(path);
     fatalIf(!in, "parseScenario: cannot open include '" +

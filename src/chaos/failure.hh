@@ -97,7 +97,7 @@ class MtbfFailureProcess final : public FailureProcess
         double start = 0.0;
     };
 
-    explicit MtbfFailureProcess(Config cfg) : cfg(cfg) {}
+    explicit MtbfFailureProcess(Config config) : cfg(config) {}
 
     std::string name() const override { return "mtbf"; }
 

@@ -42,10 +42,10 @@ LutEstimator::isolated(const Request& req) const
 
 // --- DystaEstimator ---------------------------------------------------------
 
-DystaEstimator::DystaEstimator(const ModelInfoLut& lut,
+DystaEstimator::DystaEstimator(const ModelInfoLut& table,
                                PredictorConfig predictor_cfg,
                                bool refine)
-    : lut(&lut), pcfg(predictor_cfg), refineEnabled(refine)
+    : lut(&table), pcfg(predictor_cfg), refineEnabled(refine)
 {
 }
 
@@ -105,9 +105,9 @@ DystaEstimator::gamma(int request_id) const
     return it != predictors.end() ? it->second.gamma() : 1.0;
 }
 
-ScaledEstimator::ScaledEstimator(const LatencyEstimator& inner,
+ScaledEstimator::ScaledEstimator(const LatencyEstimator& base,
                                  double speed_factor)
-    : inner(&inner), speed(speed_factor)
+    : inner(&base), speed(speed_factor)
 {
     fatalIf(speed_factor <= 0.0,
             "ScaledEstimator: speed factor must be positive");

@@ -97,7 +97,7 @@ class LatencyEstimator
 class LutEstimator : public LatencyEstimator
 {
   public:
-    explicit LutEstimator(const ModelInfoLut& lut) : lut(&lut) {}
+    explicit LutEstimator(const ModelInfoLut& table) : lut(&table) {}
 
     std::string name() const override { return "lut"; }
 

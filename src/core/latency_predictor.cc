@@ -33,9 +33,9 @@ predictorStrategyFromName(const std::string& name)
           "'; valid strategies: average-all, last-n, last-one, ema");
 }
 
-SparseLatencyPredictor::SparseLatencyPredictor(const ModelInfo& info,
+SparseLatencyPredictor::SparseLatencyPredictor(const ModelInfo& model,
                                                PredictorConfig config)
-    : info(&info), cfg(config)
+    : info(&model), cfg(config)
 {
     fatalIf(cfg.lastN < 1, "SparseLatencyPredictor: lastN must be >= 1");
     fatalIf(cfg.emaWeight <= 0.0 || cfg.emaWeight > 1.0,

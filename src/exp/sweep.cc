@@ -259,8 +259,8 @@ averageGroups(const std::vector<SweepCellResult>& results,
     return out;
 }
 
-SweepRunner::SweepRunner(const BenchContext& ctx, int jobs)
-    : ctx(&ctx),
+SweepRunner::SweepRunner(const BenchContext& context, int jobs)
+    : ctx(&context),
       numJobs(jobs > 0
                   ? jobs
                   : static_cast<int>(ThreadPool::defaultConcurrency()))

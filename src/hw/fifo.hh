@@ -20,10 +20,10 @@ template <typename T>
 class Fifo
 {
   public:
-    explicit Fifo(size_t depth)
-        : depth(depth)
+    explicit Fifo(size_t max_depth)
+        : depth(max_depth)
     {
-        panicIf(depth == 0, "Fifo: depth must be positive");
+        panicIf(max_depth == 0, "Fifo: depth must be positive");
     }
 
     bool full() const { return items.size() >= depth; }

@@ -38,7 +38,7 @@ toString(TeleKind kind)
     panic("toString: unhandled TeleKind");
 }
 
-Telemetry::Telemetry(TelemetryConfig cfg) : cfg(cfg) {}
+Telemetry::Telemetry(TelemetryConfig config) : cfg(config) {}
 
 void
 Telemetry::addProbe(const std::string& name,

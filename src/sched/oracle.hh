@@ -20,8 +20,8 @@ class OracleScheduler : public Scheduler
 {
   public:
     /** @param eta slack/penalty weight (matches Dysta's eta). */
-    explicit OracleScheduler(double eta = 0.2)
-        : Scheduler(std::make_unique<OracleEstimator>()), eta(eta)
+    explicit OracleScheduler(double eta_weight = 0.2)
+        : Scheduler(std::make_unique<OracleEstimator>()), eta(eta_weight)
     {
     }
 

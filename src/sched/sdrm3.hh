@@ -24,8 +24,8 @@ class Sdrm3Scheduler : public Scheduler
      * @param lut   offline profile estimates
      * @param alpha urgency-vs-fairness weight in [0, 1]
      */
-    explicit Sdrm3Scheduler(const ModelInfoLut& lut, double alpha = 0.8)
-        : Scheduler(std::make_unique<LutEstimator>(lut)), alpha(alpha)
+    explicit Sdrm3Scheduler(const ModelInfoLut& lut, double alpha_weight = 0.8)
+        : Scheduler(std::make_unique<LutEstimator>(lut)), alpha(alpha_weight)
     {
     }
 

@@ -212,7 +212,7 @@ using PolicyFactory = std::function<std::unique_ptr<Scheduler>(
 class ForwardingScheduler : public Scheduler
 {
   public:
-    explicit ForwardingScheduler(Scheduler& inner) : inner(&inner) {}
+    explicit ForwardingScheduler(Scheduler& target) : inner(&target) {}
 
     std::string name() const override { return inner->name(); }
     void reset() override { inner->reset(); }

@@ -50,8 +50,8 @@ parseBoolValue(const std::string& flag, const std::string& text)
 
 } // namespace
 
-ArgParser::ArgParser(std::string prog, std::string summary)
-    : prog(std::move(prog)), summary(std::move(summary))
+ArgParser::ArgParser(std::string prog_name, std::string summary_text)
+    : prog(std::move(prog_name)), summary(std::move(summary_text))
 {
 }
 
@@ -158,6 +158,8 @@ ArgParser::parse(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
+            // detlint-allow(stdout-print): --help text is contractually
+            // stdout so `tool --help | less` works
             std::printf("%s", usage().c_str());
             std::exit(0);
         }

@@ -8,11 +8,11 @@
 
 namespace dysta {
 
-Histogram::Histogram(double lo, double hi, size_t bins)
-    : lo(lo), hi(hi), counts(bins, 0)
+Histogram::Histogram(double lower, double upper, size_t bins)
+    : lo(lower), hi(upper), counts(bins, 0)
 {
     panicIf(bins == 0, "Histogram: need at least one bin");
-    panicIf(hi <= lo, "Histogram: hi must exceed lo");
+    panicIf(upper <= lower, "Histogram: hi must exceed lo");
 }
 
 void

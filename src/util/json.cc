@@ -262,8 +262,8 @@ namespace {
 class JsonParser
 {
   public:
-    JsonParser(const std::string& text, std::string& error)
-        : text(text), error(error)
+    JsonParser(const std::string& input, std::string& error_out)
+        : text(input), error(error_out)
     {
     }
 

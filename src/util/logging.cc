@@ -22,9 +22,25 @@ panic(const std::string& msg)
     std::abort();
 }
 
+namespace {
+// Not atomic on purpose: flipped once by a fuzz/test driver before
+// any worker threads exist.
+bool g_fatalThrows = false;
+} // namespace
+
+bool
+setFatalThrows(bool enable)
+{
+    bool prev = g_fatalThrows;
+    g_fatalThrows = enable;
+    return prev;
+}
+
 void
 fatal(const std::string& msg)
 {
+    if (g_fatalThrows)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }
@@ -38,6 +54,8 @@ warn(const std::string& msg)
 void
 inform(const std::string& msg)
 {
+    // detlint-allow(stdout-print): inform() IS the sanctioned stdout
+    // channel — callers route user-facing notes through here
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

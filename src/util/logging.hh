@@ -12,10 +12,30 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace dysta {
+
+/**
+ * Thrown by fatal() instead of exiting when setFatalThrows(true) is
+ * active. Lets the fuzz harnesses (tests/fuzz/) and tooling treat
+ * rejected user input as a recoverable outcome while panic() — an
+ * internal invariant violation — still aborts.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Route fatal() through a FatalError throw instead of exit(1).
+ * Process-wide; intended for fuzz/test drivers only. Returns the
+ * previous setting.
+ */
+bool setFatalThrows(bool enable);
 
 /**
  * "a, b, c" ("(none)" when empty) — the error-message convention for

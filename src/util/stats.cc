@@ -78,10 +78,10 @@ OnlineStats::relativeRange() const
     return (hi - lo) / mu;
 }
 
-P2Quantile::P2Quantile(double q)
-    : q(q)
+P2Quantile::P2Quantile(double quantile)
+    : q(quantile)
 {
-    fatalIf(!(q > 0.0) || !(q < 1.0),
+    fatalIf(!(quantile > 0.0) || !(quantile < 1.0),
             "P2Quantile: quantile must be in (0, 1)");
     inc[1] = q / 2.0;
     inc[2] = q;

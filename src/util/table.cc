@@ -7,8 +7,8 @@
 
 namespace dysta {
 
-AsciiTable::AsciiTable(std::string title)
-    : title(std::move(title))
+AsciiTable::AsciiTable(std::string title_text)
+    : title(std::move(title_text))
 {
 }
 

@@ -20,10 +20,10 @@ toString(ArrivalKind kind)
 
 // --- Poisson ---------------------------------------------------------------
 
-PoissonArrivals::PoissonArrivals(double rate)
-    : rate(rate)
+PoissonArrivals::PoissonArrivals(double rate_per_sec)
+    : rate(rate_per_sec)
 {
-    fatalIf(rate <= 0.0, "PoissonArrivals: rate must be positive");
+    fatalIf(rate_per_sec <= 0.0, "PoissonArrivals: rate must be positive");
 }
 
 double
@@ -82,12 +82,12 @@ MmppArrivals::nextArrival(double now, Rng& rng)
 
 // --- Diurnal ---------------------------------------------------------------
 
-DiurnalArrivals::DiurnalArrivals(double base_rate, double amplitude,
-                                 double period)
-    : baseRate(base_rate), amplitude(amplitude), period(period)
+DiurnalArrivals::DiurnalArrivals(double base_rate, double swing,
+                                 double period_sec)
+    : baseRate(base_rate), amplitude(swing), period(period_sec)
 {
     fatalIf(base_rate <= 0.0, "DiurnalArrivals: rate must be positive");
-    fatalIf(amplitude < 0.0 || amplitude >= 1.0,
+    fatalIf(swing < 0.0 || swing >= 1.0,
             "DiurnalArrivals: amplitude must be in [0, 1)");
     fatalIf(period <= 0.0, "DiurnalArrivals: period must be positive");
 }

@@ -5,9 +5,9 @@
 namespace dysta {
 
 WorkloadArrivalSource::WorkloadArrivalSource(
-    const WorkloadConfig& config, const TraceRegistry& registry)
-    : config(config),
-      registry(&registry),
+    const WorkloadConfig& workload, const TraceRegistry& traces)
+    : config(workload),
+      registry(&traces),
       // Same seed derivation as generateWorkload: the two paths draw
       // the identical random sequence for one WorkloadConfig.
       rng(config.seed * 0x9E3779B97F4A7C15ULL + 0x123456789ULL),

@@ -54,8 +54,10 @@ ModelInfoLut
 TraceRegistry::buildLut() const
 {
     ModelInfoLut lut;
-    for (const auto& [key, set] : sets)
-        lut.addFromTrace(set);
+    // Sorted drain: LUT entry indices follow insertion order, so a
+    // hash-ordered walk would leak unordered_map layout into them.
+    for (const std::string& key : keys())
+        lut.addFromTrace(sets.at(key));
     return lut;
 }
 
@@ -64,6 +66,7 @@ TraceRegistry::keys() const
 {
     std::vector<std::string> out;
     out.reserve(sets.size());
+    // detlint-allow(unordered-iter): collects every key and sorts
     for (const auto& [key, set] : sets)
         out.push_back(key);
     std::sort(out.begin(), out.end());
@@ -77,6 +80,8 @@ TraceRegistry::saveAll(const std::string& dir) const
     std::filesystem::create_directories(dir, ec);
     fatalIf(!std::filesystem::is_directory(dir),
             "TraceRegistry::saveAll: cannot create directory: " + dir);
+    // detlint-allow(unordered-iter): one independent file per key, the
+    // resulting directory contents are identical for any walk order
     for (const auto& [key, set] : sets) {
         std::string file = key;
         std::replace(file.begin(), file.end(), '/', '_');

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fuzz harness for the chaos/failure spec grammars
+ * (src/chaos/chaos.cc): distribution specs (`exp@12s`,
+ * `weibull@2s:1.5`, `fixed@500ms`), retry/hedge/brown-out knob
+ * strings, and tier-weight lists. Every parser sees every input —
+ * they share helpers, and cross-grammar inputs are exactly where
+ * splitting logic slips.
+ *
+ * fatal() is routed through FatalError, so rejection is graceful;
+ * panic(), stray std::exceptions, and signals are crashes.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/chaos.hh"
+#include "util/logging.hh"
+
+extern "C" int
+LLVMFuzzerInitialize(int* /*argc*/, char*** /*argv*/)
+{
+    dysta::setFatalThrows(true);
+    return 0;
+}
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+{
+    if (size > (1u << 12))
+        return 0;
+    std::string spec(reinterpret_cast<const char*>(data), size);
+    try {
+        dysta::ChaosDist dist = dysta::chaosDistFromSpec(spec);
+        (void)dist;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        dysta::RetryConfig retry = dysta::retryConfigFromSpec(spec);
+        (void)retry;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        dysta::HedgeConfig hedge = dysta::hedgeConfigFromSpec(spec);
+        (void)hedge;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        dysta::BrownoutConfig brown =
+            dysta::brownoutConfigFromSpec(spec);
+        (void)brown;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        std::vector<double> weights = dysta::tierWeightsFromSpec(spec);
+        (void)weights;
+    } catch (const dysta::FatalError&) {
+    }
+    return 0;
+}

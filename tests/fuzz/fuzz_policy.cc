@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fuzz harness for PolicyRegistry spec strings
+ * (src/api/registry.cc): the generic `name:k=v,k=v` splitter plus
+ * the arrival-process and failure-process factories built on it.
+ *
+ * fatal() is routed through FatalError, so rejection is graceful;
+ * panic(), stray std::exceptions, and signals are crashes.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "api/registry.hh"
+#include "chaos/failure.hh"
+#include "util/logging.hh"
+
+extern "C" int
+LLVMFuzzerInitialize(int* /*argc*/, char*** /*argv*/)
+{
+    dysta::setFatalThrows(true);
+    return 0;
+}
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t* data, size_t size)
+{
+    if (size > (1u << 12))
+        return 0;
+    std::string spec(reinterpret_cast<const char*>(data), size);
+    try {
+        dysta::PolicySpec parsed = dysta::parsePolicySpec(spec);
+        (void)parsed;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        dysta::ArrivalConfig arrival =
+            dysta::PolicyRegistry::global().makeArrival(spec);
+        (void)arrival;
+    } catch (const dysta::FatalError&) {
+    }
+    try {
+        auto failure =
+            dysta::PolicyRegistry::global().makeFailureProcess(spec);
+        (void)failure;
+    } catch (const dysta::FatalError&) {
+    }
+    return 0;
+}

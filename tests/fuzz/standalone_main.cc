@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Standalone driver for the fuzz harnesses when libFuzzer is
+ * unavailable (gcc builds). Provides main() around the harness's
+ * LLVMFuzzerTestOneInput:
+ *
+ *     fuzz_x corpus_dir_or_files...            # replay only
+ *     fuzz_x --fuzz N corpus_dir...            # + N mutation rounds
+ *     fuzz_x --seed S --fuzz N corpus_dir...   # alternate PRNG seed
+ *
+ * Replay feeds every corpus file through the harness. The mutation
+ * loop is fully deterministic (xoshiro-style PRNG, fixed default
+ * seed): each round picks a corpus entry and applies a handful of
+ * byte-level mutations (flip, insert, delete, duplicate, truncate,
+ * splice with another entry, token insertion from a small grammar
+ * dictionary). On a crash signal the dying input is dumped to
+ * crash-<pid>.bin in the working directory so the case can be
+ * replayed and then checked into the corpus.
+ *
+ * Under clang the harnesses link against the real libFuzzer instead
+ * (-fsanitize=fuzzer); this file is not compiled in that mode.
+ */
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+extern "C" int LLVMFuzzerInitialize(int* argc, char*** argv)
+    __attribute__((weak));
+
+namespace {
+
+/// The input currently being executed, for the crash dumper.
+std::vector<uint8_t> g_current;
+char g_crashPath[256];
+
+/** Async-signal-safe: dump the in-flight input, then re-raise. */
+void
+crashHandler(int sig)
+{
+    int fd = open(g_crashPath, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+        size_t off = 0;
+        while (off < g_current.size()) {
+            ssize_t n = write(fd, g_current.data() + off,
+                              g_current.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<size_t>(n);
+        }
+        close(fd);
+        const char msg[] = "\n[standalone_main] crashing input saved: ";
+        (void)!write(2, msg, sizeof msg - 1);
+        (void)!write(2, g_crashPath, strlen(g_crashPath));
+        (void)!write(2, "\n", 1);
+    }
+    signal(sig, SIG_DFL);
+    raise(sig);
+}
+
+/** splitmix64 → xorshift-style PRNG; deterministic by construction. */
+struct Prng {
+    uint64_t state;
+
+    explicit Prng(uint64_t seed) : state(seed ^ 0x9e3779b97f4a7c15ull)
+    {
+        next();
+        next();
+    }
+
+    uint64_t next()
+    {
+        uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+/// Grammar fragments shared by all three target grammars; inserting
+/// them whole reaches past the byte-soup layer of each parser.
+const char* const kDict[] = {
+    "include = ", "name = ", "workload = ", "arrival = ", "seed = ",
+    "seeds = ", "scheduler = ", "chaos = ", "retry = ", "hedge = ",
+    "base.scn", "loop_a.scn", "chain_00.scn", "poisson:rate=",
+    "mmpp:", "trace:", "mtbf:up=", "down=", "exp@", "weibull@",
+    "fixed@", "ms", "s\n", ":", ",", "=", "|", "@", "\n", "0", "1e9",
+    "-1", "nan", "inf", "0x7fffffff", "184467440737095516150",
+};
+
+std::vector<uint8_t>
+mutate(const std::vector<std::vector<uint8_t>>& corpus, Prng& rng)
+{
+    std::vector<uint8_t> out = corpus[rng.below(corpus.size())];
+    size_t rounds = 1 + rng.below(4);
+    for (size_t r = 0; r < rounds; ++r) {
+        switch (rng.below(7)) {
+          case 0: // flip a byte
+            if (!out.empty())
+                out[rng.below(out.size())] ^=
+                    static_cast<uint8_t>(1u << rng.below(8));
+            break;
+          case 1: { // insert a random byte
+            size_t at = rng.below(out.size() + 1);
+            out.insert(out.begin() + static_cast<long>(at),
+                       static_cast<uint8_t>(rng.next()));
+            break;
+          }
+          case 2: // delete a byte
+            if (!out.empty())
+                out.erase(out.begin() +
+                          static_cast<long>(rng.below(out.size())));
+            break;
+          case 3: { // duplicate a chunk
+            if (out.empty())
+                break;
+            size_t from = rng.below(out.size());
+            size_t len = 1 + rng.below(out.size() - from);
+            std::vector<uint8_t> chunk(
+                out.begin() + static_cast<long>(from),
+                out.begin() + static_cast<long>(from + len));
+            size_t at = rng.below(out.size() + 1);
+            out.insert(out.begin() + static_cast<long>(at),
+                       chunk.begin(), chunk.end());
+            break;
+          }
+          case 4: // truncate
+            if (!out.empty())
+                out.resize(rng.below(out.size()));
+            break;
+          case 5: { // splice head of another corpus entry
+            const std::vector<uint8_t>& other =
+                corpus[rng.below(corpus.size())];
+            if (other.empty())
+                break;
+            size_t len = 1 + rng.below(other.size());
+            size_t at = rng.below(out.size() + 1);
+            out.insert(out.begin() + static_cast<long>(at),
+                       other.begin(),
+                       other.begin() + static_cast<long>(len));
+            break;
+          }
+          default: { // insert a dictionary token
+            const char* tok =
+                kDict[rng.below(sizeof kDict / sizeof kDict[0])];
+            size_t at = rng.below(out.size() + 1);
+            out.insert(out.begin() + static_cast<long>(at),
+                       reinterpret_cast<const uint8_t*>(tok),
+                       reinterpret_cast<const uint8_t*>(tok) +
+                           strlen(tok));
+            break;
+          }
+        }
+        if (out.size() > (1u << 16))
+            out.resize(1u << 16);
+    }
+    return out;
+}
+
+bool
+readFile(const std::filesystem::path& path, std::vector<uint8_t>& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+}
+
+void
+runOne(const std::vector<uint8_t>& input)
+{
+    g_current = input;
+    LLVMFuzzerTestOneInput(g_current.data(), g_current.size());
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    snprintf(g_crashPath, sizeof g_crashPath, "crash-%d.bin",
+             static_cast<int>(getpid()));
+    for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL})
+        signal(sig, crashHandler);
+
+    long fuzz_iters = 0;
+    uint64_t seed = 1;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--fuzz" && i + 1 < argc) {
+            fuzz_iters = atol(argv[++i]);
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = strtoull(argv[++i], nullptr, 0);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty() && fuzz_iters == 0) {
+        fprintf(stderr,
+                "usage: %s [--fuzz N] [--seed S] corpus...\n", argv[0]);
+        return 2;
+    }
+
+    // The harness may chdir (scenario sandbox); resolve corpus paths
+    // first so relative arguments keep working afterwards.
+    std::vector<std::filesystem::path> files;
+    for (const std::string& p : paths) {
+        std::error_code ec;
+        std::filesystem::path abs = std::filesystem::absolute(p, ec);
+        if (std::filesystem::is_directory(abs, ec)) {
+            std::vector<std::filesystem::path> dir_files;
+            for (const auto& entry :
+                 std::filesystem::directory_iterator(abs)) {
+                if (entry.is_regular_file())
+                    dir_files.push_back(entry.path());
+            }
+            // Directory iteration order is OS-dependent; sort for a
+            // reproducible replay sequence.
+            std::sort(dir_files.begin(), dir_files.end());
+            files.insert(files.end(), dir_files.begin(),
+                         dir_files.end());
+        } else {
+            files.push_back(abs);
+        }
+    }
+
+    if (LLVMFuzzerInitialize != nullptr)
+        LLVMFuzzerInitialize(&argc, &argv);
+
+    std::vector<std::vector<uint8_t>> corpus;
+    for (const std::filesystem::path& file : files) {
+        std::vector<uint8_t> bytes;
+        if (!readFile(file, bytes)) {
+            fprintf(stderr, "cannot read corpus file %s\n",
+                    file.string().c_str());
+            return 2;
+        }
+        runOne(bytes);
+        corpus.push_back(std::move(bytes));
+    }
+    fprintf(stderr, "[standalone_main] replayed %zu corpus inputs\n",
+            corpus.size());
+
+    if (fuzz_iters > 0) {
+        if (corpus.empty())
+            corpus.push_back({});
+        Prng rng(seed);
+        for (long i = 0; i < fuzz_iters; ++i)
+            runOne(mutate(corpus, rng));
+        fprintf(stderr,
+                "[standalone_main] %ld mutation rounds, seed %llu: "
+                "no crash\n",
+                fuzz_iters, static_cast<unsigned long long>(seed));
+    }
+    return 0;
+}

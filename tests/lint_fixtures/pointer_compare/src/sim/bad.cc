@@ -1,0 +1,15 @@
+// Fixture: pointer-value ordering in tie-breaks — address layout is
+// allocator dependent, so these comparisons are nondeterministic.
+#include <cstdint>
+
+struct Request {
+    int id = 0;
+};
+
+bool tieBreak(const Request& a, const Request& b)
+{
+    if (&a < &b)
+        return true;
+    return reinterpret_cast<std::uintptr_t>(&a) <
+           reinterpret_cast<std::uintptr_t>(&b);
+}

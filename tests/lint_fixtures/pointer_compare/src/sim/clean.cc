@@ -1,0 +1,9 @@
+// Fixture: clean counterpart — ties break on a stable request id.
+struct Request {
+    int id = 0;
+};
+
+bool tieBreak(const Request& a, const Request& b)
+{
+    return a.id < b.id;
+}

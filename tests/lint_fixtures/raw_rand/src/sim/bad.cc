@@ -1,0 +1,11 @@
+// Fixture: unseeded / platform-dependent randomness in scanned code.
+#include <cstdlib>
+#include <random>
+
+int drawJitter()
+{
+    std::random_device rd;
+    std::mt19937 gen(rd());
+    std::uniform_int_distribution<int> dist(0, 9);
+    return dist(gen) + rand() % 3;
+}

@@ -1,0 +1,11 @@
+// Fixture: clean counterpart — randomness flows through an explicitly
+// seeded generator passed in by the caller (the util/rng pattern).
+struct Rng {
+    unsigned long long state = 1;
+    double uniform();
+};
+
+double drawJitter(Rng& rng)
+{
+    return rng.uniform();
+}

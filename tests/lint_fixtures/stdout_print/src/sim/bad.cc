@@ -1,0 +1,10 @@
+// Fixture: library code writing to stdout — presentation belongs to
+// tools, benches and examples.
+#include <cstdio>
+#include <iostream>
+
+void announce(int completed)
+{
+    std::printf("completed %d requests\n", completed);
+    std::cout << "done" << std::endl;
+}

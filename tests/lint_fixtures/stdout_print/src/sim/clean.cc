@@ -1,0 +1,10 @@
+// Fixture: clean counterpart — diagnostics go to stderr, data goes to
+// whatever stream the caller hands over.
+#include <cstdio>
+#include <ostream>
+
+void announce(std::ostream& out, int completed)
+{
+    std::fprintf(stderr, "warn: slow cell\n");
+    out << "completed " << completed << " requests\n";
+}

@@ -1,0 +1,15 @@
+// Fixture: a suppression without a justification clause — detlint
+// reports bad-suppression and keeps the underlying finding alive.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> drain()
+{
+    std::unordered_map<std::string, int> backlog;
+    std::vector<std::string> out;
+    // detlint-allow(unordered-iter)
+    for (const auto& [key, value] : backlog)
+        out.push_back(key);
+    return out;
+}

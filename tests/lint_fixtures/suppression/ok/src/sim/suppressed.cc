@@ -1,0 +1,29 @@
+// Fixture: violations carrying well-formed detlint-allow comments —
+// same-line, line-above, and multi-line comment block forms. detlint
+// must exit 0 here.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> sortedKeys()
+{
+    std::unordered_map<std::string, int> backlog;
+    std::vector<std::string> out;
+    // detlint-allow(unordered-iter): collects every key and sorts below
+    for (const auto& [key, value] : backlog)
+        out.push_back(key);
+    return out;
+}
+
+int drainCount()
+{
+    std::unordered_map<std::string, int> backlog;
+    int n = 0;
+    // A multi-line justification: the allow tag sits in the comment
+    // block directly above the loop, which is the third accepted form.
+    // detlint-allow(unordered-iter): order-invariant reduction, the
+    // sum is the same for any walk order
+    for (const auto& [key, value] : backlog)
+        n += value;
+    return n;
+}

@@ -1,0 +1,15 @@
+// Fixture: a well-formed suppression that matches no finding —
+// detlint reports unused-suppression so stale allowances cannot rot.
+#include <map>
+#include <string>
+#include <vector>
+
+std::vector<std::string> drain()
+{
+    std::map<std::string, int> ordered;
+    std::vector<std::string> out;
+    // detlint-allow(unordered-iter): this map is ordered, nothing here
+    for (const auto& [key, value] : ordered)
+        out.push_back(key);
+    return out;
+}

@@ -1,0 +1,8 @@
+// Fixture: a config struct with uninitialized scalar knobs — reading
+// them before assignment yields stack garbage, which no determinism
+// gate can reproduce.
+struct RetryConfig {
+    int maxAttempts;
+    double backoffBase;
+    bool hedge;
+};

@@ -1,0 +1,12 @@
+// Fixture: clean counterpart — every scalar knob carries a default
+// member initializer; non-scalar members value-initialize themselves.
+#include <string>
+#include <vector>
+
+struct RetryConfig {
+    int maxAttempts = 3;
+    double backoffBase = 2.0;
+    bool hedge = false;
+    std::string policy;
+    std::vector<double> tiers;
+};

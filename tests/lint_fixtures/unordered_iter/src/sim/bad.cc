@@ -1,0 +1,17 @@
+// Fixture: hash-order-dependent drains of unordered containers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> drain()
+{
+    std::unordered_map<std::string, int> backlog;
+    std::unordered_set<int> live;
+    std::vector<std::string> out;
+    for (const auto& [key, value] : backlog)
+        out.push_back(key + ":" + std::to_string(value));
+    for (auto it = live.begin(); it != live.end(); ++it)
+        out.push_back(std::to_string(*it));
+    return out;
+}

@@ -1,0 +1,20 @@
+// Fixture: clean counterpart — lookups into an unordered map are fine
+// (only iteration order is hash dependent), and ordered containers may
+// be drained directly.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> drain(const std::vector<std::string>& keys)
+{
+    std::unordered_map<std::string, int> backlog;
+    std::map<std::string, int> ordered;
+    std::vector<std::string> out;
+    for (const std::string& key : keys)
+        if (backlog.count(key) != 0)
+            ordered[key] = backlog.at(key);
+    for (const auto& [key, value] : ordered)
+        out.push_back(key + ":" + std::to_string(value));
+    return out;
+}

@@ -1,0 +1,16 @@
+// Fixture: every statement here violates the wall-clock rule inside a
+// deterministic path (src/sim/). Never compiled — scanned by detlint
+// in tests/test_detlint.cc.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+double wallSeed()
+{
+    auto now = std::chrono::system_clock::now();
+    std::time_t t = std::time(nullptr);
+    const char* env = std::getenv("DYSTA_SEED");
+    (void)now;
+    (void)env;
+    return static_cast<double>(t);
+}

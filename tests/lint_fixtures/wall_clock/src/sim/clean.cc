@@ -1,0 +1,8 @@
+// Fixture: clean counterpart — sim time arrives as a parameter, the
+// word "time" in comments and identifiers like arrivalTime are fine.
+double nextDeadline(double simTime, double sloSeconds)
+{
+    // Deadlines are computed from simulated time only.
+    double arrivalTime = simTime;
+    return arrivalTime + sloSeconds;
+}

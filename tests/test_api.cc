@@ -243,7 +243,7 @@ TEST(PolicyRegistry, CustomArrivalProcessIsSpecConstructible)
     class DrumArrivals : public ArrivalProcess
     {
       public:
-        explicit DrumArrivals(double gap) : gap(gap) {}
+        explicit DrumArrivals(double beat_gap) : gap(beat_gap) {}
         std::string name() const override { return "drum"; }
         double
         nextArrival(double now, Rng&) override

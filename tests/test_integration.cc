@@ -198,11 +198,11 @@ sweepPoints()
 INSTANTIATE_TEST_SUITE_P(
     ScenarioRatePolicy, PipelineSweep,
     ::testing::ValuesIn(sweepPoints()),
-    [](const ::testing::TestParamInfo<SweepPoint>& info) {
-        std::string name = toString(info.param.kind) + "_" +
+    [](const ::testing::TestParamInfo<SweepPoint>& point) {
+        std::string name = toString(point.param.kind) + "_" +
                            std::to_string(static_cast<int>(
-                               info.param.rate * 10)) + "_" +
-                           info.param.scheduler;
+                               point.param.rate * 10)) + "_" +
+                           point.param.scheduler;
         for (char& c : name) {
             if (!std::isalnum(static_cast<unsigned char>(c)))
                 c = '_';

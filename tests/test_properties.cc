@@ -106,9 +106,9 @@ cnnPoints()
 
 INSTANTIATE_TEST_SUITE_P(
     AllCnnModels, CnnAccelSweep, ::testing::ValuesIn(cnnPoints()),
-    [](const ::testing::TestParamInfo<CnnPoint>& info) {
-        return std::get<0>(info.param) + "_" +
-               toString(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<CnnPoint>& point) {
+        return std::get<0>(point.param) + "_" +
+               toString(std::get<1>(point.param));
     });
 
 // --- Every AttNN model on Sanger ---
@@ -209,8 +209,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PredictorStrategy::AverageAll,
                       PredictorStrategy::LastN,
                       PredictorStrategy::LastOne),
-    [](const ::testing::TestParamInfo<PredictorStrategy>& info) {
-        std::string name = toString(info.param);
+    [](const ::testing::TestParamInfo<PredictorStrategy>& point) {
+        std::string name = toString(point.param);
         for (char& c : name) {
             if (c == '-')
                 c = '_';

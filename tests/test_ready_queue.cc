@@ -136,8 +136,8 @@ namespace {
 class CheckedScheduler : public Scheduler
 {
   public:
-    explicit CheckedScheduler(std::unique_ptr<Scheduler> inner)
-        : inner(std::move(inner))
+    explicit CheckedScheduler(std::unique_ptr<Scheduler> wrapped)
+        : inner(std::move(wrapped))
     {
     }
 

@@ -138,7 +138,8 @@ TEST(Learned, BeatsHeuristicOnHeldOutBert)
             pred_h.push_back(executed +
                              heuristic.predictRemaining(l + 1));
             pred_l.push_back(executed + learned.predictRemaining(
-                observed, density_sum / observed));
+                observed,
+                density_sum / static_cast<double>(observed)));
             ref.push_back(sample.totalLatency);
         }
     }

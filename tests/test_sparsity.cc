@@ -102,8 +102,9 @@ TEST(WeightSparsity, ChannelBiasGrowsWithRate)
         bias_light += light.layerInfo(l).keptChannelBias;
         bias_heavy += heavy.layerInfo(l).keptChannelBias;
     }
-    EXPECT_GT(bias_heavy / n, bias_light / n);
-    EXPECT_GT(bias_heavy / n, 1.1);
+    const double layers = static_cast<double>(n);
+    EXPECT_GT(bias_heavy / layers, bias_light / layers);
+    EXPECT_GT(bias_heavy / layers, 1.1);
 }
 
 TEST(WeightSparsity, NonChannelPatternsHaveNoBias)

@@ -210,7 +210,7 @@ TEST(TraceCache, ColdAndCachedContextsAreIdentical)
     ASSERT_EQ(cached->registry.size(), cold->registry.size());
     EXPECT_EQ(cached->registry.keys(), cold->registry.keys());
     ASSERT_EQ(cached->lut.size(), cold->lut.size());
-    for (const std::string& model : {"bert", "gpt2", "bart"}) {
+    for (const char* model : {"bert", "gpt2", "bart"}) {
         const ModelInfo& a =
             cold->lut.lookup(model, SparsityPattern::Dense);
         const ModelInfo& b =

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# clang-tidy zero-new-warnings gate.
+#
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# library translation unit in compile_commands.json, reduces each
+# finding to a stable fingerprint "<repo-relative-file>:<check>", and
+# compares the sorted unique fingerprint set against the committed
+# baseline. Findings whose fingerprint is in the baseline pass (known
+# debt, line numbers may drift); any new fingerprint fails the gate.
+#
+# Usage:
+#   tools/ci/clang_tidy_gate.sh <build-dir> [--update-baseline]
+#
+# --update-baseline rewrites tools/ci/clang_tidy_baseline.txt with
+# the current fingerprint set; commit the result when paying down or
+# consciously accepting debt.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/../.." && pwd)"
+build_dir="${1:?usage: clang_tidy_gate.sh <build-dir> [--update-baseline]}"
+mode="${2:-check}"
+baseline="$repo_root/tools/ci/clang_tidy_baseline.txt"
+report="$build_dir/clang-tidy-report.txt"
+current="$build_dir/clang-tidy-fingerprints.txt"
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+    echo "clang_tidy_gate: $tidy_bin not found" >&2
+    exit 3
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "clang_tidy_gate: $build_dir/compile_commands.json missing" \
+         "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+    exit 3
+fi
+
+# Library sources only: tools/bench/examples/tests are leaf code with
+# a looser bar (same split as the -Werror promotion in CMakeLists).
+mapfile -t sources < <(cd "$repo_root" && find src -name '*.cc' \
+    -not -path 'src/tools/*' | sort)
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${sources[@]}" | \
+    xargs -P "$jobs" -I{} "$tidy_bin" -p "$build_dir" --quiet \
+        "$repo_root/{}" > "$report" 2>/dev/null || true
+
+# "path/file.cc:12:3: warning: text [check-name]" -> "file.cc:check"
+sed -n 's/^\(.*\):[0-9]*:[0-9]*: warning: .*\[\(.*\)\]$/\1:\2/p' \
+        "$report" | \
+    sed "s|^$repo_root/||" | sort -u > "$current"
+
+if [ "$mode" = "--update-baseline" ]; then
+    cp "$current" "$baseline"
+    echo "clang_tidy_gate: baseline updated" \
+         "($(wc -l < "$baseline") fingerprints)"
+    exit 0
+fi
+
+new_findings="$(comm -23 "$current" <(sort -u "$baseline"))"
+if [ -n "$new_findings" ]; then
+    echo "clang_tidy_gate: NEW findings not in baseline:" >&2
+    echo "$new_findings" >&2
+    echo "(full report: $report; to accept debt consciously, run" \
+         "with --update-baseline and commit)" >&2
+    exit 1
+fi
+echo "clang_tidy_gate: clean" \
+     "($(wc -l < "$current") findings, all baselined)"
