@@ -99,12 +99,16 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
     // chaos-free scenarios stay byte-identical to older runs.
     if (!row.chaos.empty())
         json.field("chaos", row.chaos);
+    // Likewise emitted only when the grid has a batcher axis.
+    if (!row.batcher.empty())
+        json.field("batcher", row.batcher);
     json.field("scheduler", row.scheduler);
     const Metrics& m = row.metrics;
     json.field("antt", m.antt);
     json.field("violation_rate", m.violationRate);
     json.field("slo_miss_rate", m.sloMissRate);
     json.field("throughput", m.throughput);
+    json.field("goodput", m.goodput);
     json.field("stp", m.stp);
     json.field("p50_turnaround", m.p50Turnaround);
     json.field("p95_turnaround", m.p95Turnaround);
@@ -159,6 +163,18 @@ writeRow(JsonWriter& json, const ScenarioRow& row)
             }
             json.endArray();
         }
+        json.endObject();
+    }
+    // Batching block only when batch formation ran.
+    if (m.batching.active) {
+        const BatchStats& bat = m.batching;
+        json.beginObject("batching");
+        json.field("formed", bat.formed);
+        json.field("joins", bat.joins);
+        json.field("steps", bat.steps);
+        json.field("mean_occupancy", bat.meanOccupancy);
+        json.field("mean_fill_wait", bat.meanFillWaitSec);
+        json.field("straggler_tax", bat.stragglerTaxSec);
         json.endObject();
     }
     json.endObject();
@@ -255,12 +271,17 @@ Reporter::writeCsv(const std::string& path) const
     }
 
     // Resilience columns appear only when some row ran a chaos
-    // mechanism, keeping chaos-free CSVs byte-identical.
+    // mechanism, keeping chaos-free CSVs byte-identical; batching
+    // columns follow the same rule.
     bool any_resilience = false;
-    for (const ScenarioResult& run : runs)
-        for (const ScenarioRow& row : run.rows)
+    bool any_batch = false;
+    for (const ScenarioResult& run : runs) {
+        for (const ScenarioRow& row : run.rows) {
             any_resilience =
                 any_resilience || row.metrics.resilience.active;
+            any_batch = any_batch || row.metrics.batching.active;
+        }
+    }
 
     CsvWriter csv(path);
     std::vector<std::string> header = {
@@ -268,7 +289,8 @@ Reporter::writeCsv(const std::string& path) const
         "slo",            "fleet",          "dispatcher",
         "admission_margin", "steal_ratio",
         "scheduler",      "antt",           "violation_rate",
-        "slo_miss_rate",  "throughput",     "stp",
+        "slo_miss_rate",  "throughput",     "goodput",
+        "stp",
         "p50_turnaround", "p95_turnaround", "p99_turnaround",
         "p50_latency",    "p95_latency",    "p99_latency",
         "completed",      "shed",           "makespan",
@@ -281,6 +303,16 @@ Reporter::writeCsv(const std::string& path) const
                        "timeouts", "retries", "retry_amplification",
                        "hedges", "hedge_wins", "hedge_win_rate",
                        "brownout_sheds"});
+    }
+    if (any_batch) {
+        // After steal_ratio (and chaos when present), before
+        // scheduler — the same slot the JSON rows use.
+        header.insert(header.begin() + (any_resilience ? 9 : 8),
+                      "batcher");
+        header.insert(header.end(),
+                      {"batch_formed", "batch_joins", "batch_steps",
+                       "batch_occupancy", "batch_fill_wait",
+                       "batch_straggler_tax"});
     }
     for (const std::string& name : probes) {
         header.push_back("est_" + name + "_bias");
@@ -305,10 +337,15 @@ Reporter::writeCsv(const std::string& path) const
             };
             if (any_resilience)
                 cells.insert(cells.begin() + 8, row.chaos);
+            if (any_batch)
+                cells.insert(cells.begin() +
+                                 (any_resilience ? 9 : 8),
+                             row.batcher);
             std::vector<std::string> tail = {
                 jsonNumber(m.violationRate),
                 jsonNumber(m.sloMissRate),
                 jsonNumber(m.throughput),
+                jsonNumber(m.goodput),
                 jsonNumber(m.stp),
                 jsonNumber(m.p50Turnaround),
                 jsonNumber(m.p95Turnaround),
@@ -339,6 +376,22 @@ Reporter::writeCsv(const std::string& path) const
                              jsonNumber(res.hedgeWins),
                              jsonNumber(res.hedgeWinRate),
                              jsonNumber(res.brownoutSheds)};
+                }
+                cells.insert(cells.end(), extra.begin(),
+                             extra.end());
+            }
+            if (any_batch) {
+                const BatchStats& bat = m.batching;
+                // Unbatched rows sharing the file leave the batch
+                // columns empty.
+                std::vector<std::string> extra(6, "");
+                if (bat.active) {
+                    extra = {jsonNumber(bat.formed),
+                             jsonNumber(bat.joins),
+                             jsonNumber(bat.steps),
+                             jsonNumber(bat.meanOccupancy),
+                             jsonNumber(bat.meanFillWaitSec),
+                             jsonNumber(bat.stragglerTaxSec)};
                 }
                 cells.insert(cells.end(), extra.begin(),
                              extra.end());
@@ -412,12 +465,16 @@ printScenarioTable(const ScenarioResult& result)
         rows, [](const ScenarioRow& r) { return r.stealRatio; });
     bool show_chaos = multiValued(
         rows, [](const ScenarioRow& r) { return r.chaos; });
+    bool show_batcher = multiValued(
+        rows, [](const ScenarioRow& r) { return r.batcher; });
     bool any_shed = false;
     bool any_resilience = false;
+    bool any_batch = false;
     for (const ScenarioRow& row : rows) {
         any_shed = any_shed || row.metrics.shed > 0;
         any_resilience =
             any_resilience || row.metrics.resilience.active;
+        any_batch = any_batch || row.metrics.batching.active;
     }
 
     std::string title = "scenario '" + spec.name + "' (" +
@@ -434,6 +491,8 @@ printScenarioTable(const ScenarioResult& result)
         title += ", fleet " + rows.front().fleet;
     if (!show_chaos && !rows.front().chaos.empty())
         title += ", chaos " + rows.front().chaos;
+    if (!show_batcher && !rows.front().batcher.empty())
+        title += ", batcher " + rows.front().batcher;
     title += ")";
 
     AsciiTable table(title);
@@ -454,15 +513,20 @@ printScenarioTable(const ScenarioResult& result)
         header.push_back("steal");
     if (show_chaos)
         header.push_back("chaos");
+    if (show_batcher)
+        header.push_back("batcher");
     header.push_back("scheduler");
     header.insert(header.end(),
                   {"ANTT", "violation [%]", "slo miss [%]",
-                   "throughput", "p99 lat [ms]"});
+                   "throughput", "goodput", "p99 lat [ms]"});
     if (any_shed)
         header.push_back("shed");
     if (any_resilience)
         header.insert(header.end(), {"avail [%]", "retries",
                                      "hedge win [%]"});
+    if (any_batch)
+        header.insert(header.end(), {"occupancy", "fill wait [ms]",
+                                     "straggler [s]"});
     // Estimator accuracy probes, when the scenario ran any.
     const std::vector<EstimatorAccuracy>& probes =
         rows.front().metrics.estimators;
@@ -490,12 +554,16 @@ printScenarioTable(const ScenarioResult& result)
                                 : shortestDouble(row.stealRatio));
         if (show_chaos)
             cells.push_back(row.chaos.empty() ? "none" : row.chaos);
+        if (show_batcher)
+            cells.push_back(row.batcher.empty() ? "none"
+                                                : row.batcher);
         cells.push_back(row.scheduler);
         const Metrics& m = row.metrics;
         cells.push_back(AsciiTable::num(m.antt, 2));
         cells.push_back(AsciiTable::num(m.violationRate * 100.0, 1));
         cells.push_back(AsciiTable::num(m.sloMissRate * 100.0, 1));
         cells.push_back(AsciiTable::num(m.throughput, 2));
+        cells.push_back(AsciiTable::num(m.goodput, 2));
         cells.push_back(AsciiTable::num(m.p99Latency * 1e3, 2));
         if (any_shed)
             cells.push_back(std::to_string(m.shed));
@@ -507,6 +575,19 @@ printScenarioTable(const ScenarioResult& result)
                 cells.push_back(AsciiTable::num(res.retries, 0));
                 cells.push_back(
                     AsciiTable::num(res.hedgeWinRate * 100.0, 1));
+            } else {
+                cells.insert(cells.end(), {"-", "-", "-"});
+            }
+        }
+        if (any_batch) {
+            const BatchStats& bat = m.batching;
+            if (bat.active) {
+                cells.push_back(
+                    AsciiTable::num(bat.meanOccupancy, 2));
+                cells.push_back(
+                    AsciiTable::num(bat.meanFillWaitSec * 1e3, 2));
+                cells.push_back(
+                    AsciiTable::num(bat.stragglerTaxSec, 3));
             } else {
                 cells.insert(cells.end(), {"-", "-", "-"});
             }
@@ -555,6 +636,13 @@ printTelemetrySummary(const Telemetry& telemetry,
                     telemetry.timeouts(), telemetry.retries(),
                     telemetry.hedges(), telemetry.hedgeCancels(),
                     telemetry.brownouts());
+    }
+    if (telemetry.batchesFormed() + telemetry.batchJoins() > 0) {
+        // detlint-allow(stdout-print): telemetry summary, see above
+        std::printf("batching: %zu batches formed, %zu continuous "
+                    "joins\n",
+                    telemetry.batchesFormed(),
+                    telemetry.batchJoins());
     }
 
     const std::vector<NodeTelemetry>& nodes = telemetry.nodes();

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "api/registry.hh"
+#include "batch/batch.hh"
 #include "chaos/chaos.hh"
 #include "chaos/failure.hh"
 #include "obs/phase_timer.hh"
@@ -118,7 +119,7 @@ const char* const kScenarioKeys[] = {
     "admission",  "admission_margin", "steal_ratio",
     "admission_estimator", "on_failure",
     "chaos",      "retry",           "hedge",
-    "brownout",   "tiers",
+    "brownout",   "tiers",           "batcher",
     "probes",     "samples",         "profile_seed",
     "cnn_sparsity", "streaming",     "metrics",
     "calendar",
@@ -192,6 +193,8 @@ applyKey(ScenarioSpec& spec, const std::string& key,
         spec.brownout = value;
     } else if (key == "tiers") {
         spec.tiers = value;
+    } else if (key == "batcher") {
+        spec.batchers = splitAxis(key, value);
     } else if (key == "probes") {
         spec.probes = splitAxis(key, value);
     } else if (key == "samples") {
@@ -427,6 +430,7 @@ serializeScenario(const ScenarioSpec& spec)
     kv("hedge", spec.hedge);
     kv("brownout", spec.brownout);
     kv("tiers", spec.tiers);
+    kv("batcher", joinAxis(spec.batchers, identity));
     kv("probes", joinAxis(spec.probes, identity));
     kv("samples", std::to_string(spec.samples));
     kv("profile_seed", std::to_string(spec.profileSeed));
@@ -482,6 +486,9 @@ validateScenario(const ScenarioSpec& spec)
     retryConfigFromSpec(spec.retry);
     hedgeConfigFromSpec(spec.hedge);
     tierWeightsFromSpec(spec.tiers);
+    for (const std::string& batcher : spec.batchers)
+        if (batcher != "none")
+            batchConfigFromSpec(batcher); // validates params
     fatalIf(brownout.enabled && !spec.admission,
             where + "'brownout' requires 'admission = 1'");
 
@@ -502,6 +509,8 @@ validateScenario(const ScenarioSpec& spec)
                 where + "'steal_ratio' requires a 'fleet'");
         fatalIf(!spec.chaos.empty(),
                 where + "'chaos' requires a 'fleet'");
+        fatalIf(!spec.batchers.empty(),
+                where + "'batcher' requires a 'fleet'");
         fatalIf(!spec.retry.empty() || !spec.hedge.empty() ||
                     !spec.brownout.empty() || !spec.tiers.empty(),
                 where + "'retry'/'hedge'/'brownout'/'tiers' require "
@@ -547,13 +556,13 @@ namespace {
 /**
  * Enumerate the grid points of a scenario in canonical order —
  * workload, arrival, slo, fleet, dispatcher, admission margin,
- * steal ratio, chaos, scheduler (seeds are expanded by the caller).
- * Both the cell expansion and the result regrouping iterate through
- * this ONE function, so row labels can never drift out of step with
- * cell results. Cluster axes collapse to a single empty slot on
- * single-accelerator grids; an absent steal_ratio axis collapses to
- * the -1 sentinel (dispatcher default); an absent chaos axis
- * collapses to the empty spec (no fault injection).
+ * steal ratio, chaos, batcher, scheduler (seeds are expanded by the
+ * caller). Both the cell expansion and the result regrouping iterate
+ * through this ONE function, so row labels can never drift out of
+ * step with cell results. Cluster axes collapse to a single empty
+ * slot on single-accelerator grids; an absent steal_ratio axis
+ * collapses to the -1 sentinel (dispatcher default); absent chaos
+ * and batcher axes collapse to the empty spec (feature off).
  */
 template <typename Fn>
 void
@@ -569,21 +578,21 @@ forEachGridPoint(const ScenarioSpec& spec, Fn&& fn)
         spec.stealRatios.empty() ? default_steal : spec.stealRatios;
     const std::vector<std::string>& chaoses =
         spec.chaos.empty() ? none : spec.chaos;
+    const std::vector<std::string>& batchers =
+        spec.batchers.empty() ? none : spec.batchers;
 
     for (const WorkloadPanel& panel : spec.workloads)
-        for (const std::string& arrival : spec.arrivals)
-            for (double slo : spec.sloMultipliers)
-                for (const std::string& fleet : fleets)
-                    for (const std::string& disp : dispatchers)
-                        for (double margin : spec.admissionMargins)
-                            for (double steal : steals)
-                                for (const std::string& chaos :
-                                     chaoses)
-                                    for (const std::string& sched :
-                                         spec.schedulers)
-                                        fn(panel, arrival, slo,
-                                           fleet, disp, margin,
-                                           steal, chaos, sched);
+      for (const std::string& arrival : spec.arrivals)
+        for (double slo : spec.sloMultipliers)
+          for (const std::string& fleet : fleets)
+            for (const std::string& disp : dispatchers)
+              for (double margin : spec.admissionMargins)
+                for (double steal : steals)
+                  for (const std::string& chaos : chaoses)
+                    for (const std::string& batcher : batchers)
+                      for (const std::string& sched : spec.schedulers)
+                        fn(panel, arrival, slo, fleet, disp, margin,
+                           steal, chaos, batcher, sched);
 }
 
 } // namespace
@@ -598,6 +607,7 @@ scenarioCells(const ScenarioSpec& spec)
                                const std::string& fleet,
                                const std::string& disp, double margin,
                                double steal, const std::string& chaos,
+                               const std::string& batcher,
                                const std::string& sched) {
         SweepCell cell;
         cell.workload.kind = panel.kind;
@@ -626,10 +636,12 @@ scenarioCells(const ScenarioSpec& spec)
             cell.cluster.onFailure = spec.onFailure == "shed"
                 ? RestartPolicy::Shed
                 : RestartPolicy::Restart;
-            // "none" is the chaos axis' off slice; the engine takes
-            // the empty spec as disabled.
+            // "none" is the chaos/batcher axes' off slice; the
+            // engine takes the empty spec as disabled.
             if (chaos != "none")
                 cell.cluster.chaos = chaos;
+            if (batcher != "none")
+                cell.cluster.batcher = batcher;
             cell.cluster.retry = spec.retry;
             cell.cluster.hedge = spec.hedge;
             cell.cluster.brownout = spec.brownout;
@@ -680,6 +692,7 @@ runScenario(const ScenarioSpec& spec,
                                const std::string& fleet,
                                const std::string& disp, double margin,
                                double steal, const std::string& chaos,
+                               const std::string& batcher,
                                const std::string& sched) {
         ScenarioRow row;
         row.workload = panel.label();
@@ -690,6 +703,7 @@ runScenario(const ScenarioSpec& spec,
         row.admissionMargin = margin;
         row.stealRatio = steal;
         row.chaos = chaos;
+        row.batcher = batcher;
         row.scheduler = sched;
         for (int s = 0; s < spec.seeds; ++s) {
             const SweepCellResult& r = results[index++];
@@ -712,7 +726,8 @@ builtinScenarioNames()
 {
     return {"fig12",           "fig14",          "fig15",
             "tab05",           "cluster-scaling", "hetero-cluster",
-            "hetero-failover", "megascale",      "chaos"};
+            "hetero-failover", "megascale",      "chaos",
+            "batching"};
 }
 
 ScenarioSpec
@@ -855,6 +870,28 @@ builtinScenario(const std::string& name)
         spec.tiers = "0.5,0.3,0.2";
         spec.admission = true;
         spec.admissionMargins = {1.5};
+        spec.requests = 400;
+        spec.seeds = 2;
+        return spec;
+    }
+    if (name == "batching") {
+        // Dynamic batching: the batcher axis compares unbatched
+        // serving against FIFO, size-greedy and sparsity-aware batch
+        // composition at matched formation knobs, under bursty
+        // traffic on a saturated fleet (bench_batching asserts
+        // sparsity-aware composition beats FIFO on SLO goodput).
+        ScenarioSpec spec;
+        spec.name = "batching";
+        spec.workloads = panels({"attnn@120"});
+        spec.arrivals = {"mmpp"};
+        spec.fleets = {"sanger:2"};
+        spec.dispatchers = {"least-outstanding"};
+        spec.schedulers = {"Dysta"};
+        spec.batchers = {
+            "none",
+            "batcher:size=8,delay=2ms,compose=fifo",
+            "batcher:size=8,delay=2ms,compose=greedy",
+            "batcher:size=8,delay=2ms,compose=sparsity"};
         spec.requests = 400;
         spec.seeds = 2;
         return spec;

@@ -87,6 +87,13 @@ struct ScenarioSpec
      * injection off for that grid slice. Empty = no chaos axis.
      */
     std::vector<std::string> chaos;
+    /**
+     * Batch-formation specs (axis; cluster scenarios only), e.g.
+     * "batcher:size=8,delay=2ms,compose=sparsity"; the literal
+     * "none" keeps batching off for that grid slice. Empty = no
+     * batcher axis.
+     */
+    std::vector<std::string> batchers;
 
     // --- per-cell workload knobs -------------------------------------
     int requests = 1000;
@@ -173,7 +180,7 @@ BenchSetup scenarioSetup(const ScenarioSpec& spec);
 /**
  * Expand the grid into SweepCells in canonical order: workload,
  * arrival, slo, fleet, dispatcher, admission margin, steal ratio,
- * chaos, scheduler, seeds innermost.
+ * chaos, batcher, scheduler, seeds innermost.
  */
 std::vector<SweepCell> scenarioCells(const ScenarioSpec& spec);
 
@@ -191,6 +198,8 @@ struct ScenarioRow
     double stealRatio = -1.0;
     /** Failure-process spec; "" when the grid has no chaos axis. */
     std::string chaos;
+    /** Batch-formation spec; "" when the grid has no batcher axis. */
+    std::string batcher;
     std::string scheduler;
     /** Field-wise mean over the seed replicas. */
     Metrics metrics;

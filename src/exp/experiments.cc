@@ -273,6 +273,7 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     cfg.hedge = hedgeConfigFromSpec(cluster.hedge);
     cfg.brownout = brownoutConfigFromSpec(cluster.brownout);
     cfg.tierWeights = tierWeightsFromSpec(cluster.tiers);
+    cfg.batching = batchConfigFromSpec(cluster.batcher);
 
     std::unique_ptr<LatencyEstimator> admission_est;
     if (!cluster.admissionEstimator.empty()) {
@@ -284,9 +285,13 @@ runCluster(const BenchContext& ctx, const WorkloadConfig& workload,
     auto dispatcher = makeDispatcherByName(cluster.dispatcher, ctx,
                                            cluster.stealing);
     ClusterEngine engine(cfg);
-    PolicyFactory factory = [&](const NodeProfile&, int) {
-        return makeSchedulerByName(cluster.nodeScheduler, ctx,
-                                   workload.kind);
+    // A per-node scheduler suffix in the fleet spec ("sanger:2=sjf")
+    // overrides the cluster-wide policy for those nodes.
+    PolicyFactory factory = [&](const NodeProfile& profile, int) {
+        const std::string& spec = profile.scheduler.empty()
+                                      ? cluster.nodeScheduler
+                                      : profile.scheduler;
+        return makeSchedulerByName(spec, ctx, workload.kind);
     };
 
     if (cluster.streaming) {

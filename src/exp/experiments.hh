@@ -172,6 +172,14 @@ struct ClusterRunConfig
     std::string brownout;
     /** Tier weights, e.g. "0.6,0.3,0.1"; "" = single tier. */
     std::string tiers;
+
+    // --- dynamic batching (src/batch/) -------------------------------
+    /**
+     * Batch-formation spec, e.g.
+     * "batcher:size=8,delay=2ms,compose=sparsity"; "" = off (runs
+     * bit-identical to a build without the subsystem).
+     */
+    std::string batcher;
 };
 
 /** Generate one workload and serve it on a simulated cluster. */

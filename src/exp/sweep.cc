@@ -116,6 +116,7 @@ averageMetrics(const std::vector<Metrics>& runs)
         avg.violationRate += m.violationRate;
         avg.sloMissRate += m.sloMissRate;
         avg.throughput += m.throughput;
+        avg.goodput += m.goodput;
         avg.stp += m.stp;
         avg.p50Turnaround += m.p50Turnaround;
         avg.p95Turnaround += m.p95Turnaround;
@@ -132,6 +133,7 @@ averageMetrics(const std::vector<Metrics>& runs)
     avg.violationRate /= n;
     avg.sloMissRate /= n;
     avg.throughput /= n;
+    avg.goodput /= n;
     avg.stp /= n;
     avg.p50Turnaround /= n;
     avg.p95Turnaround /= n;
@@ -235,6 +237,31 @@ averageMetrics(const std::vector<Metrics>& runs)
             tier.shed /= n;
             tier.goodput /= n;
         }
+    }
+
+    // Pool batching stats field-wise, same contract as resilience:
+    // a grid point's replicas share one batcher config, so either
+    // every run is active or none is.
+    if (runs[0].batching.active) {
+        BatchStats& bat = avg.batching;
+        bat.active = true;
+        for (const Metrics& m : runs) {
+            panicIf(!m.batching.active,
+                    "averageMetrics: runs carry different batching "
+                    "configs");
+            bat.formed += m.batching.formed;
+            bat.joins += m.batching.joins;
+            bat.steps += m.batching.steps;
+            bat.meanOccupancy += m.batching.meanOccupancy;
+            bat.meanFillWaitSec += m.batching.meanFillWaitSec;
+            bat.stragglerTaxSec += m.batching.stragglerTaxSec;
+        }
+        bat.formed /= n;
+        bat.joins /= n;
+        bat.steps /= n;
+        bat.meanOccupancy /= n;
+        bat.meanFillWaitSec /= n;
+        bat.stragglerTaxSec /= n;
     }
     return avg;
 }

@@ -74,16 +74,27 @@ emitInstant(JsonWriter& json, const std::string& name, double ts,
     json.endObject();
 }
 
-} // namespace
-
-std::string
-chromeTraceJson(const Telemetry& telemetry,
-                const std::vector<std::string>& node_names)
+/**
+ * Emit the full trace document into `json`. When `stream` is set,
+ * buffered text is drained to it periodically, so the export runs in
+ * bounded memory (the drained chunks plus the final tail concatenate
+ * to exactly the undrained document).
+ */
+void
+emitChromeTrace(const Telemetry& telemetry,
+                const std::vector<std::string>& node_names,
+                JsonWriter& json, std::ostream* stream)
 {
     fatalIf(!telemetry.config().recordEvents,
             "chromeTraceJson: telemetry ran without event recording");
 
-    JsonWriter json;
+    constexpr size_t kFlushEvery = 256;
+    size_t emitted = 0;
+    auto flush = [&]() {
+        if (stream != nullptr && ++emitted % kFlushEvery == 0)
+            *stream << json.drain();
+    };
+
     json.beginObject();
     json.field("displayTimeUnit", "ms");
     json.beginArray("traceEvents");
@@ -188,10 +199,19 @@ chromeTraceJson(const Telemetry& telemetry,
             emitInstant(json, "brownout", ev.time, 0, true,
                         ev.request);
             break;
+          case TeleKind::BatchForm:
+            emitInstant(json, "batch_form", ev.time, ev.node, false,
+                        ev.request);
+            break;
+          case TeleKind::BatchJoin:
+            emitInstant(json, "batch_join", ev.time, ev.node, false,
+                        ev.request);
+            break;
           case TeleKind::Arrival:
           case TeleKind::Dispatch:
             break;
         }
+        flush();
     }
     for (size_t node = 0; node < num_nodes; ++node)
         closeSegment(static_cast<int>(node));
@@ -214,12 +234,23 @@ chromeTraceJson(const Telemetry& telemetry,
                 json.field("depth", s.queueDepth);
                 json.endObject();
                 json.endObject();
+                flush();
             }
         }
     }
 
     json.endArray();
     json.endObject();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const Telemetry& telemetry,
+                const std::vector<std::string>& node_names)
+{
+    JsonWriter json;
+    emitChromeTrace(telemetry, node_names, json, nullptr);
     return json.str();
 }
 
@@ -230,7 +261,13 @@ writeChromeTrace(const Telemetry& telemetry,
 {
     std::ofstream out(path);
     fatalIf(!out, "writeChromeTrace: cannot open '" + path + "'");
-    out << chromeTraceJson(telemetry, node_names) << "\n";
+    // Streaming write: chunks drain to the file as the document is
+    // emitted, so even a megascale trace never materializes in one
+    // string (pair with TelemetryConfig::maxEvents to also bound the
+    // retained log).
+    JsonWriter json;
+    emitChromeTrace(telemetry, node_names, json, &out);
+    out << json.str() << "\n";
     fatalIf(!out.good(),
             "writeChromeTrace: write failed for '" + path + "'");
 }

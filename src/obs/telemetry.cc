@@ -34,6 +34,8 @@ toString(TeleKind kind)
       case TeleKind::Hedge:         return "hedge";
       case TeleKind::HedgeCancel:   return "hedge_cancel";
       case TeleKind::Brownout:      return "brownout";
+      case TeleKind::BatchForm:     return "batch_form";
+      case TeleKind::BatchJoin:     return "batch_join";
     }
     panic("toString: unhandled TeleKind");
 }
@@ -73,6 +75,7 @@ Telemetry::beginRun(size_t num_nodes)
     numAbandoned = 0;
     numTimeouts = numRetries = numHedges = 0;
     numHedgeCancels = numBrownouts = 0;
+    numBatchesFormed = numBatchJoins = 0;
     ringHead = 0;
     numDroppedEvents = 0;
     for (Probe& probe : probes) {
@@ -320,6 +323,24 @@ Telemetry::brownout(const Request& req, double now)
     ++numBrownouts;
     record({now, TeleKind::Brownout, -1, req.id, -1, 0.0,
             static_cast<double>(req.tier), -1});
+}
+
+void
+Telemetry::batchForm(const Request& req, int node, size_t occupancy,
+                     double now)
+{
+    ++numBatchesFormed;
+    record({now, TeleKind::BatchForm, node, req.id, -1, 0.0,
+            static_cast<double>(occupancy), -1});
+}
+
+void
+Telemetry::batchJoin(const Request& req, int node, size_t layer,
+                     double now)
+{
+    ++numBatchJoins;
+    record({now, TeleKind::BatchJoin, node, req.id,
+            static_cast<int>(layer), 0.0, 0.0, -1});
 }
 
 void

@@ -68,6 +68,8 @@ enum class TeleKind : uint8_t
     Hedge = 14,        ///< duplicate copy issued to a second node
     HedgeCancel = 15,  ///< losing copy of a hedge pulled back
     Brownout = 16,     ///< admission shed under brown-out escalation
+    BatchForm = 17,    ///< a batch formed around its anchor request
+    BatchJoin = 18,    ///< request joined a running batch mid-block
 };
 
 std::string toString(TeleKind kind);
@@ -215,6 +217,16 @@ class Telemetry
     /** `req` was shed by brown-out-escalated admission control. */
     void brownout(const Request& req, double now);
 
+    // --- dynamic-batching hooks (src/batch/) -------------------------
+    /** A batch of `occupancy` members formed on `node`; `req` is its
+     * anchor (the scheduler's pick). */
+    void batchForm(const Request& req, int node, size_t occupancy,
+                   double now);
+    /** `req` joined the running batch on `node` at the boundary
+     * before its layer `layer` (continuous batching). */
+    void batchJoin(const Request& req, int node, size_t layer,
+                   double now);
+
     // --- results ------------------------------------------------------
     const TelemetryConfig& config() const { return cfg; }
     /**
@@ -262,6 +274,8 @@ class Telemetry
     size_t hedges() const { return numHedges; }
     size_t hedgeCancels() const { return numHedgeCancels; }
     size_t brownouts() const { return numBrownouts; }
+    size_t batchesFormed() const { return numBatchesFormed; }
+    size_t batchJoins() const { return numBatchJoins; }
 
   private:
     struct Probe
@@ -299,6 +313,8 @@ class Telemetry
     size_t numHedges = 0;
     size_t numHedgeCancels = 0;
     size_t numBrownouts = 0;
+    size_t numBatchesFormed = 0;
+    size_t numBatchJoins = 0;
     /** Ring rotation point of `log` when the cap is active. */
     size_t ringHead = 0;
     size_t numDroppedEvents = 0;

@@ -76,6 +76,10 @@ aggregate(const std::vector<Request>& requests, bool allow_shed)
         static_cast<double>(m.completed + m.shed);
     m.makespan = last_finish - first_arrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.goodput =
+        m.makespan > 0.0
+            ? (n - static_cast<double>(violations)) / m.makespan
+            : 0.0;
     // One sort per series; each percentile read is then O(1).
     std::sort(turnarounds.begin(), turnarounds.end());
     std::sort(latencies.begin(), latencies.end());
@@ -224,6 +228,10 @@ StreamingMetrics::finalizeExact() const
         static_cast<double>(m.completed + m.shed);
     m.makespan = last_finish - first_arrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.goodput =
+        m.makespan > 0.0
+            ? (n - static_cast<double>(violations)) / m.makespan
+            : 0.0;
     std::sort(turnarounds.begin(), turnarounds.end());
     std::sort(latencies.begin(), latencies.end());
     m.p50Turnaround = sortedPercentile(turnarounds, 50.0);
@@ -254,6 +262,10 @@ StreamingMetrics::finalizeSketch() const
         static_cast<double>(completedCount + shedCount);
     m.makespan = lastFinish - firstArrival;
     m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+    m.goodput =
+        m.makespan > 0.0
+            ? (n - static_cast<double>(violationCount)) / m.makespan
+            : 0.0;
     m.p50Turnaround = p50Turn.value();
     m.p95Turnaround = p95Turn.value();
     m.p99Turnaround = p99Turn.value();

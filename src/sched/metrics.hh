@@ -89,6 +89,32 @@ struct ResilienceStats
     std::vector<TierStats> tiers;
 };
 
+/**
+ * Dynamic-batching metrics (src/batch/). `active` is set only when
+ * batch formation was enabled, so batching-off reports stay
+ * bit-identical to builds without the subsystem. Counts are doubles
+ * so seed replicas average the same way as every other metric.
+ */
+struct BatchStats
+{
+    bool active = false;
+    /** Batches formed (anchor picked, batch started fresh). */
+    double formed = 0.0;
+    /** Continuous-batching joins at layer boundaries. */
+    double joins = 0.0;
+    /** Batch layer steps executed. */
+    double steps = 0.0;
+    /** Mean members per batch step (memberSteps / steps). */
+    double meanOccupancy = 0.0;
+    /** Mean queue wait before a request's first batch step, s. */
+    double meanFillWaitSec = 0.0;
+    /**
+     * Total time members spent waiting on a slower co-member: sum
+     * over steps of (step base latency - own layer latency).
+     */
+    double stragglerTaxSec = 0.0;
+};
+
 /** Aggregate results of one scheduling run. */
 struct Metrics
 {
@@ -106,6 +132,12 @@ struct Metrics
     double sloMissRate = 0.0;
     /** Completed inferences per second over the busy interval. */
     double throughput = 0.0;
+    /**
+     * SLO-attained throughput: completions that met their deadline
+     * per second of makespan. The headline serving metric — raw
+     * throughput counts deadline-missing work, goodput does not.
+     */
+    double goodput = 0.0;
     /** Eyerman-Eeckhout STP: sum of per-request speedups. */
     double stp = 0.0;
     /** Median normalized turnaround (ANT percentile). */
@@ -133,6 +165,8 @@ struct Metrics
     std::vector<EstimatorAccuracy> estimators;
     /** Chaos-engine resilience metrics (inactive unless configured). */
     ResilienceStats resilience;
+    /** Dynamic-batching metrics (inactive unless enabled). */
+    BatchStats batching;
 
     /** Shed fraction of all offered requests, in [0, 1]. */
     double shedRate() const;

@@ -78,6 +78,12 @@ struct Request
      * how the chaos engine finds a copy to pull back.
      */
     int lastNode = -1;
+    /**
+     * When this copy entered its current node's ready queue (set by
+     * SimNode::enqueue). Drives the batch formation hold rule and
+     * the fill-wait statistic (src/batch/); inert without batching.
+     */
+    double nodeEnqueueTime = 0.0;
 
     size_t layerCount() const { return trace->layers.size(); }
     bool done() const { return nextLayer >= layerCount(); }

@@ -60,6 +60,7 @@ toSimConfig(const ClusterConfig& cfg)
     sim.hedge = cfg.hedge;
     sim.brownout = cfg.brownout;
     sim.tierWeights = cfg.tierWeights;
+    sim.batching = cfg.batching;
     return sim;
 }
 

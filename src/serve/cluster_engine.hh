@@ -75,6 +75,10 @@ struct ClusterConfig
     BrownoutConfig brownout;
     /** Priority-tier weights (empty = single tier 0). */
     std::vector<double> tierWeights;
+
+    // --- dynamic batching (src/batch/) -------------------------------
+    /** Batch formation knobs (see SimConfig::batching). */
+    BatchConfig batching;
 };
 
 /** Homogeneous fleet of `n` reference-speed nodes. */

@@ -60,6 +60,15 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         cfg.hedge.enabled || cfg.brownout.enabled ||
         !cfg.tierWeights.empty();
 
+    // Dynamic batching. A rebalancing dispatcher would try to
+    // migrate requests that are mid-step inside a running batch —
+    // the migration contract cannot express that — so the
+    // combination is rejected up front instead of panicking mid-run.
+    const bool batch_on = cfg.batching.enabled;
+    fatalIf(batch_on && dispatcher.wantsRebalance(),
+            "runSimulation: dynamic batching is incompatible with "
+            "rebalancing (work-stealing) dispatchers");
+
     SimResult result;
     dispatcher.reset();
 
@@ -71,6 +80,10 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 "runSimulation: policy factory returned null");
         nodes.push_back(std::make_unique<SimNode>(
             static_cast<int>(i), cfg.nodes[i], std::move(policy)));
+    }
+    if (batch_on) {
+        for (auto& node : nodes)
+            node->setBatching(cfg.batching);
     }
 
     Telemetry* tele = cfg.telemetry;
@@ -169,6 +182,23 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         ev.kind = SimEventKind::LayerComplete;
         ev.node = node.id();
         ev.epoch = node.epoch();
+        calendar->push(ev);
+    };
+
+    // At most one pending BatchRelease per node. The hold window can
+    // only move *later* (the oldest waiter sheds or starts), so an
+    // in-flight release that fires early just re-evaluates the hold
+    // and re-arms; no stale-event filtering is needed.
+    std::vector<double> release_pending(nodes.size(), -1.0);
+    auto pushBatchRelease = [&](const SimNode& node, double at) {
+        size_t idx = static_cast<size_t>(node.id());
+        if (release_pending[idx] >= 0.0)
+            return;
+        release_pending[idx] = at;
+        SimEvent ev;
+        ev.time = at;
+        ev.kind = SimEventKind::BatchRelease;
+        ev.node = node.id();
         calendar->push(ev);
     };
 
@@ -402,6 +432,62 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         return !moves.empty();
     };
 
+    // Retire one completed logical request: resolve any hedge pair,
+    // account it, give rebalancers a look, and hand the slot back to
+    // the source. Shared verbatim by the scalar and batch completion
+    // paths so batching cannot drift the retirement semantics.
+    auto retireCompleted = [&](SimNode& node, Request* done,
+                               double now) {
+        // First completion of a hedged pair wins; the loser is
+        // pulled back and only the primary is ever recorded/retired
+        // as the logical request.
+        Request* logical = done;
+        if (done->isHedgeClone) {
+            Request* prim = done->hedgePeer;
+            panicIf(prim == nullptr,
+                    "runSimulation: orphan hedge clone completed");
+            ++hedge_wins;
+            if (tele)
+                tele->hedgeCancel(*prim, prim->lastNode, now);
+            cancelCopy(prim, now);
+            // The estimator layer keys per-request state by id
+            // (shared by both copies), so completing the clone
+            // retires the primary's entry too.
+            dispatcher.onComplete(node, *done, now);
+            prim->finishTime = done->finishTime;
+            prim->executedTime = done->executedTime;
+            prim->nextLayer = prim->layerCount();
+            ++prim->cancelEpoch;
+            prim->hedgePeer = nullptr;
+            dropClone(done);
+            logical = prim;
+        } else {
+            if (done->hedgePeer != nullptr) {
+                Request* clone = done->hedgePeer;
+                if (tele)
+                    tele->hedgeCancel(*clone, clone->lastNode, now);
+                cancelCopy(clone, now);
+                dropClone(clone);
+                done->hedgePeer = nullptr;
+            }
+            ++done->cancelEpoch;
+            dispatcher.onComplete(node, *done, now);
+        }
+        accountCompleted(*logical);
+        ++finished;
+        // A completion is a load-balance change worth a migration
+        // look; idle nodes that receive stolen work are started by
+        // the pushed decision sweep.
+        if (applyRebalance(now))
+            pushDecision(now);
+        if (sink)
+            sink->recordCompleted(*logical);
+        // All callbacks are past; the source may recycle the slot
+        // (no node holds a reference: completion cleared
+        // running/lastRun and the ready queue).
+        source.retire(logical, now);
+    };
+
     const size_t total = source.total();
     double sim_now = 0.0;
 
@@ -549,9 +635,22 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             decision_pending = false;
             applyRebalance(now);
             for (auto& node : nodes) {
-                if (node->state() != NodeState::Down &&
-                    !node->busy() && node->outstanding() > 0)
-                    pushLayerEnd(*node, node->beginBlock(now));
+                if (node->state() == NodeState::Down ||
+                    node->busy() || node->outstanding() == 0)
+                    continue;
+                if (batch_on) {
+                    // Hold for more batchable work while the delay
+                    // window allows; the armed BatchRelease starts
+                    // the batch when it expires.
+                    double release_at = 0.0;
+                    if (node->batchShouldHold(now, &release_at)) {
+                        pushBatchRelease(*node, release_at);
+                        continue;
+                    }
+                    pushLayerEnd(*node, node->beginBatch(now));
+                    continue;
+                }
+                pushLayerEnd(*node, node->beginBlock(now));
             }
             break;
           }
@@ -563,6 +662,43 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
                 // node failure after it was scheduled; nothing to do.
                 break;
             }
+
+            if (batch_on) {
+                // One batch step ends: every member advanced its own
+                // next layer over the shared step window.
+                const Request* anchor = node.current();
+                if (cfg.recordEvents) {
+                    double lat = node.batchStepLatency();
+                    for (const Request* m : node.activeBatch())
+                        result.events.push_back({node.id(), m->id,
+                                                 m->nextLayer,
+                                                 now - lat, now});
+                }
+                std::vector<Request*> completed =
+                    node.completeBatchStep();
+                // The anchor drives the sparsity feedback, exactly
+                // as in the scalar path.
+                dispatcher.onLayerComplete(
+                    node, *anchor, now,
+                    node.lastMonitoredSparsity());
+                for (Request* done : completed)
+                    retireCompleted(node, done, now);
+
+                if (node.blockContinues()) {
+                    // Continuous batching: newly-queued work may join
+                    // the running batch at this layer boundary.
+                    node.batchJoin(now);
+                    pushLayerEnd(node, node.continueBatchStep(now));
+                } else if (node.outstanding() > 0) {
+                    double release_at = 0.0;
+                    if (node.batchShouldHold(now, &release_at))
+                        pushBatchRelease(node, release_at);
+                    else
+                        pushLayerEnd(node, node.beginBatch(now));
+                }
+                break;
+            }
+
             const Request* req = node.current();
             size_t layer_idx = req->nextLayer;
 
@@ -576,58 +712,8 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             Request* done = node.completeLayer();
             dispatcher.onLayerComplete(node, *req, now,
                                        node.lastMonitoredSparsity());
-            if (done != nullptr) {
-                // First completion of a hedged pair wins; the loser
-                // is pulled back and only the primary is ever
-                // recorded/retired as the logical request.
-                Request* logical = done;
-                if (done->isHedgeClone) {
-                    Request* prim = done->hedgePeer;
-                    panicIf(prim == nullptr,
-                            "runSimulation: orphan hedge clone "
-                            "completed");
-                    ++hedge_wins;
-                    if (tele)
-                        tele->hedgeCancel(*prim, prim->lastNode, now);
-                    cancelCopy(prim, now);
-                    // The estimator layer keys per-request state by
-                    // id (shared by both copies), so completing the
-                    // clone retires the primary's entry too.
-                    dispatcher.onComplete(node, *done, now);
-                    prim->finishTime = done->finishTime;
-                    prim->executedTime = done->executedTime;
-                    prim->nextLayer = prim->layerCount();
-                    ++prim->cancelEpoch;
-                    prim->hedgePeer = nullptr;
-                    dropClone(done);
-                    logical = prim;
-                } else {
-                    if (done->hedgePeer != nullptr) {
-                        Request* clone = done->hedgePeer;
-                        if (tele)
-                            tele->hedgeCancel(*clone, clone->lastNode,
-                                              now);
-                        cancelCopy(clone, now);
-                        dropClone(clone);
-                        done->hedgePeer = nullptr;
-                    }
-                    ++done->cancelEpoch;
-                    dispatcher.onComplete(node, *done, now);
-                }
-                accountCompleted(*logical);
-                ++finished;
-                // A completion is a load-balance change worth a
-                // migration look; idle nodes that receive stolen
-                // work are started by the pushed decision sweep.
-                if (applyRebalance(now))
-                    pushDecision(now);
-                if (sink)
-                    sink->recordCompleted(*logical);
-                // All callbacks are past; the source may recycle
-                // the slot (no node holds a reference: completion
-                // cleared running/lastRun and the ready queue).
-                source.retire(logical, now);
-            }
+            if (done != nullptr)
+                retireCompleted(node, done, now);
 
             // Continue the non-preemptible block, or make a fresh
             // dispatch decision at the block boundary.
@@ -719,6 +805,20 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
             pushDecision(now);
             break;
           }
+
+          case SimEventKind::BatchRelease: {
+            SimNode& node = *nodes[ev.node];
+            release_pending[static_cast<size_t>(ev.node)] = -1.0;
+            if (node.state() == NodeState::Down || node.busy() ||
+                node.outstanding() == 0)
+                break; // the work started (or vanished) another way
+            double release_at = 0.0;
+            if (node.batchShouldHold(now, &release_at))
+                pushBatchRelease(node, release_at); // window moved
+            else
+                pushLayerEnd(node, node.beginBatch(now));
+            break;
+          }
         }
     }
 
@@ -727,6 +827,35 @@ runSimulationLoop(const SimConfig& cfg, ArrivalSource& source,
         result.perNodeCompleted.push_back(n->completedCount());
         result.preemptions += n->preemptionCount();
         result.decisions += n->decisionCount();
+    }
+
+    if (batch_on) {
+        BatchStats& bs = result.batching;
+        bs.active = true;
+        size_t formed = 0, joins = 0, steps = 0, member_steps = 0;
+        size_t fill_count = 0;
+        double fill_wait = 0.0;
+        for (const auto& n : nodes) {
+            const SimNode::BatchCounters& c = n->batchCounters();
+            formed += c.formed;
+            joins += c.joins;
+            steps += c.steps;
+            member_steps += c.memberSteps;
+            fill_wait += c.fillWaitSec;
+            fill_count += c.fillWaitCount;
+            bs.stragglerTaxSec += c.stragglerTaxSec;
+        }
+        bs.formed = static_cast<double>(formed);
+        bs.joins = static_cast<double>(joins);
+        bs.steps = static_cast<double>(steps);
+        bs.meanOccupancy =
+            steps > 0 ? static_cast<double>(member_steps) /
+                            static_cast<double>(steps)
+                      : 0.0;
+        bs.meanFillWaitSec =
+            fill_count > 0
+                ? fill_wait / static_cast<double>(fill_count)
+                : 0.0;
     }
 
     if (resilience_on) {
@@ -794,6 +923,18 @@ finalizeResilience(SimResult& result)
     result.metrics.resilience = result.resilience;
 }
 
+/**
+ * Mirror the loop's batching stats into the freshly-computed metrics
+ * (which the overloads overwrite wholesale).
+ */
+void
+finalizeBatch(SimResult& result)
+{
+    if (!result.batching.active)
+        return;
+    result.metrics.batching = result.batching;
+}
+
 } // namespace
 
 SimResult
@@ -815,6 +956,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
         req.hedgePeer = nullptr;
         req.isHedgeClone = false;
         req.lastNode = -1;
+        req.nodeEnqueueTime = 0.0;
     }
 
     MaterializedSource source(requests);
@@ -826,6 +968,7 @@ runSimulation(const SimConfig& cfg, std::vector<Request>& requests,
     if (cfg.telemetry)
         result.metrics.estimators = cfg.telemetry->accuracy();
     finalizeResilience(result);
+    finalizeBatch(result);
     return result;
 }
 
@@ -840,6 +983,7 @@ runSimulation(const SimConfig& cfg, ArrivalSource& source,
     if (cfg.telemetry)
         result.metrics.estimators = cfg.telemetry->accuracy();
     finalizeResilience(result);
+    finalizeBatch(result);
     return result;
 }
 

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "batch/batch.hh"
 #include "chaos/chaos.hh"
 #include "core/estimator.hh"
 #include "core/model_info.hh"
@@ -172,6 +173,18 @@ struct SimConfig
      * of (request id, chaosSeed) — no workload RNG is consumed.
      */
     std::vector<double> tierWeights;
+
+    // --- dynamic batching (src/batch/) -------------------------------
+    /**
+     * Batch formation/execution knobs (disabled default). Enabled,
+     * every node executes batch steps: the scheduler picks the
+     * anchor, the composition policy fills the batch, and each step
+     * costs the slowest member's layer latency plus the marginal-
+     * member overhead. Disabled runs are bit-identical to builds
+     * without the subsystem. Incompatible with rebalancing
+     * (work-stealing) dispatchers.
+     */
+    BatchConfig batching;
 };
 
 /** Result of one simulation run. */
@@ -194,6 +207,11 @@ struct SimResult
      * was configured.
      */
     ResilienceStats resilience;
+    /**
+     * Dynamic-batching metrics (also mirrored into
+     * `metrics.batching`); inactive unless batching was enabled.
+     */
+    BatchStats batching;
 };
 
 /**

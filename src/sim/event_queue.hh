@@ -54,6 +54,12 @@ enum class SimEventKind : uint8_t
     Decision = 3,
     Timeout = 4,
     Hedge = 5,
+    /**
+     * A held batch formation's fill wait expired (batching only;
+     * sorts after every seed kind, so batching-off runs keep the
+     * exact pre-batching pop order).
+     */
+    BatchRelease = 6,
 };
 
 /** Availability transitions a NodeChange event can carry. */

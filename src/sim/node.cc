@@ -1,6 +1,7 @@
 #include "sim/node.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/telemetry.hh"
 #include "util/logging.hh"
@@ -117,6 +118,7 @@ SimNode::fail(double now)
     blockOwner = nullptr;
     blockExecuted = 0;
     lastRun = nullptr;
+    batch.clear();
     return displaced;
 }
 
@@ -146,6 +148,7 @@ SimNode::enqueue(Request* req, double now)
     req->lastRunEnd = req->arrival;
     req->finishTime = -1.0;
     req->lastNode = nodeId;
+    req->nodeEnqueueTime = now;
     ready.push_back(req);
     sched->onArrival(*req, now);
 }
@@ -156,6 +159,8 @@ SimNode::removeQueued(Request* req, double now)
     panicIf(req == nullptr, "SimNode::removeQueued: null request");
     panicIf(req == running || req == blockOwner,
             "SimNode::removeQueued: request is in flight");
+    panicIf(inActiveBatch(req),
+            "SimNode::removeQueued: request is in a running batch");
     panicIf(req->nextLayer != 0,
             "SimNode::removeQueued: request already started");
     auto it = std::find(ready.begin(), ready.end(), req);
@@ -180,13 +185,21 @@ SimNode::cancel(Request* req, double now)
     if (req == running) {
         // Its layer is in flight: abandon it. The epoch bump stales
         // the pending layer-complete event, exactly like fail().
+        // With batching the anchor owns the step, so the whole batch
+        // loses it (members keep their progress in the ready queue).
         running = nullptr;
         blockOwner = nullptr;
         blockExecuted = 0;
         lastRun = nullptr;
+        batch.clear();
         ++failEpoch;
         return CancelOutcome::Running;
     }
+    // A cancelled non-anchor member leaves its batch; an in-flight
+    // step keeps its already-committed wall time.
+    auto bit = std::find(batch.begin(), batch.end(), req);
+    if (bit != batch.end())
+        batch.erase(bit);
     if (req == blockOwner) {
         // Between layers of its block (the caller cancels at layer
         // boundaries): release the block without touching the epoch.
@@ -291,6 +304,213 @@ SimNode::continueBlock(double now)
     panicIf(!blockContinues(), "SimNode::continueBlock at boundary");
     (void)now; // layers within a block run back to back
     return startLayer(layerEnd);
+}
+
+// --- dynamic batching ------------------------------------------------
+
+bool
+SimNode::inActiveBatch(const Request* req) const
+{
+    return running != nullptr &&
+           std::find(batch.begin(), batch.end(), req) != batch.end();
+}
+
+bool
+SimNode::batchShouldHold(double now, double* release_at) const
+{
+    if (!batchCfg.enabled || batchCfg.maxDelaySec <= 0.0)
+        return false;
+    if (ready.size() >= static_cast<size_t>(batchCfg.maxSize))
+        return false;
+    double oldest = ready.front()->nodeEnqueueTime;
+    for (const Request* r : ready)
+        oldest = std::min(oldest, r->nodeEnqueueTime);
+    if (now >= oldest + batchCfg.maxDelaySec)
+        return false;
+    *release_at = oldest + batchCfg.maxDelaySec;
+    return true;
+}
+
+/**
+ * Fill the batch from the ready queue up to maxSize, ordered by the
+ * composition policy. Candidate ranking consults the scheduler's own
+ * estimator (sparsity-refined under Dysta); estimator-less policies
+ * (FCFS) fall back to queue order for every composition.
+ */
+void
+SimNode::composeBatch(double now, bool at_join)
+{
+    size_t cap = static_cast<size_t>(batchCfg.maxSize);
+    if (batch.size() >= cap)
+        return;
+    std::vector<Request*> cand;
+    cand.reserve(ready.size());
+    for (Request* r : ready) {
+        if (std::find(batch.begin(), batch.end(), r) == batch.end())
+            cand.push_back(r);
+    }
+    if (cand.empty())
+        return;
+
+    const LatencyEstimator* est = sched->estimator();
+    auto perLayer = [&](const Request* r) {
+        size_t left = r->layerCount() - r->nextLayer;
+        return est->remaining(*r) /
+               static_cast<double>(left == 0 ? 1 : left);
+    };
+    if (est != nullptr && batchCfg.compose == BatchCompose::Greedy) {
+        std::stable_sort(cand.begin(), cand.end(),
+                         [&](const Request* a, const Request* b) {
+                             return est->remaining(*a) <
+                                    est->remaining(*b);
+                         });
+    } else if (est != nullptr &&
+               batchCfg.compose == BatchCompose::Sparsity) {
+        // Group members of similar predicted density: per-layer
+        // estimated time closest to the anchor's, so the step's max
+        // tracks its mean instead of one dense straggler.
+        double pivot = perLayer(blockOwner);
+        std::stable_sort(cand.begin(), cand.end(),
+                         [&](const Request* a, const Request* b) {
+                             return std::abs(perLayer(a) - pivot) <
+                                    std::abs(perLayer(b) - pivot);
+                         });
+    }
+
+    for (Request* r : cand) {
+        if (batch.size() >= cap)
+            break;
+        batch.push_back(r);
+        if (r->nextLayer == 0) {
+            bstats.fillWaitSec += now - r->nodeEnqueueTime;
+            ++bstats.fillWaitCount;
+        }
+        if (at_join) {
+            ++bstats.joins;
+            if (telemetry)
+                telemetry->batchJoin(*r, nodeId, r->nextLayer, now);
+        }
+    }
+}
+
+double
+SimNode::startBatchStep(double now)
+{
+    double base = 0.0;
+    for (const Request* m : batch)
+        base = std::max(base,
+                        layerLatency(m->trace->layers[m->nextLayer]));
+    batchStepBase = base;
+    batchStepLat =
+        base * (1.0 + batchCfg.overhead *
+                          static_cast<double>(batch.size() - 1));
+    running = blockOwner;
+    layerEnd = now + batchStepLat;
+    if (telemetry)
+        telemetry->execStart(*blockOwner, nodeId,
+                             blockOwner->nextLayer, now);
+    return layerEnd;
+}
+
+double
+SimNode::beginBatch(double now)
+{
+    panicIf(busy(), "SimNode::beginBatch while busy");
+    panicIf(ready.empty(), "SimNode::beginBatch with empty queue");
+    panicIf(nodeState == NodeState::Down,
+            "SimNode::beginBatch on a failed node");
+    panicIf(!batchCfg.enabled, "SimNode::beginBatch without batching");
+
+    Request* pick = sched->pickNext(ready, now);
+    ++numDecisions;
+    panicIf(pick == nullptr || pick->done(),
+            "SimNode: scheduler returned an invalid request");
+    blockOwner = pick;
+    blockExecuted = 0;
+
+    if (lastRun != nullptr && blockOwner != lastRun &&
+        lastRun->nextLayer > 0 && !lastRun->done()) {
+        ++numPreemptions;
+        if (telemetry)
+            telemetry->preempt(*lastRun, nodeId, now);
+    }
+
+    batch.clear();
+    batch.push_back(pick);
+    if (pick->nextLayer == 0) {
+        bstats.fillWaitSec += now - pick->nodeEnqueueTime;
+        ++bstats.fillWaitCount;
+    }
+    composeBatch(now, false);
+    ++bstats.formed;
+    if (telemetry)
+        telemetry->batchForm(*pick, nodeId, batch.size(), now);
+    return startBatchStep(now + prof.decisionOverheadSec);
+}
+
+std::vector<Request*>
+SimNode::completeBatchStep()
+{
+    panicIf(!busy(), "SimNode::completeBatchStep on idle node");
+    running = nullptr;
+    ++blockExecuted;
+    ++bstats.steps;
+    bstats.memberSteps += batch.size();
+
+    std::vector<Request*> completed;
+    for (Request* m : batch) {
+        size_t layer_idx = m->nextLayer;
+        const LayerTrace& layer = m->trace->layers[layer_idx];
+        double own = layerLatency(layer);
+        bstats.stragglerTaxSec += batchStepBase - own;
+        m->executedTime += own;
+        ++m->nextLayer;
+        m->lastRunEnd = layerEnd;
+        if (m == blockOwner)
+            lastSparsity = layer.monitoredSparsity;
+        sched->onLayerComplete(*m, layerEnd, layer.monitoredSparsity);
+        if (telemetry)
+            telemetry->layerComplete(*m, nodeId, layer_idx,
+                                     layerEnd - batchStepLat,
+                                     layerEnd,
+                                     layer.monitoredSparsity);
+        if (m->done())
+            completed.push_back(m);
+    }
+    for (Request* m : completed) {
+        m->finishTime = layerEnd;
+        sched->onComplete(*m, layerEnd);
+        ready.erase(std::find(ready.begin(), ready.end(), m));
+        batch.erase(std::find(batch.begin(), batch.end(), m));
+        m->lastNode = -1;
+        ++numCompleted;
+        if (telemetry)
+            telemetry->complete(*m, nodeId, ready.size(), layerEnd);
+    }
+    if (blockOwner->done()) {
+        blockOwner = nullptr;
+        lastRun = nullptr;
+    } else {
+        lastRun = blockOwner;
+    }
+    return completed;
+}
+
+void
+SimNode::batchJoin(double now)
+{
+    panicIf(busy(), "SimNode::batchJoin while busy");
+    panicIf(!blockContinues(), "SimNode::batchJoin at block boundary");
+    composeBatch(now, true);
+}
+
+double
+SimNode::continueBatchStep(double now)
+{
+    panicIf(!blockContinues(),
+            "SimNode::continueBatchStep at boundary");
+    (void)now; // steps within a block run back to back
+    return startBatchStep(layerEnd);
 }
 
 } // namespace dysta

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/batch.hh"
 #include "sched/request.hh"
 #include "sched/scheduler.hh"
 
@@ -101,6 +102,12 @@ struct NodeProfile
     double decisionOverheadSec = 0.0;
     /** Layers per non-preemptible block (see EngineConfig). */
     size_t layerBlockSize = 1;
+    /**
+     * Per-node scheduling-policy override (makeSchedulerByName);
+     * empty inherits the run's default. From the fleet-spec suffix
+     * "sanger:2=dysta" (src/workload/cluster_spec.hh).
+     */
+    std::string scheduler;
     /**
      * Correlated fault domain ("rack0"): a domain-scoped
      * FailureProcess takes every member down together. Empty = no
@@ -261,6 +268,75 @@ class SimNode
     /** Monitored sparsity reported by the layer just completed. */
     double lastMonitoredSparsity() const { return lastSparsity; }
 
+    // --- dynamic batching (src/batch/) -------------------------------
+    // With batching enabled the node executes *batch steps* instead
+    // of single layers: the scheduler still picks the block's anchor
+    // (decision/preemption counting unchanged), the composition
+    // policy fills the batch from the ready queue, and every member
+    // advances its own next layer per step. The step's wall time is
+    // the slowest member's layer latency inflated by the marginal-
+    // member overhead (see BatchConfig). Members may join a running
+    // batch at layer boundaries (continuous batching).
+
+    /** Enable batch execution for this run. */
+    void setBatching(const BatchConfig& cfg) { batchCfg = cfg; }
+
+    /**
+     * Whether formation should wait for the batch to fill: fewer
+     * than maxSize ready requests and the oldest has not yet waited
+     * maxDelaySec. Sets `release_at` to when the hold expires.
+     */
+    bool batchShouldHold(double now, double* release_at) const;
+
+    /**
+     * Invoke the policy for the batch anchor, compose the batch and
+     * start its first step. @pre !busy() && outstanding() > 0
+     * @return completion time of the started step
+     */
+    double beginBatch(double now);
+
+    /**
+     * Finish the in-flight batch step at its completion time: every
+     * member advances one layer; finished members retire.
+     * @return the members that just completed, in batch order
+     */
+    std::vector<Request*> completeBatchStep();
+
+    /**
+     * Admit new members at a layer boundary (continuous batching),
+     * up to maxSize, chosen by the composition policy.
+     * @pre !busy() && blockContinues()
+     */
+    void batchJoin(double now);
+
+    /** Start the next step of the current batch. @pre blockContinues() */
+    double continueBatchStep(double now);
+
+    /** Whether `req` is a member of the in-flight batch step. */
+    bool inActiveBatch(const Request* req) const;
+
+    /** Members of the current batch (valid while busy()). */
+    const std::vector<Request*>& activeBatch() const { return batch; }
+
+    /** Wall time of the in-flight batch step (valid while busy()). */
+    double batchStepLatency() const { return batchStepLat; }
+
+    /** Batch-execution counters accumulated over the run. */
+    struct BatchCounters
+    {
+        size_t formed = 0;      ///< batches formed (beginBatch calls)
+        size_t joins = 0;       ///< members admitted at layer boundaries
+        size_t steps = 0;       ///< batch steps executed
+        size_t memberSteps = 0; ///< member-layers executed across steps
+        /** First-execution queue delay summed over members. */
+        double fillWaitSec = 0.0;
+        size_t fillWaitCount = 0;
+        /** Member-seconds spent waiting on a denser batch peer. */
+        double stragglerTaxSec = 0.0;
+    };
+
+    const BatchCounters& batchCounters() const { return bstats; }
+
     /**
      * Attach a telemetry sink (not owned; nullptr detaches). The
      * node emits exec-start, layer-complete, preempt and complete
@@ -289,7 +365,15 @@ class SimNode
     size_t numPreemptions = 0;
     size_t numDecisions = 0;
 
+    BatchConfig batchCfg;            ///< disabled by default
+    std::vector<Request*> batch;     ///< current batch members
+    double batchStepBase = 0.0;      ///< max member latency of the step
+    double batchStepLat = 0.0;       ///< step wall time (with overhead)
+    BatchCounters bstats;
+
     double startLayer(double now);
+    void composeBatch(double now, bool at_join);
+    double startBatchStep(double now);
 };
 
 } // namespace dysta

@@ -76,6 +76,8 @@ builtinScenarioDescription(const std::string& name)
         return "streaming 10M-request endurance run";
     if (name == "chaos")
         return "stochastic faults + retry/hedging/brown-out stack";
+    if (name == "batching")
+        return "dynamic batching: composition policies vs unbatched";
     return "";
 }
 

@@ -589,6 +589,14 @@ JsonWriter::str() const
     return out;
 }
 
+std::string
+JsonWriter::drain()
+{
+    std::string chunk = std::move(out);
+    out.clear();
+    return chunk;
+}
+
 bool
 JsonWriter::writeFile(const std::string& path) const
 {

@@ -117,6 +117,16 @@ class JsonWriter
      */
     std::string str() const;
 
+    /**
+     * Drain the text buffered so far, resetting the buffer; scopes
+     * may still be open and subsequent output continues seamlessly.
+     * The streaming exporters (obs/chrome_trace.hh) flush drained
+     * chunks to disk periodically, so a megascale trace export stays
+     * bounded-memory: concatenating every drained chunk with the
+     * final str() yields byte-for-byte the undrained document.
+     */
+    std::string drain();
+
     /** Write str() + trailing newline to `path`; false on I/O error. */
     bool writeFile(const std::string& path) const;
 

@@ -91,6 +91,18 @@ fleetFromSpec(const std::string& spec)
                     "fleetFromSpec: empty domain in '" + part + "'");
             body = part.substr(0, at);
         }
+        // Optional per-node scheduler suffix: "sanger:2=dysta" runs
+        // both nodes under the dysta policy regardless of the
+        // cluster-wide scheduler (see NodeProfile::scheduler).
+        std::string scheduler;
+        size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            scheduler = body.substr(eq + 1);
+            fatalIf(scheduler.empty(),
+                    "fleetFromSpec: empty scheduler in '" + part +
+                        "'");
+            body = body.substr(0, eq);
+        }
         size_t colon = body.find(':');
         std::string cls = body.substr(0, colon);
         long count = 1;
@@ -105,6 +117,7 @@ fleetFromSpec(const std::string& spec)
             NodeProfile profile =
                 nodeOfClass(cls, next_index[cls]++);
             profile.domain = domain;
+            profile.scheduler = scheduler;
             fleet.push_back(std::move(profile));
         }
     }
